@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the HRSC kernels.
+//!
+//! These complement the table/figure regeneration binaries: they track the
+//! per-kernel costs (conservative→primitive recovery, Riemann fluxes,
+//! reconstruction, full 1D/2D steps) that the throughput experiments build
+//! on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rhrsc_grid::{bc, Bc, PatchGeom};
+use rhrsc_solver::scheme::init_cons;
+use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
+use rhrsc_srhd::recon::{Limiter, Recon};
+use rhrsc_srhd::riemann::exact::ExactRiemann;
+use rhrsc_srhd::riemann::RiemannSolver;
+use rhrsc_srhd::{cons_to_prim, Con2PrimParams, Dir, Eos, Prim};
+
+fn bench_con2prim(c: &mut Criterion) {
+    let eos = Eos::ideal(5.0 / 3.0);
+    let params = Con2PrimParams::default();
+    let mut g = c.benchmark_group("con2prim");
+    for (name, prim) in [
+        ("moderate", Prim { rho: 1.0, vel: [0.3, 0.2, -0.1], p: 0.5 }),
+        ("cold_fast", Prim::new_1d(1.0, 0.99, 1e-6)),
+        ("hot", Prim::at_rest(1.0, 1e4)),
+        ("w100", Prim::new_1d(1.0, (1.0f64 - 1e-4).sqrt(), 0.1)),
+    ] {
+        let u = prim.to_cons(&eos);
+        g.bench_function(name, |b| {
+            b.iter(|| cons_to_prim(&eos, black_box(&u), None, &params).unwrap())
+        });
+    }
+    // Taub-Mathews EOS pays an extra closed-form inversion per iteration.
+    let tm = Eos::TaubMathews;
+    let u = Prim::new_1d(1.0, 0.9, 0.5).to_cons(&tm);
+    g.bench_function("moderate_tm", |b| {
+        b.iter(|| cons_to_prim(&tm, black_box(&u), None, &params).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_riemann(c: &mut Criterion) {
+    let eos = Eos::ideal(5.0 / 3.0);
+    let l = Prim::new_1d(1.0, 0.2, 1.0);
+    let r = Prim::new_1d(0.125, -0.1, 0.1);
+    let mut g = c.benchmark_group("riemann_flux");
+    for rs in RiemannSolver::ALL {
+        g.bench_function(rs.name(), |b| {
+            b.iter(|| rs.flux(&eos, black_box(&l), black_box(&r), Dir::X))
+        });
+    }
+    g.bench_function("exact_solve", |b| {
+        b.iter(|| ExactRiemann::solve(black_box(&l), black_box(&r), 5.0 / 3.0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_recon(c: &mut Criterion) {
+    let n = 128;
+    let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + if i > 64 { 1.0 } else { 0.0 }).collect();
+    let mut ql = vec![0.0; n + 1];
+    let mut qr = vec![0.0; n + 1];
+    let mut g = c.benchmark_group("reconstruction");
+    g.throughput(Throughput::Elements(n as u64));
+    for r in [
+        Recon::Pc,
+        Recon::Plm(Limiter::Mc),
+        Recon::Ppm,
+        Recon::Ceno3,
+        Recon::Mp5,
+        Recon::Weno5,
+    ] {
+        let gh = r.ghost();
+        g.bench_function(r.name(), |b| {
+            b.iter(|| r.pencil(black_box(&q), gh, n + 1 - gh, &mut ql, &mut qr))
+        });
+    }
+    g.finish();
+}
+
+fn bench_step(c: &mut Criterion) {
+    let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+    let bcs = bc::uniform(Bc::Periodic);
+    let mut g = c.benchmark_group("full_step");
+    g.sample_size(20);
+
+    let ic = |x: [f64; 3]| Prim {
+        rho: 1.0 + 0.3 * (6.0 * x[0]).sin() * (4.0 * x[1]).cos(),
+        vel: [0.3, -0.2, 0.1],
+        p: 1.0,
+    };
+
+    // 1D, N = 1024.
+    {
+        let geom = PatchGeom::line(1024, 0.0, 1.0, scheme.required_ghosts());
+        let u0 = init_cons(geom, &scheme.eos, &ic);
+        g.throughput(Throughput::Elements(1024 * 3));
+        g.bench_function(BenchmarkId::new("rk3", "1d_1024"), |b| {
+            b.iter_batched(
+                || (u0.clone(), PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom)),
+                |(mut u, mut solver)| solver.step(&mut u, 1e-4, None).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // 2D, 64².
+    {
+        let geom = PatchGeom::rect([64, 64], [0.0; 2], [1.0; 2], scheme.required_ghosts());
+        let u0 = init_cons(geom, &scheme.eos, &ic);
+        g.throughput(Throughput::Elements(64 * 64 * 3));
+        g.bench_function(BenchmarkId::new("rk3", "2d_64x64"), |b| {
+            b.iter_batched(
+                || (u0.clone(), PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom)),
+                |(mut u, mut solver)| solver.step(&mut u, 1e-4, None).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_con2prim, bench_riemann, bench_recon, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! F1 — Sod shock-tube profile figure.
+//!
+//! Regenerates the (x, ρ, v, p) series at N = 400, t = 0.4 for PPM+HLLC
+//! alongside the exact solution (the classic validation figure).
+
+use rhrsc_bench::{results_dir, sci};
+use rhrsc_grid::PatchGeom;
+use rhrsc_solver::diag::l1_density_error;
+use rhrsc_solver::problems::Problem;
+use rhrsc_solver::scheme::{init_cons, prim_at};
+use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
+use std::io::Write;
+
+fn main() {
+    println!("# F1: Sod profile, N = 400, ppm+hllc+rk3, t = 0.4");
+    let n = 400;
+    let prob = Problem::sod();
+    let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+    let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
+    let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
+    let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
+    solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
+
+    let exact = prob.exact.clone().unwrap();
+    let (l1, prim) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
+    println!("  L1(rho) vs exact = {}", sci(l1));
+
+    let path = results_dir().join("f1_sod_profile.csv");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+    writeln!(f, "x,rho,vx,p,rho_exact,vx_exact,p_exact").unwrap();
+    for (i, j, k) in geom.interior_iter() {
+        let x = geom.center(i, j, k);
+        let w = prim_at(&prim, i, j, k);
+        let ex = exact(x, prob.t_end);
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{}",
+            x[0], w.rho, w.vel[0], w.p, ex.rho, ex.vel[0], ex.p
+        )
+        .unwrap();
+    }
+    println!("  -> wrote {}", path.display());
+    assert!(l1 < 5e-3, "profile accuracy regression: {l1}");
+}

@@ -1,0 +1,66 @@
+//! F4 — Strong scaling.
+//!
+//! Fixed 256×256 2D problem distributed over 1..16 simulated ranks on a
+//! virtual cluster (10 µs latency, 10 GB/s links). Reports the simulated
+//! makespan (max per-rank virtual time), speedup, and parallel efficiency
+//! for 10 RK2 steps.
+//!
+//! Expected shape: near-linear speedup at small rank counts, efficiency
+//! decaying as the halo surface-to-volume ratio and the Δt-allreduce
+//! latency grow relative to shrinking per-rank compute.
+//!
+//! (Ranks time-share the host physically; the virtual-time machinery
+//! serializes compute sections on a CPU token so the makespan is honest —
+//! see DESIGN.md "virtual cluster".)
+
+use rhrsc_bench::{f3, Table};
+use rhrsc_comm::{run, NetworkModel};
+use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
+use rhrsc_solver::{RkOrder, Scheme};
+use rhrsc_srhd::Prim;
+use std::time::Duration;
+
+fn ic(x: [f64; 3]) -> Prim {
+    let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
+    Prim::at_rest(1.0, if r2 < 0.01 { 100.0 } else { 1.0 })
+}
+
+fn main() {
+    println!("# F4: strong scaling, 256x256, 10 RK2 steps, virtual cluster (10us, 10GB/s)");
+    let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
+    let nsteps = 10;
+    let ranks = [1usize, 2, 4, 8, 16];
+
+    let mut table = Table::new(&["ranks", "makespan_s", "speedup", "efficiency"]);
+    let mut base = None;
+    for &p in &ranks {
+        let cfg = DistConfig {
+            scheme: Scheme::default_with_gamma(5.0 / 3.0),
+            rk: RkOrder::Rk2,
+            global_n: [256, 256, 1],
+            domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+            decomp: CartDecomp::auto(p, [256, 256, 1], [true, true, false]),
+            bcs: bc::uniform(Bc::Periodic),
+            cfl: 0.4,
+            mode: ExchangeMode::BulkSynchronous,
+            gang_threads: 0,
+            dt_refresh_interval: 1,
+        };
+        let stats = run(p, model, |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.advance_steps(rank, &mut u, nsteps).unwrap()
+        });
+        let makespan = stats.iter().map(|s| s.vtime).fold(0.0, f64::max);
+        let base_t = *base.get_or_insert(makespan);
+        let speedup = base_t / makespan;
+        table.row(&[
+            p.to_string(),
+            format!("{makespan:.4}"),
+            f3(speedup),
+            f3(speedup / p as f64),
+        ]);
+    }
+    table.print();
+    table.save_csv("f4_strong_scaling");
+}

@@ -1,0 +1,70 @@
+//! F5 — Weak scaling.
+//!
+//! Fixed 128×128 block per rank; the global grid grows with the rank
+//! count (1..16). Reports the simulated makespan for 10 RK2 steps and the
+//! weak-scaling efficiency `t(1) / t(P)`.
+//!
+//! Expected shape: near-flat makespan (efficiency ≳ 0.8) — per-rank work
+//! is constant and only halo exchange plus the Δt reduction grow — the
+//! classic weak-scaling figure every CLUSTER-style paper reports.
+
+use rhrsc_bench::{f3, Table};
+use rhrsc_comm::{run, NetworkModel};
+use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
+use rhrsc_solver::{RkOrder, Scheme};
+use rhrsc_srhd::Prim;
+use std::time::Duration;
+
+fn ic(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin()
+            * (2.0 * std::f64::consts::PI * x[1]).cos(),
+        vel: [0.4, -0.3, 0.0],
+        p: 1.0,
+    }
+}
+
+fn main() {
+    println!("# F5: weak scaling, 128x128 per rank, 10 RK2 steps, virtual cluster (10us, 10GB/s)");
+    let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
+    let nsteps = 10;
+    let ranks = [1usize, 2, 4, 8, 16];
+
+    let mut table = Table::new(&["ranks", "global_grid", "makespan_s", "efficiency"]);
+    let mut base = None;
+    for &p in &ranks {
+        let decomp = CartDecomp::auto(p, [128 * p, 128, 1], [true, true, false]);
+        // Grow the grid to match the chosen process grid exactly.
+        let global_n = [128 * decomp.dims[0], 128 * decomp.dims[1], 1];
+        let cfg = DistConfig {
+            scheme: Scheme::default_with_gamma(5.0 / 3.0),
+            rk: RkOrder::Rk2,
+            global_n,
+            domain: (
+                [0.0; 3],
+                [decomp.dims[0] as f64, decomp.dims[1] as f64, 1.0],
+            ),
+            decomp,
+            bcs: bc::uniform(Bc::Periodic),
+            cfl: 0.4,
+            mode: ExchangeMode::BulkSynchronous,
+            gang_threads: 0,
+            dt_refresh_interval: 1,
+        };
+        let stats = run(p, model, |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.advance_steps(rank, &mut u, nsteps).unwrap()
+        });
+        let makespan = stats.iter().map(|s| s.vtime).fold(0.0, f64::max);
+        let base_t = *base.get_or_insert(makespan);
+        table.row(&[
+            p.to_string(),
+            format!("{}x{}", global_n[0], global_n[1]),
+            format!("{makespan:.4}"),
+            f3(base_t / makespan),
+        ]);
+    }
+    table.print();
+    table.save_csv("f5_weak_scaling");
+}

@@ -1,0 +1,125 @@
+//! Benchmark-harness utilities: aligned table printing and CSV output.
+//!
+//! Every reconstructed table/figure (see DESIGN.md) has a regeneration
+//! binary under `src/bin/`; they print the rows the evaluation reports and
+//! mirror them to `results/<id>.csv` for plotting.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> PathBuf {
+    // Walk up from the current dir until a Cargo workspace root is found.
+    let mut dir = std::env::current_dir().expect("no cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            break;
+        }
+        if !dir.pop() {
+            dir = std::env::current_dir().unwrap();
+            break;
+        }
+    }
+    let out = dir.join("results");
+    std::fs::create_dir_all(&out).expect("cannot create results/");
+    out
+}
+
+/// A simple experiment table: prints aligned to stdout and saves as CSV.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column-count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Print the table aligned to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Save as `results/<name>.csv`.
+    pub fn save_csv(&self, name: &str) {
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+        writeln!(f, "{}", self.headers.join(",")).unwrap();
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).unwrap();
+        }
+        println!("  -> wrote {}", path.display());
+    }
+}
+
+/// Format a float in short scientific notation.
+pub fn sci(x: f64) -> String {
+    format!("{x:.3e}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(&["only-one".into()]);
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn results_dir_exists() {
+        assert!(results_dir().is_dir());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(sci(0.00123), "1.230e-3");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,226 @@
+//! Physical boundary conditions on patch ghost zones.
+
+use crate::field::Field;
+
+/// Boundary condition on one face of the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bc {
+    /// Zeroth-order extrapolation (copy the nearest interior cell).
+    Outflow,
+    /// Wrap around to the opposite side of the patch.
+    Periodic,
+    /// Mirror the interior; the momentum component normal to the face
+    /// flips sign.
+    Reflect,
+}
+
+/// One [`Bc`] per face: `bcs[d][0]` is the low face of dimension `d`,
+/// `bcs[d][1]` the high face.
+pub type BcSet = [[Bc; 2]; 3];
+
+/// A uniform boundary-condition set.
+pub fn uniform(bc: Bc) -> BcSet {
+    [[bc; 2]; 3]
+}
+
+/// Fill all ghost zones of a conserved-variable field.
+///
+/// The field is assumed to store `(D, S_x, S_y, S_z, τ, ...)`: under
+/// [`Bc::Reflect`] on a face of dimension `d`, component `1 + d` flips
+/// sign. Extra components beyond the first five are treated as scalars.
+///
+/// Ghosts are filled dimension-by-dimension in x, y, z order; corner ghost
+/// regions therefore combine the adjacent face conditions, which is the
+/// standard treatment for dimension-by-dimension finite-volume schemes.
+pub fn fill_ghosts(f: &mut Field, bcs: &BcSet) {
+    for (d, faces) in bcs.iter().enumerate() {
+        for (side, &bc) in faces.iter().enumerate() {
+            fill_face(f, d, side, bc);
+        }
+    }
+}
+
+/// Fill the ghost zones of a single face (dimension `d`, `side` 0 = low,
+/// 1 = high). No-op for degenerate dimensions. Used directly by the
+/// distributed driver, where only *physical* faces get boundary conditions
+/// (interior faces receive halos from neighbor ranks instead).
+///
+/// Note that [`Bc::Periodic`] here wraps within the local patch; in
+/// distributed runs periodic faces are handled by (possibly self-)
+/// neighbor exchange unless the rank owns the full dimension.
+pub fn fill_face(f: &mut Field, d: usize, side: usize, bc: Bc) {
+    let geom = *f.geom();
+    let ng = geom.ng_of(d);
+    if ng == 0 {
+        return;
+    }
+    {
+        let n = geom.n[d];
+        let ncomp = f.ncomp();
+        // Transverse extents (full, ghost-inclusive, so corners inherit
+        // previously-filled dims).
+        let (t1_dim, t2_dim) = match d {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
+        let (nt1, nt2) = (geom.ntot(t1_dim), geom.ntot(t2_dim));
+
+        let cell = |d_idx: usize, t1: usize, t2: usize| -> (usize, usize, usize) {
+            match d {
+                0 => (d_idx, t1, t2),
+                1 => (t1, d_idx, t2),
+                _ => (t1, t2, d_idx),
+            }
+        };
+
+        {
+            for g in 0..ng {
+                // Ghost index and its source index along dimension d.
+                let (gi, src) = if side == 0 {
+                    let gi = ng - 1 - g;
+                    let src = match bc {
+                        Bc::Outflow => ng,
+                        Bc::Periodic => gi + n,
+                        Bc::Reflect => 2 * ng - 1 - gi,
+                    };
+                    (gi, src)
+                } else {
+                    let gi = ng + n + g;
+                    let src = match bc {
+                        Bc::Outflow => ng + n - 1,
+                        Bc::Periodic => gi - n,
+                        Bc::Reflect => 2 * (ng + n) - 1 - gi,
+                    };
+                    (gi, src)
+                };
+                for t2 in 0..nt2 {
+                    for t1 in 0..nt1 {
+                        let (gi0, gi1, gi2) = cell(gi, t1, t2);
+                        let (si0, si1, si2) = cell(src, t1, t2);
+                        for c in 0..ncomp {
+                            let mut v = f.at(c, si0, si1, si2);
+                            if bc == Bc::Reflect && c == 1 + d {
+                                v = -v;
+                            }
+                            f.set(c, gi0, gi1, gi2, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::PatchGeom;
+
+    fn line_field(n: usize, ng: usize) -> Field {
+        let g = PatchGeom::line(n, 0.0, 1.0, ng);
+        let mut f = Field::new(g, 5);
+        for i in 0..n {
+            for c in 0..5 {
+                f.set(c, ng + i, 0, 0, (10 * c + i) as f64 + 1.0);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn outflow_copies_edge_cell() {
+        let mut f = line_field(4, 2);
+        fill_ghosts(&mut f, &uniform(Bc::Outflow));
+        // Low ghosts copy first interior (value 1.0 for comp 0).
+        assert_eq!(f.at(0, 0, 0, 0), 1.0);
+        assert_eq!(f.at(0, 1, 0, 0), 1.0);
+        // High ghosts copy last interior (value 4.0).
+        assert_eq!(f.at(0, 6, 0, 0), 4.0);
+        assert_eq!(f.at(0, 7, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn periodic_wraps() {
+        let mut f = line_field(4, 2);
+        fill_ghosts(&mut f, &uniform(Bc::Periodic));
+        // ghost[1] (adjacent) = last interior; ghost[0] = second-to-last.
+        assert_eq!(f.at(0, 1, 0, 0), 4.0);
+        assert_eq!(f.at(0, 0, 0, 0), 3.0);
+        assert_eq!(f.at(0, 6, 0, 0), 1.0);
+        assert_eq!(f.at(0, 7, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn reflect_mirrors_and_flips_normal_momentum() {
+        let mut f = line_field(4, 2);
+        fill_ghosts(&mut f, &uniform(Bc::Reflect));
+        // Scalar component mirrors: ghost adjacent = first interior.
+        assert_eq!(f.at(0, 1, 0, 0), 1.0);
+        assert_eq!(f.at(0, 0, 0, 0), 2.0);
+        // S_x (component 1) flips sign at x faces.
+        assert_eq!(f.at(1, 1, 0, 0), -11.0);
+        assert_eq!(f.at(1, 0, 0, 0), -12.0);
+        // S_y (component 2) does not flip at x faces.
+        assert_eq!(f.at(2, 1, 0, 0), 21.0);
+        // High side.
+        assert_eq!(f.at(1, 6, 0, 0), -14.0);
+    }
+
+    #[test]
+    fn mixed_faces() {
+        let g = PatchGeom::line(4, 0.0, 1.0, 1);
+        let mut f = Field::new(g, 5);
+        for i in 0..4 {
+            f.set(0, 1 + i, 0, 0, (i + 1) as f64);
+        }
+        let mut bcs = uniform(Bc::Outflow);
+        bcs[0][1] = Bc::Periodic;
+        fill_ghosts(&mut f, &bcs);
+        assert_eq!(f.at(0, 0, 0, 0), 1.0); // outflow low
+        assert_eq!(f.at(0, 5, 0, 0), 1.0); // periodic high wraps to first
+    }
+
+    #[test]
+    fn two_d_reflect_flips_correct_component() {
+        let g = PatchGeom::rect([3, 3], [0.0, 0.0], [1.0, 1.0], 1);
+        let mut f = Field::new(g, 5);
+        for (i, j, k) in g.interior_iter() {
+            f.set(1, i, j, k, 5.0); // S_x
+            f.set(2, i, j, k, 7.0); // S_y
+        }
+        fill_ghosts(&mut f, &uniform(Bc::Reflect));
+        // y-face ghosts: S_y flips, S_x does not.
+        assert_eq!(f.at(2, 2, 0, 0), -7.0);
+        assert_eq!(f.at(1, 2, 0, 0), 5.0);
+        // x-face ghosts: S_x flips, S_y does not.
+        assert_eq!(f.at(1, 0, 2, 0), -5.0);
+        assert_eq!(f.at(2, 0, 2, 0), 7.0);
+    }
+
+    #[test]
+    fn periodic_2d_corner_consistency() {
+        // After x then y fills, the corner ghost must equal the
+        // diagonally-opposite interior cell.
+        let g = PatchGeom::rect([4, 4], [0.0, 0.0], [1.0, 1.0], 2);
+        let mut f = Field::new(g, 1);
+        for (i, j, _k) in g.interior_iter() {
+            f.set(0, i, j, 0, (10 * i + j) as f64);
+        }
+        fill_ghosts(&mut f, &uniform(Bc::Periodic));
+        // Corner ghost (1,1) should equal interior (5,5).
+        assert_eq!(f.at(0, 1, 1, 0), f.at(0, 5, 5, 0));
+        assert_eq!(f.at(0, 0, 7, 0), f.at(0, 4, 3, 0));
+    }
+
+    #[test]
+    fn degenerate_dims_untouched() {
+        let mut f = line_field(4, 2);
+        let before = f.clone();
+        fill_ghosts(&mut f, &uniform(Bc::Periodic));
+        // y/z have no ghosts; interior values unchanged.
+        for i in 2..6 {
+            assert_eq!(f.at(0, i, 0, 0), before.at(0, i, 0, 0));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Structured grids for the HRSC solver.
+//!
+//! * [`geom`] — rectangular cell-centered patch geometry with per-dimension
+//!   ghost widths (unused dimensions carry no ghosts),
+//! * [`field`] — multi-component field storage over a patch,
+//! * [`bc`] — physical boundary conditions (outflow, periodic, reflecting),
+//! * [`decomp`] — Cartesian block decomposition of a global grid over
+//!   ranks, with face-neighbor topology for halo exchange.
+
+pub mod bc;
+pub mod decomp;
+pub mod field;
+pub mod geom;
+
+pub use bc::{fill_face, fill_ghosts, Bc, BcSet};
+pub use decomp::CartDecomp;
+pub use field::Field;
+pub use geom::PatchGeom;

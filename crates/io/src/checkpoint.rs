@@ -1,0 +1,257 @@
+//! Binary checkpoint/restart.
+//!
+//! Format (little-endian, version 1):
+//!
+//! ```text
+//! magic  "RHRSCCKP"           8 bytes
+//! version u32                 4
+//! time    f64, step u64       12
+//! geometry: n[3] u64, ng u64, origin[3] f64, dx[3] f64
+//! ncomp  u64
+//! data   ncomp * len f64      (ghost-inclusive, component-major)
+//! crc    u64 (FNV-1a over the data section)
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use rhrsc_grid::{Field, PatchGeom};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"RHRSCCKP";
+const VERSION: u32 = 1;
+
+/// A restartable solver state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Simulation time.
+    pub time: f64,
+    /// Step counter.
+    pub step: u64,
+    /// Ghost-inclusive conserved field.
+    pub field: Field,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file, or an unsupported version.
+    Format(String),
+    /// Data-section checksum mismatch (truncated/corrupted file).
+    Corrupt,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::Corrupt => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice (cheap integrity check, not cryptographic).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Serialize a checkpoint to bytes.
+pub fn encode(ckp: &Checkpoint) -> Vec<u8> {
+    let geom = ckp.field.geom();
+    let mut buf = BytesMut::with_capacity(64 + ckp.field.raw().len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_f64_le(ckp.time);
+    buf.put_u64_le(ckp.step);
+    for d in 0..3 {
+        buf.put_u64_le(geom.n[d] as u64);
+    }
+    buf.put_u64_le(geom.ng as u64);
+    for d in 0..3 {
+        buf.put_f64_le(geom.origin[d]);
+    }
+    for d in 0..3 {
+        buf.put_f64_le(geom.dx[d]);
+    }
+    buf.put_u64_le(ckp.field.ncomp() as u64);
+    let data_start = buf.len();
+    for &v in ckp.field.raw() {
+        buf.put_f64_le(v);
+    }
+    let crc = fnv1a(&buf[data_start..]);
+    buf.put_u64_le(crc);
+    buf.to_vec()
+}
+
+/// Deserialize a checkpoint from bytes.
+pub fn decode(mut bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
+        return Err(CheckpointError::Format("missing magic".into()));
+    }
+    bytes.advance(8);
+    let version = bytes.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version}"
+        )));
+    }
+    if bytes.remaining() < 12 + 4 * 8 + 6 * 8 + 8 {
+        return Err(CheckpointError::Format("truncated header".into()));
+    }
+    let time = bytes.get_f64_le();
+    let step = bytes.get_u64_le();
+    let mut n = [0usize; 3];
+    for d in &mut n {
+        *d = bytes.get_u64_le() as usize;
+    }
+    let ng = bytes.get_u64_le() as usize;
+    let mut origin = [0.0; 3];
+    for o in &mut origin {
+        *o = bytes.get_f64_le();
+    }
+    let mut dx = [0.0; 3];
+    for d in &mut dx {
+        *d = bytes.get_f64_le();
+    }
+    let geom = PatchGeom { n, ng, origin, dx };
+    let ncomp = bytes.get_u64_le() as usize;
+    let len = ncomp * geom.len();
+    if bytes.remaining() != len * 8 + 8 {
+        return Err(CheckpointError::Format(format!(
+            "data section: expected {} bytes, have {}",
+            len * 8 + 8,
+            bytes.remaining()
+        )));
+    }
+    let data_bytes = &bytes[..len * 8];
+    let crc_expected = fnv1a(data_bytes);
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(bytes.get_f64_le());
+    }
+    let crc = bytes.get_u64_le();
+    if crc != crc_expected {
+        return Err(CheckpointError::Corrupt);
+    }
+    Ok(Checkpoint {
+        time,
+        step,
+        field: Field::from_vec(geom, ncomp, data),
+    })
+}
+
+/// Write a checkpoint file.
+pub fn save_checkpoint(path: &Path, ckp: &Checkpoint) -> Result<(), CheckpointError> {
+    let bytes = encode(ckp);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read a checkpoint file.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let geom = PatchGeom::rect([6, 4], [0.0, -1.0], [2.0, 1.0], 3);
+        let mut field = Field::cons(geom);
+        for (i, v) in field.raw_mut().iter_mut().enumerate() {
+            *v = (i as f64).sin() * 1e3;
+        }
+        Checkpoint {
+            time: 0.7251,
+            step: 1234,
+            field,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ckp = sample();
+        let out = decode(&encode(&ckp)).unwrap();
+        assert_eq!(out, ckp);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ckp = sample();
+        let dir = std::env::temp_dir().join("rhrsc-ckp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckp");
+        save_checkpoint(&path, &ckp).unwrap();
+        let out = load_checkpoint(&path).unwrap();
+        assert_eq!(out, ckp);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let ckp = sample();
+        let mut bytes = encode(&ckp);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(decode(&bytes), Err(CheckpointError::Corrupt)));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let ckp = sample();
+        let bytes = encode(&ckp);
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 9]),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            decode(b"not a checkpoint at all"),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let ckp = sample();
+        let mut bytes = encode(&ckp);
+        bytes[8] = 99; // version field LE low byte
+        assert!(matches!(decode(&bytes), Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let geom = PatchGeom::line(4, 0.0, 1.0, 1);
+        let mut field = Field::new(geom, 1);
+        field.raw_mut()[0] = f64::MIN_POSITIVE;
+        field.raw_mut()[1] = -0.0;
+        field.raw_mut()[2] = 1e308;
+        field.raw_mut()[3] = 5e-324; // subnormal
+        let ckp = Checkpoint { time: 0.0, step: 0, field };
+        let out = decode(&encode(&ckp)).unwrap();
+        assert_eq!(out.field.raw(), ckp.field.raw());
+        assert!(out.field.raw()[1].is_sign_negative());
+    }
+}

@@ -1,0 +1,16 @@
+//! Output writers and checkpoint/restart for the HRSC solver.
+//!
+//! * [`vtk`] — legacy-ASCII VTK `STRUCTURED_POINTS` writer (loads directly
+//!   into ParaView/VisIt) for any set of field components,
+//! * [`image`] — PGM (grayscale) and PPM (false-color) images of 2D field
+//!   slices, for quick looks without a plotting stack,
+//! * [`checkpoint`] — versioned little-endian binary checkpoints of the
+//!   solver state (time, step, conserved field) with exact round-trip:
+//!   a restarted run continues **bit-identically** (asserted by the
+//!   integration tests).
+
+pub mod checkpoint;
+pub mod image;
+pub mod vtk;
+
+pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};

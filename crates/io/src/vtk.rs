@@ -1,0 +1,119 @@
+//! Legacy-ASCII VTK `STRUCTURED_POINTS` writer.
+//!
+//! Writes the *interior* of a field (one `SCALARS` block per named
+//! component) as a VTK legacy file that ParaView/VisIt load directly.
+//! Cell-centered data is exported as point data at the cell centers,
+//! which is the usual convention for quick-look visualization of
+//! finite-volume output.
+
+use rhrsc_grid::Field;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Write interior components of `field` as a legacy VTK file.
+///
+/// `components` pairs a display name with a component index; every index
+/// must be `< field.ncomp()`.
+pub fn write_vtk(
+    path: &Path,
+    title: &str,
+    field: &Field,
+    components: &[(&str, usize)],
+) -> std::io::Result<()> {
+    let geom = field.geom();
+    for &(name, c) in components {
+        assert!(
+            c < field.ncomp(),
+            "component {c} ({name}) out of range ({} components)",
+            field.ncomp()
+        );
+    }
+    let mut f = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "# vtk DataFile Version 3.0")?;
+    // Titles are limited to 256 chars by the standard; truncate defensively.
+    let title: String = title.chars().take(200).collect();
+    writeln!(f, "{title}")?;
+    writeln!(f, "ASCII")?;
+    writeln!(f, "DATASET STRUCTURED_POINTS")?;
+    writeln!(f, "DIMENSIONS {} {} {}", geom.n[0], geom.n[1], geom.n[2])?;
+    let o = geom.center(geom.ng_of(0), geom.ng_of(1), geom.ng_of(2));
+    writeln!(f, "ORIGIN {} {} {}", o[0], o[1], o[2])?;
+    writeln!(f, "SPACING {} {} {}", geom.dx[0], geom.dx[1], geom.dx[2])?;
+    writeln!(f, "POINT_DATA {}", geom.interior_len())?;
+    for &(name, c) in components {
+        writeln!(f, "SCALARS {name} double 1")?;
+        writeln!(f, "LOOKUP_TABLE default")?;
+        // VTK expects x fastest, then y, then z — matching interior_iter.
+        for (i, j, k) in geom.interior_iter() {
+            writeln!(f, "{}", field.at(c, i, j, k))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhrsc_grid::PatchGeom;
+
+    #[test]
+    fn writes_wellformed_header_and_data() {
+        let geom = PatchGeom::rect([3, 2], [0.0, 0.0], [3.0, 2.0], 2);
+        let mut field = Field::new(geom, 2);
+        for (n, (i, j, k)) in geom.interior_iter().enumerate() {
+            field.set(0, i, j, k, n as f64);
+            field.set(1, i, j, k, -(n as f64));
+        }
+        let path = std::env::temp_dir().join("rhrsc-vtk-test.vtk");
+        write_vtk(&path, "test output", &field, &[("rho", 0), ("neg", 1)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains("DIMENSIONS 3 2 1"));
+        assert!(text.contains("SPACING 1 1 1"));
+        assert!(text.contains("SCALARS rho double 1"));
+        assert!(text.contains("SCALARS neg double 1"));
+        // 6 interior points, values 0..5 for rho.
+        assert!(text.contains("POINT_DATA 6"));
+        let after = text.split("LOOKUP_TABLE default").nth(1).unwrap();
+        let vals: Vec<f64> = after
+            .lines()
+            .skip(1)
+            .take(6)
+            .map(|l| l.trim().parse().unwrap())
+            .collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn origin_is_first_interior_center() {
+        let geom = PatchGeom::line(10, 2.0, 3.0, 3);
+        let field = Field::new(geom, 1);
+        let path = std::env::temp_dir().join("rhrsc-vtk-origin.vtk");
+        write_vtk(&path, "o", &field, &[("d", 0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("ORIGIN 2.05 0.5 0.5"), "{text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn three_d_dimensions() {
+        let geom = PatchGeom::cube([2, 3, 4], [0.0; 3], [1.0; 3], 1);
+        let field = Field::new(geom, 1);
+        let path = std::env::temp_dir().join("rhrsc-vtk-3d.vtk");
+        write_vtk(&path, "3d", &field, &[("d", 0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("DIMENSIONS 2 3 4"));
+        assert!(text.contains("POINT_DATA 24"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_component() {
+        let geom = PatchGeom::line(4, 0.0, 1.0, 1);
+        let field = Field::new(geom, 1);
+        let path = std::env::temp_dir().join("rhrsc-vtk-bad.vtk");
+        let _ = write_vtk(&path, "x", &field, &[("nope", 3)]);
+    }
+}

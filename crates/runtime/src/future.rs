@@ -1,0 +1,271 @@
+//! Single-assignment promise/future pairs.
+//!
+//! The minimal futurization primitive: a [`Promise`] is the write end, a
+//! [`Future`] the read end. `Future::get` blocks on a condition variable
+//! until the value arrives. These are *not* `std::future::Future`s — the
+//! runtime is a blocking work-stealing pool, not an async executor, which
+//! matches the HPX-style model where lightweight tasks block on futures
+//! and the scheduler runs other work.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+enum State<T> {
+    /// Neither value nor continuation yet.
+    Empty,
+    /// Value arrived, no consumer yet.
+    Value(T),
+    /// Continuation attached, waiting for the value.
+    Continuation(Box<dyn FnOnce(T) + Send>),
+    /// Value consumed or continuation fired.
+    Done,
+}
+
+struct Shared<T> {
+    slot: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// Write end of a single-assignment cell.
+pub struct Promise<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Read end of a single-assignment cell.
+pub struct Future<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Future<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Future")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+/// Create a connected promise/future pair.
+pub fn promise<T>() -> (Promise<T>, Future<T>) {
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(State::Empty),
+        cv: Condvar::new(),
+    });
+    (
+        Promise { shared: shared.clone() },
+        Future { shared },
+    )
+}
+
+impl<T> Promise<T> {
+    /// Fulfil the promise: wakes blocked waiters, or — if a continuation
+    /// was attached with [`Future::then`] — runs it on this thread.
+    ///
+    /// # Panics
+    /// Panics if the promise was already fulfilled.
+    pub fn set(self, value: T) {
+        let mut slot = self.shared.slot.lock();
+        match std::mem::replace(&mut *slot, State::Empty) {
+            State::Empty => {
+                *slot = State::Value(value);
+                self.shared.cv.notify_all();
+            }
+            State::Continuation(cb) => {
+                *slot = State::Done;
+                drop(slot);
+                cb(value);
+            }
+            State::Value(_) | State::Done => panic!("promise fulfilled twice"),
+        }
+    }
+}
+
+impl<T> Future<T> {
+    /// Block until the value arrives and take it.
+    pub fn get(self) -> T {
+        let mut slot = self.shared.slot.lock();
+        loop {
+            match std::mem::replace(&mut *slot, State::Empty) {
+                State::Value(v) => {
+                    *slot = State::Done;
+                    return v;
+                }
+                State::Empty => {
+                    self.shared.cv.wait(&mut slot);
+                }
+                State::Continuation(_) | State::Done => {
+                    panic!("future already consumed (get after then)")
+                }
+            }
+        }
+    }
+
+    /// Non-blocking poll: `true` once the value has arrived.
+    pub fn is_ready(&self) -> bool {
+        matches!(&*self.shared.slot.lock(), State::Value(_))
+    }
+
+    /// Block with a timeout; returns the future back on timeout.
+    pub fn get_timeout(self, d: Duration) -> Result<T, Future<T>> {
+        let deadline = std::time::Instant::now() + d;
+        {
+            let mut slot = self.shared.slot.lock();
+            loop {
+                match std::mem::replace(&mut *slot, State::Empty) {
+                    State::Value(v) => {
+                        *slot = State::Done;
+                        return Ok(v);
+                    }
+                    State::Empty => {
+                        if self.shared.cv.wait_until(&mut slot, deadline).timed_out() {
+                            break;
+                        }
+                    }
+                    State::Continuation(_) | State::Done => {
+                        panic!("future already consumed")
+                    }
+                }
+            }
+        }
+        Err(self)
+    }
+
+    /// Attach a dataflow continuation: when the value arrives, `f` runs
+    /// with it (immediately on this thread if it is already here,
+    /// otherwise on the thread that fulfils the promise). Returns the
+    /// future of `f`'s result. This is the "futurization" combinator the
+    /// HPX-style execution model builds dependency graphs from.
+    pub fn then<U, F>(self, f: F) -> Future<U>
+    where
+        U: Send + 'static,
+        T: Send + 'static,
+        F: FnOnce(T) -> U + Send + 'static,
+    {
+        let (p, fut) = promise();
+        let mut slot = self.shared.slot.lock();
+        match std::mem::replace(&mut *slot, State::Empty) {
+            State::Value(v) => {
+                *slot = State::Done;
+                drop(slot);
+                p.set(f(v));
+            }
+            State::Empty => {
+                *slot = State::Continuation(Box::new(move |v| p.set(f(v))));
+            }
+            State::Continuation(_) | State::Done => panic!("future already consumed"),
+        }
+        fut
+    }
+}
+
+/// Wait for every future in a collection, returning the values in order.
+pub fn wait_all<T>(futures: Vec<Future<T>>) -> Vec<T> {
+    futures.into_iter().map(|f| f.get()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn set_then_get() {
+        let (p, f) = promise();
+        p.set(42);
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn get_blocks_until_set() {
+        let (p, f) = promise();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            p.set("done");
+        });
+        assert_eq!(f.get(), "done");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_returns_future() {
+        let (_p, f) = promise::<i32>();
+        let f = f.get_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(!f.is_ready());
+    }
+
+    #[test]
+    fn timeout_succeeds_when_ready() {
+        let (p, f) = promise();
+        p.set(7);
+        assert_eq!(f.get_timeout(Duration::from_millis(1)).unwrap(), 7);
+    }
+
+    #[test]
+    fn wait_all_preserves_order() {
+        let pairs: Vec<_> = (0..8).map(|_| promise()).collect();
+        let mut futures = Vec::new();
+        let mut handles = Vec::new();
+        for (i, (p, f)) in pairs.into_iter().enumerate() {
+            futures.push(f);
+            handles.push(thread::spawn(move || {
+                thread::sleep(Duration::from_millis((8 - i as u64) * 2));
+                p.set(i);
+            }));
+        }
+        assert_eq!(wait_all(futures), (0..8).collect::<Vec<_>>());
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn then_on_ready_future_runs_inline() {
+        let (p, f) = promise();
+        p.set(10);
+        let g = f.then(|v| v * 2).then(|v| v + 1);
+        assert_eq!(g.get(), 21);
+    }
+
+    #[test]
+    fn then_fires_on_completing_thread() {
+        let (p, f) = promise();
+        let g = f.then(|v: i32| v * v);
+        assert!(!g.is_ready());
+        let t = thread::spawn(move || p.set(9));
+        assert_eq!(g.get(), 81);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn then_chain_builds_dataflow_graph() {
+        // A diamond-free chain of 100 continuations resolves in order.
+        let (p, mut f) = promise();
+        for _ in 0..100 {
+            f = f.then(|v: u64| v + 1);
+        }
+        p.set(0);
+        assert_eq!(f.get(), 100);
+    }
+
+    #[test]
+    fn then_interops_with_pool_spawn() {
+        let pool = crate::pool::WorkStealingPool::new(2);
+        let f = pool.spawn(|| 6).then(|v| v * 7);
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn many_waiters_one_value() {
+        // is_ready can be polled from other threads while one consumes.
+        let (p, f) = promise();
+        let probe = thread::spawn({
+            let ready_before = f.is_ready();
+            move || ready_before
+        });
+        assert!(!probe.join().unwrap());
+        p.set(5);
+        assert_eq!(f.get(), 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! HPX-inspired heterogeneous task runtime.
+//!
+//! The CLUSTER-2015-era execution model this reproduces pairs a futurized
+//! task runtime with heterogeneous executors (host cores + accelerators).
+//! This crate provides that substrate in pure Rust:
+//!
+//! * [`future`] — single-assignment promise/future pairs for dependency
+//!   expression (the "futurization" primitive),
+//! * [`pool`] — a work-stealing thread pool built on `crossbeam-deque`,
+//! * [`device`] — a *simulated accelerator*: a command-queue device with
+//!   explicit device buffers, host↔device copies, modeled kernel-launch
+//!   latency, and an internal compute gang. It executes real kernels, so
+//!   results are bit-identical to the host path while the performance
+//!   envelope (launch overhead vs. throughput) matches an offload device,
+//! * [`executor`] — a uniform tile-parallel execution abstraction over
+//!   serial, pooled-CPU, rayon and device backends,
+//! * [`sched`] — load-balancing policies (static, throughput-weighted,
+//!   dynamic work-stealing) across heterogeneous executors.
+
+pub mod device;
+pub mod executor;
+pub mod future;
+pub mod pool;
+pub mod sched;
+
+pub use device::{Accelerator, AcceleratorConfig, BufId};
+pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
+pub use future::{promise, Future, Promise};
+pub use pool::WorkStealingPool;
+pub use sched::{plan_static, plan_weighted, Policy};
+
+use std::time::{Duration, Instant};
+
+/// Busy-wait for `d` (used to model launch latencies and network delays
+/// without yielding the core, mimicking a polling runtime).
+pub fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,419 @@
+//! Work-stealing thread pool.
+//!
+//! A classic Chase–Lev work-stealing pool built from `crossbeam-deque`:
+//! each worker owns a LIFO deque, new external work lands in a shared
+//! injector, and idle workers steal — first batches from the injector,
+//! then singles from siblings — before parking on a condition variable.
+//! The park/wake protocol follows the lost-wakeup-free pattern from
+//! *Rust Atomics and Locks*: waiters re-check the queues under the lock,
+//! and submitters notify after publishing work.
+
+use crate::future::{promise, Future};
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `nthreads` workers.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads > 0);
+        let workers: Vec<Worker<Job>> = (0..nthreads).map(|_| Worker::new_lifo()).collect();
+        let stealers = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, worker)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rhrsc-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, worker, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkStealingPool { shared, handles, nthreads }
+    }
+
+    /// Number of worker threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Submit a job, returning a future for its result.
+    pub fn spawn<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (p, fut) = promise();
+        self.inject(Box::new(move || {
+            // A panicking job would leave the future forever pending;
+            // surface the panic to the waiter as a poisoned promise panic
+            // in the worker instead (abort-free: the worker thread
+            // swallows it and the future waiter would hang), so propagate
+            // by fulfilling with the caught payload is impossible for
+            // arbitrary T. We let the panic unwind into the worker's
+            // catch, which counts it; spawn_checked offers Result plumbing.
+            p.set(f());
+        }));
+        fut
+    }
+
+    /// Submit a job that may panic; the future resolves to `Err` with the
+    /// panic message instead of hanging.
+    pub fn spawn_checked<T, F>(&self, f: F) -> Future<Result<T, String>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (p, fut) = promise();
+        self.inject(Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(f)).map_err(panic_msg);
+            p.set(r);
+        }));
+        fut
+    }
+
+    fn inject(&self, job: Job) {
+        self.shared.injector.push(job);
+        // Publish-then-notify under the sleep lock so parked workers
+        // cannot miss the wakeup.
+        let _g = self.shared.sleep_lock.lock();
+        self.shared.wake.notify_all();
+    }
+
+    /// Blocking data-parallel for-loop: run `f(i)` for every `i in 0..n`,
+    /// distributed over the pool in contiguous chunks of `chunk` indices.
+    /// Returns once every iteration has completed; panics in `f` propagate
+    /// to the caller.
+    ///
+    /// The *calling thread participates*: chunks are claimed from a shared
+    /// counter by the caller and by up to `nthreads` helper jobs, so
+    /// `par_for` is deadlock-free even when invoked from inside a pool
+    /// worker or on a single-threaded pool.
+    pub fn par_for<'env>(&self, n: usize, chunk: usize, f: &(dyn Fn(usize) + Sync + 'env)) {
+        if n == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let ntasks = n.div_ceil(chunk);
+        let nhelpers = self.nthreads.min(ntasks.saturating_sub(1));
+        let latch = Arc::new(Latch::new(nhelpers));
+        let cursor = Arc::new(AtomicUsize::new(0));
+        // SAFETY: `par_for` blocks on the latch until every helper has
+        // finished, and runs the remaining chunks itself, so `f` (and
+        // everything it borrows) strictly outlives all uses of the
+        // transmuted reference. This is the standard scoped-parallelism
+        // pattern (cf. rayon's scope) expressed on our own pool.
+        let f_static: &(dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(f) };
+        let fr = SendPtr(f_static as *const (dyn Fn(usize) + Sync));
+        let run_chunks = move |fr: &SendPtr, cursor: &AtomicUsize| {
+            let f = unsafe { &*fr.0 };
+            loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= ntasks {
+                    break;
+                }
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                for i in lo..hi {
+                    f(i);
+                }
+            }
+        };
+        for _ in 0..nhelpers {
+            let latch = latch.clone();
+            let cursor = cursor.clone();
+            let fr = SendPtr(fr.0);
+            self.inject(Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| run_chunks(&fr, &cursor)));
+                latch.count_down(r.err().map(panic_msg));
+            }));
+        }
+        // Caller participates.
+        let own = catch_unwind(AssertUnwindSafe(|| run_chunks(&fr, &cursor)));
+        let helper_err = latch.wait();
+        if let Err(e) = own {
+            panic!("par_for task panicked: {}", panic_msg(e));
+        }
+        if let Some(msg) = helper_err {
+            panic!("par_for task panicked: {msg}");
+        }
+    }
+
+    /// Total jobs executed by the workers.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Total successful steals from sibling deques.
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+}
+
+struct SendPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for SendPtr {}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.sleep_lock.lock();
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = next_job(idx, &local, &shared) {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // Park. Re-check under the lock to avoid lost wakeups; a timed
+        // wait is belt-and-braces against scheduler edge cases.
+        let mut guard = shared.sleep_lock.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if !shared.injector.is_empty() {
+            continue;
+        }
+        shared
+            .wake
+            .wait_for(&mut guard, Duration::from_millis(5));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn next_job(idx: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    // Refill from the injector in batches.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam_deque::Steal::Success(job) => return Some(job),
+            crossbeam_deque::Steal::Retry => continue,
+            crossbeam_deque::Steal::Empty => break,
+        }
+    }
+    // Steal from siblings.
+    for (i, st) in shared.stealers.iter().enumerate() {
+        if i == idx {
+            continue;
+        }
+        loop {
+            match st.steal() {
+                crossbeam_deque::Steal::Success(job) => {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+/// Countdown latch that also carries the first panic message.
+struct Latch {
+    remaining: AtomicUsize,
+    lock: Mutex<Option<String>>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(n),
+            lock: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self, err: Option<String>) {
+        if let Some(e) = err {
+            let mut g = self.lock.lock();
+            g.get_or_insert(e);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Option<String> {
+        let mut g = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cv.wait(&mut g);
+        }
+        g.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spawn_returns_results() {
+        let pool = WorkStealingPool::new(4);
+        let futs: Vec<_> = (0..100).map(|i| pool.spawn(move || i * i)).collect();
+        let sum: i64 = futs.into_iter().map(|f| f.get()).sum();
+        assert_eq!(sum, (0..100).map(|i| i * i).sum::<i64>());
+    }
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let pool = WorkStealingPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.par_for(n, 64, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_borrowed_mutable_data_via_chunks() {
+        // The idiomatic borrowed-data usage: index into disjoint cells.
+        let pool = WorkStealingPool::new(3);
+        let data: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        pool.par_for(data.len(), 16, &|i| {
+            data[i].store(i as u64 + 1, Ordering::Relaxed);
+        });
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(d.load(Ordering::Relaxed), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn par_for_zero_iterations_is_noop() {
+        let pool = WorkStealingPool::new(2);
+        pool.par_for(0, 8, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_for_propagates_panics() {
+        let pool = WorkStealingPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_for(10, 1, &|i| {
+                if i == 7 {
+                    panic!("boom at 7");
+                }
+            });
+        }));
+        let msg = panic_msg(r.unwrap_err());
+        assert!(msg.contains("boom at 7"), "{msg}");
+    }
+
+    #[test]
+    fn spawn_checked_reports_panics() {
+        let pool = WorkStealingPool::new(2);
+        let f = pool.spawn_checked(|| -> i32 { panic!("kaboom") });
+        let err = f.get().unwrap_err();
+        assert!(err.contains("kaboom"));
+        // The pool remains usable afterwards.
+        assert_eq!(pool.spawn(|| 5).get(), 5);
+    }
+
+    #[test]
+    fn work_is_distributed() {
+        // With many blocking-ish tasks, more than one worker should run them.
+        let pool = WorkStealingPool::new(4);
+        let ids = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let futs: Vec<_> = (0..64)
+            .map(|_| {
+                let ids = ids.clone();
+                pool.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    ids.lock().insert(std::thread::current().id());
+                })
+            })
+            .collect();
+        for f in futs {
+            f.get();
+        }
+        assert!(ids.lock().len() >= 2, "expected multiple workers");
+    }
+
+    #[test]
+    fn executed_counter_increments() {
+        let pool = WorkStealingPool::new(2);
+        let futs: Vec<_> = (0..10).map(|_| pool.spawn(|| ())).collect();
+        for f in futs {
+            f.get();
+        }
+        assert!(pool.executed() >= 10);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_pending_futures_resolved() {
+        let pool = WorkStealingPool::new(2);
+        let f = pool.spawn(|| 99);
+        assert_eq!(f.get(), 99);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let pool = Arc::new(WorkStealingPool::new(3));
+        let p2 = pool.clone();
+        let f = pool.spawn(move || {
+            let inner: Vec<_> = (0..8).map(|i| p2.spawn(move || i + 1)).collect();
+            inner.into_iter().map(|f| f.get()).sum::<i32>()
+        });
+        assert_eq!(f.get(), 36);
+    }
+}

@@ -1,0 +1,211 @@
+//! Load-balancing policies across heterogeneous workers.
+//!
+//! A step's work is a set of tiles with (estimated) costs; the cluster has
+//! workers with differing throughputs (host sockets vs. accelerators).
+//! Three policies are compared by experiment F6:
+//!
+//! * [`Policy::Static`] — homogeneous round-robin that ignores
+//!   throughput (what a non-heterogeneity-aware code does),
+//! * [`Policy::Weighted`] — longest-processing-time greedy onto the
+//!   worker with the smallest *normalized* finish time (uses measured
+//!   throughputs),
+//! * [`Policy::Stealing`] — no plan at all; workers self-schedule from a
+//!   shared queue at runtime ([`run_dynamic`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Load-balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Round-robin, throughput-oblivious.
+    Static,
+    /// Throughput-weighted LPT greedy.
+    Weighted,
+    /// Dynamic self-scheduling from a shared queue.
+    Stealing,
+}
+
+impl Policy {
+    /// All policies, for comparison sweeps.
+    pub const ALL: [Policy; 3] = [Policy::Static, Policy::Weighted, Policy::Stealing];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::Weighted => "weighted",
+            Policy::Stealing => "stealing",
+        }
+    }
+}
+
+/// Round-robin assignment of `ntiles` tiles over `nworkers` workers.
+pub fn plan_static(ntiles: usize, nworkers: usize) -> Vec<Vec<usize>> {
+    assert!(nworkers > 0);
+    let mut plan = vec![Vec::new(); nworkers];
+    for t in 0..ntiles {
+        plan[t % nworkers].push(t);
+    }
+    plan
+}
+
+/// Throughput-weighted longest-processing-time greedy: tiles are assigned
+/// in descending cost order to the worker whose finish time
+/// `(load + cost) / speed` would be smallest.
+pub fn plan_weighted(costs: &[f64], speeds: &[f64]) -> Vec<Vec<usize>> {
+    assert!(!speeds.is_empty());
+    assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap());
+    let mut plan = vec![Vec::new(); speeds.len()];
+    let mut load = vec![0.0f64; speeds.len()];
+    for t in order {
+        let (w, _) = load
+            .iter()
+            .enumerate()
+            .map(|(w, &l)| (w, (l + costs[t]) / speeds[w]))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        plan[w].push(t);
+        load[w] += costs[t];
+    }
+    plan
+}
+
+/// Predicted makespan of a plan: `max_w (Σ costs of w's tiles) / speed_w`.
+pub fn predicted_makespan(plan: &[Vec<usize>], costs: &[f64], speeds: &[f64]) -> f64 {
+    plan.iter()
+        .zip(speeds)
+        .map(|(tiles, &s)| tiles.iter().map(|&t| costs[t]).sum::<f64>() / s)
+        .fold(0.0, f64::max)
+}
+
+/// Execute `ntiles` tiles dynamically: each worker closure runs on its own
+/// thread and claims tiles from a shared counter until exhaustion
+/// (self-scheduling — the [`Policy::Stealing`] runtime). Returns the
+/// number of tiles each worker processed.
+pub fn run_dynamic(workers: Vec<Box<dyn Fn(usize) + Send>>, ntiles: usize) -> Vec<usize> {
+    let cursor = AtomicUsize::new(0);
+    let counts: Vec<AtomicUsize> = workers.iter().map(|_| AtomicUsize::new(0)).collect();
+    std::thread::scope(|s| {
+        for (w, worker) in workers.into_iter().enumerate() {
+            let cursor = &cursor;
+            let counts = &counts;
+            s.spawn(move || loop {
+                let t = cursor.fetch_add(1, Ordering::Relaxed);
+                if t >= ntiles {
+                    break;
+                }
+                worker(t);
+                counts[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    counts.into_iter().map(|c| c.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn static_plan_is_balanced_in_counts() {
+        let plan = plan_static(10, 3);
+        let counts: Vec<usize> = plan.iter().map(Vec::len).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn static_plan_covers_all_tiles_once() {
+        let plan = plan_static(17, 4);
+        let mut seen = vec![false; 17];
+        for tiles in &plan {
+            for &t in tiles {
+                assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn weighted_plan_respects_speeds() {
+        // Worker 1 is 3x faster; with uniform costs it should get ~3x the
+        // tiles.
+        let costs = vec![1.0; 40];
+        let plan = plan_weighted(&costs, &[1.0, 3.0]);
+        let (a, b) = (plan[0].len(), plan[1].len());
+        assert_eq!(a + b, 40);
+        assert!(b > 2 * a, "fast worker got {b}, slow got {a}");
+    }
+
+    #[test]
+    fn weighted_beats_static_under_heterogeneity() {
+        let costs = vec![1.0; 64];
+        let speeds = [1.0, 1.0, 8.0];
+        let m_static = predicted_makespan(&plan_static(64, 3), &costs, &speeds);
+        let m_weighted = predicted_makespan(&plan_weighted(&costs, &speeds), &costs, &speeds);
+        assert!(
+            m_weighted < 0.5 * m_static,
+            "weighted {m_weighted} vs static {m_static}"
+        );
+    }
+
+    #[test]
+    fn weighted_handles_nonuniform_costs() {
+        let costs = [10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let speeds = [1.0, 1.0];
+        let plan = plan_weighted(&costs, &speeds);
+        let m = predicted_makespan(&plan, &costs, &speeds);
+        // LPT achieves the optimum here: 10 on one worker, 9x1 on the other.
+        assert!((m - 10.0).abs() < 1e-12, "makespan {m}");
+    }
+
+    #[test]
+    fn run_dynamic_processes_every_tile() {
+        let n = 500;
+        let hits: std::sync::Arc<Vec<AtomicU64>> =
+            std::sync::Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let mk = |h: std::sync::Arc<Vec<AtomicU64>>| -> Box<dyn Fn(usize) + Send> {
+            Box::new(move |t| {
+                h[t].fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let counts = run_dynamic(vec![mk(hits.clone()), mk(hits.clone()), mk(hits.clone())], n);
+        assert_eq!(counts.iter().sum::<usize>(), n);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_dynamic_adapts_to_slow_workers() {
+        // One worker sleeps per tile; the fast worker should claim the
+        // lion's share without any planning.
+        let n = 60;
+        let slow: Box<dyn Fn(usize) + Send> =
+            Box::new(|_| std::thread::sleep(std::time::Duration::from_millis(3)));
+        let fast: Box<dyn Fn(usize) + Send> = Box::new(|_| {});
+        let counts = run_dynamic(vec![slow, fast], n);
+        assert_eq!(counts.iter().sum::<usize>(), n);
+        assert!(
+            counts[1] > counts[0] * 3,
+            "fast {} vs slow {}",
+            counts[1],
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn empty_tiles_ok() {
+        assert_eq!(plan_static(0, 2), vec![Vec::<usize>::new(), Vec::new()]);
+        let counts = run_dynamic(vec![Box::new(|_| {})], 0);
+        assert_eq!(counts, vec![0]);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Policy::Static.name(), "static");
+        assert_eq!(Policy::ALL.len(), 3);
+    }
+}

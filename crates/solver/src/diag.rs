@@ -1,0 +1,132 @@
+//! Diagnostics: error norms, conservation audits, flow extrema.
+
+use crate::problems::ExactFn;
+use crate::scheme::{prim_at, recover_prims, Scheme, SolverError};
+use rhrsc_grid::Field;
+use rhrsc_srhd::NCOMP;
+
+/// L1 norm of the density error against an exact solution at time `t`:
+/// `Σ |ρ_i − ρ_exact(x_i)| Δx / |domain|` (the standard HRSC accuracy
+/// metric). Returns the primitive field as a by-product.
+pub fn l1_density_error(
+    scheme: &Scheme,
+    u: &Field,
+    exact: &ExactFn,
+    t: f64,
+) -> Result<(f64, Field), SolverError> {
+    let geom = *u.geom();
+    let mut prim = Field::new(geom, 5);
+    recover_prims(scheme, u, &mut prim)?;
+    let mut l1 = 0.0;
+    for (i, j, k) in geom.interior_iter() {
+        let w = prim_at(&prim, i, j, k);
+        let ex = exact(geom.center(i, j, k), t);
+        l1 += (w.rho - ex.rho).abs();
+    }
+    Ok((l1 / geom.interior_len() as f64, prim))
+}
+
+/// Conserved totals `(∫D, ∫Sx, ∫Sy, ∫Sz, ∫τ)` over the interior.
+pub fn conserved_totals(u: &Field) -> [f64; NCOMP] {
+    let mut out = [0.0; NCOMP];
+    for (c, o) in out.iter_mut().enumerate() {
+        *o = u.interior_integral(c);
+    }
+    out
+}
+
+/// Maximum relative drift between two sets of conserved totals (the
+/// conservation audit; should be at round-off level under periodic BCs).
+pub fn conservation_drift(before: &[f64; NCOMP], after: &[f64; NCOMP]) -> f64 {
+    before
+        .iter()
+        .zip(after)
+        .map(|(&b, &a)| (a - b).abs() / b.abs().max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// Maximum Lorentz factor over the interior of a primitive field.
+pub fn max_lorentz(prim: &Field) -> f64 {
+    let geom = prim.geom();
+    let mut w_max = 1.0f64;
+    for (i, j, k) in geom.interior_iter() {
+        w_max = w_max.max(prim_at(prim, i, j, k).lorentz());
+    }
+    w_max
+}
+
+/// Observed convergence order from `(resolution, error)` pairs via a
+/// least-squares fit of `log(err) = −p log(n) + c`.
+pub fn observed_order(samples: &[(usize, f64)]) -> f64 {
+    assert!(samples.len() >= 2);
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|&(n, e)| ((n as f64).ln(), e.max(1e-300).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    -slope
+}
+
+/// Kelvin–Helmholtz growth proxy: RMS of the transverse momentum
+/// `S_y` over the interior (grows exponentially during the linear phase).
+pub fn transverse_momentum_rms(u: &Field) -> f64 {
+    let geom = u.geom();
+    let mut sum = 0.0;
+    for (i, j, k) in geom.interior_iter() {
+        let sy = u.at(2, i, j, k);
+        sum += sy * sy;
+    }
+    (sum / geom.interior_len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::Problem;
+    use crate::scheme::init_cons;
+
+    #[test]
+    fn l1_error_zero_against_own_ic() {
+        let prob = Problem::sod();
+        let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+        let geom = rhrsc_grid::PatchGeom::line(64, 0.0, 1.0, 3);
+        let u = init_cons(geom, &prob.eos, &|x| (prob.ic)(x));
+        let exact = prob.exact.clone().unwrap();
+        let (l1, _) = l1_density_error(&scheme, &u, &exact, 0.0).unwrap();
+        assert!(l1 < 1e-12, "L1 against t=0 exact: {l1}");
+    }
+
+    #[test]
+    fn observed_order_recovers_synthetic_slope() {
+        let samples: Vec<(usize, f64)> = [32usize, 64, 128, 256]
+            .iter()
+            .map(|&n| (n, 100.0 * (n as f64).powf(-2.5)))
+            .collect();
+        let p = observed_order(&samples);
+        assert!((p - 2.5).abs() < 1e-10, "order {p}");
+    }
+
+    #[test]
+    fn conservation_drift_detects_change() {
+        let a = [1.0, 0.0, 0.0, 0.0, 2.0];
+        let mut b = a;
+        assert_eq!(conservation_drift(&a, &b), 0.0);
+        b[0] += 1e-3;
+        assert!((conservation_drift(&a, &b) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_lorentz_of_static_field_is_one() {
+        let geom = rhrsc_grid::PatchGeom::line(8, 0.0, 1.0, 2);
+        let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+        let u = init_cons(geom, &scheme.eos, &|_| rhrsc_srhd::Prim::at_rest(1.0, 1.0));
+        let mut prim = Field::new(geom, 5);
+        recover_prims(&scheme, &u, &mut prim).unwrap();
+        assert!((max_lorentz(&prim) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,773 @@
+//! Distributed heterogeneous driver.
+//!
+//! Each rank owns one block of a Cartesian decomposition of the global
+//! grid. A step comprises a Δt allreduce, per-stage halo exchanges and
+//! residual evaluation, in one of two modes:
+//!
+//! * **bulk-synchronous** — exchange every halo, then compute the full
+//!   residual (the classic MPI pattern),
+//! * **futurized overlap** — post all halo sends eagerly, compute the
+//!   *deep* residual region (whose stencils never read ghosts) while the
+//!   messages are in flight, then receive halos and finish the boundary
+//!   shell. Against the latency-modeling network of [`rhrsc_comm`] this
+//!   genuinely hides communication time (experiment F7).
+//!
+//! Corner ghost zones are never exchanged: the dimension-by-dimension
+//! sweeps read only face ghosts, which keeps both modes to `2·ndim`
+//! messages per stage and makes them bit-identical to the serial solver.
+
+use crate::integrate::RkOrder;
+use crate::scheme::{
+    init_cons, max_dt, recover_cell, recover_prims, Scheme, SolverError,
+};
+use crate::step::{accumulate_rhs_region, Region};
+use rhrsc_comm::Rank;
+use rhrsc_grid::{fill_face, BcSet, CartDecomp, Field, PatchGeom};
+use rhrsc_runtime::WorkStealingPool;
+use rhrsc_srhd::{Prim, NCOMP};
+use std::time::{Duration, Instant};
+
+/// Halo-exchange strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeMode {
+    /// Exchange all halos, then compute.
+    BulkSynchronous,
+    /// Post sends, compute the deep interior, then receive and finish.
+    Overlap,
+}
+
+impl ExchangeMode {
+    /// Display name for benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExchangeMode::BulkSynchronous => "bulk-sync",
+            ExchangeMode::Overlap => "overlap",
+        }
+    }
+}
+
+/// Configuration of a distributed run.
+#[derive(Clone)]
+pub struct DistConfig {
+    /// Numerical scheme.
+    pub scheme: Scheme,
+    /// Runge–Kutta order.
+    pub rk: RkOrder,
+    /// Global grid extent.
+    pub global_n: [usize; 3],
+    /// Physical domain bounds.
+    pub domain: ([f64; 3], [f64; 3]),
+    /// Process grid.
+    pub decomp: CartDecomp,
+    /// Physical boundary conditions (periodic faces must match
+    /// `decomp.periodic`).
+    pub bcs: BcSet,
+    /// CFL number.
+    pub cfl: f64,
+    /// Halo-exchange strategy.
+    pub mode: ExchangeMode,
+    /// Within-rank gang threads (0 = serial).
+    pub gang_threads: usize,
+    /// Recompute the global Δt every this many steps (≥ 1). Production
+    /// codes amortize the Δt allreduce over several steps with a safety
+    /// factor; between refreshes the cached Δt is scaled by 0.9.
+    pub dt_refresh_interval: usize,
+}
+
+impl DistConfig {
+    /// Local patch geometry for `rank`.
+    pub fn local_geom(&self, rank: usize) -> PatchGeom {
+        let (off, size) = self.decomp.local_span(self.global_n, rank);
+        let (lo, hi) = self.domain;
+        let dx = [
+            (hi[0] - lo[0]) / self.global_n[0] as f64,
+            (hi[1] - lo[1]) / self.global_n[1] as f64,
+            (hi[2] - lo[2]) / self.global_n[2] as f64,
+        ];
+        PatchGeom {
+            n: size,
+            ng: self.scheme.required_ghosts(),
+            origin: [
+                lo[0] + off[0] as f64 * dx[0],
+                lo[1] + off[1] as f64 * dx[1],
+                lo[2] + off[2] as f64 * dx[2],
+            ],
+            dx,
+        }
+    }
+}
+
+/// Per-rank statistics of a distributed run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistStats {
+    /// Time steps taken.
+    pub steps: usize,
+    /// Wall-clock time of the advance loop.
+    pub elapsed: Duration,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+    /// Interior zone-updates (cells × stages).
+    pub zone_updates: u64,
+    /// Virtual time elapsed on this rank (virtual-time universes only;
+    /// the run's simulated makespan is the max over ranks).
+    pub vtime: f64,
+}
+
+/// One rank's solver state.
+pub struct BlockSolver {
+    cfg: DistConfig,
+    geom: PatchGeom,
+    my_rank: usize,
+    prim: Field,
+    rhs: Field,
+    u_stage: Field,
+    gang: Option<WorkStealingPool>,
+}
+
+impl BlockSolver {
+    /// Build the solver for `rank`'s block and initialize the conserved
+    /// state from the pointwise IC.
+    pub fn new(cfg: DistConfig, rank: usize, ic: &dyn Fn([f64; 3]) -> Prim) -> (Self, Field) {
+        let geom = cfg.local_geom(rank);
+        let u = init_cons(geom, &cfg.scheme.eos, ic);
+        let gang = (cfg.gang_threads > 0).then(|| WorkStealingPool::new(cfg.gang_threads));
+        (
+            BlockSolver {
+                cfg,
+                geom,
+                my_rank: rank,
+                prim: Field::new(geom, 5),
+                rhs: Field::cons(geom),
+                u_stage: Field::cons(geom),
+                gang,
+            },
+            u,
+        )
+    }
+
+    /// The local patch geometry.
+    pub fn geom(&self) -> &PatchGeom {
+        &self.geom
+    }
+
+    /// Pack the `ng` interior layers adjacent to face (`d`, `side`)
+    /// (transverse interior only — corners are never exchanged).
+    fn pack_face(&self, u: &Field, d: usize, side: usize) -> Vec<f64> {
+        let geom = &self.geom;
+        let ng = geom.ng_of(d);
+        let n = geom.n[d];
+        let range = if side == 0 { ng..2 * ng } else { n..n + ng };
+        let mut buf =
+            Vec::with_capacity(NCOMP * ng * transverse_len(geom, d));
+        for c in 0..NCOMP {
+            for l in range.clone() {
+                for_each_transverse(geom, d, |t1, t2| {
+                    let (i, j, k) = cell_of(d, l, t1, t2);
+                    buf.push(u.at(c, i, j, k));
+                });
+            }
+        }
+        buf
+    }
+
+    /// Unpack a received halo into the ghost layers of face (`d`, `side`).
+    fn unpack_face(&self, u: &mut Field, d: usize, side: usize, buf: &[f64]) {
+        let geom = &self.geom;
+        let ng = geom.ng_of(d);
+        let n = geom.n[d];
+        let range = if side == 0 { 0..ng } else { ng + n..2 * ng + n };
+        let mut it = buf.iter();
+        for c in 0..NCOMP {
+            for l in range.clone() {
+                for_each_transverse(geom, d, |t1, t2| {
+                    let (i, j, k) = cell_of(d, l, t1, t2);
+                    u.set(c, i, j, k, *it.next().expect("halo buffer too short"));
+                });
+            }
+        }
+        assert!(it.next().is_none(), "halo buffer too long");
+    }
+
+    /// Post all halo sends for the current state.
+    fn post_sends(&self, rank: &mut Rank, u: &Field) {
+        for d in 0..3 {
+            if !self.geom.active(d) || self.cfg.decomp.dims[d] == 1 {
+                continue;
+            }
+            for side in 0..2 {
+                if let Some(nb) = self.cfg.decomp.neighbor(self.my_rank, d, side) {
+                    if nb == self.my_rank {
+                        continue; // handled as local periodic wrap
+                    }
+                    let buf = rank.work(|| self.pack_face(u, d, side));
+                    rank.send(nb, (d * 2 + side) as u64, &buf);
+                }
+            }
+        }
+    }
+
+    /// Receive all halos and fill physical faces.
+    fn recv_halos(&self, rank: &mut Rank, u: &mut Field) {
+        for d in 0..3 {
+            if !self.geom.active(d) {
+                continue;
+            }
+            for side in 0..2 {
+                let nb = if self.cfg.decomp.dims[d] == 1 {
+                    None
+                } else {
+                    self.cfg.decomp.neighbor(self.my_rank, d, side)
+                };
+                match nb {
+                    Some(nb) if nb != self.my_rank => {
+                        // Neighbor's opposite face arrives tagged with its
+                        // (d, 1-side).
+                        let buf = rank.recv(nb, (d * 2 + (1 - side)) as u64);
+                        rank.work(|| self.unpack_face(u, d, side, &buf));
+                    }
+                    _ => {
+                        // Physical boundary, or periodic self-wrap when the
+                        // rank owns the whole dimension.
+                        rank.work(|| fill_face(u, d, side, self.cfg.bcs[d][side]));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recover primitives over the ghost-face slabs only (after halos
+    /// arrive in overlap mode; the interior was recovered earlier).
+    fn recover_ghost_faces(&mut self, u: &Field) -> Result<(), SolverError> {
+        let geom = self.geom;
+        for d in 0..3 {
+            let ng = geom.ng_of(d);
+            if ng == 0 {
+                continue;
+            }
+            let n = geom.n[d];
+            for side in 0..2 {
+                let range = if side == 0 { 0..ng } else { ng + n..2 * ng + n };
+                for l in range {
+                    let mut err = None;
+                    for_each_transverse(&geom, d, |t1, t2| {
+                        if err.is_some() {
+                            return;
+                        }
+                        let (i, j, k) = cell_of(d, l, t1, t2);
+                        if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k)
+                        {
+                            err = Some(e);
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover primitives over interior cells only.
+    fn recover_interior(&mut self, u: &Field) -> Result<(), SolverError> {
+        let geom = self.geom;
+        let mut err = None;
+        for (i, j, k) in geom.interior_iter() {
+            if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k) {
+                err = Some(e);
+                break;
+            }
+        }
+        err.map_or(Ok(()), Err)
+    }
+
+    /// One residual evaluation with halo exchange, honoring the mode.
+    fn eval_rhs(&mut self, rank: &mut Rank, u: &mut Field) -> Result<(), SolverError> {
+        self.rhs.raw_mut().fill(0.0);
+        match self.cfg.mode {
+            ExchangeMode::BulkSynchronous => {
+                self.post_sends(rank, u);
+                self.recv_halos(rank, u);
+                let scheme = self.cfg.scheme;
+                let geom = self.geom;
+                rank.work(|| -> Result<(), SolverError> {
+                    recover_prims(&scheme, u, &mut self.prim)?;
+                    let region = Region::interior(&geom);
+                    accumulate_rhs_region(
+                        &scheme,
+                        &self.prim,
+                        &mut self.rhs,
+                        &region,
+                        self.gang.as_ref(),
+                    );
+                    Ok(())
+                })?;
+            }
+            ExchangeMode::Overlap => {
+                self.post_sends(rank, u);
+                let scheme = self.cfg.scheme;
+                let depth = scheme.required_ghosts();
+                let (deep, shells) = Region::split_deep_shell(&self.geom, depth);
+                rank.work(|| -> Result<(), SolverError> {
+                    self.recover_interior(u)?;
+                    accumulate_rhs_region(
+                        &scheme,
+                        &self.prim,
+                        &mut self.rhs,
+                        &deep,
+                        self.gang.as_ref(),
+                    );
+                    Ok(())
+                })?;
+                self.recv_halos(rank, u);
+                rank.work(|| -> Result<(), SolverError> {
+                    self.recover_ghost_faces(u)?;
+                    for sh in &shells {
+                        accumulate_rhs_region(
+                            &scheme,
+                            &self.prim,
+                            &mut self.rhs,
+                            sh,
+                            self.gang.as_ref(),
+                        );
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One RK step of size `dt`.
+    pub fn step(&mut self, rank: &mut Rank, u: &mut Field, dt: f64) -> Result<(), SolverError> {
+        match self.cfg.rk {
+            RkOrder::Rk1 => {
+                self.eval_rhs(rank, u)?;
+                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+            }
+            RkOrder::Rk2 => {
+                self.u_stage.raw_mut().copy_from_slice(u.raw());
+                self.eval_rhs(rank, u)?;
+                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.eval_rhs(rank, u)?;
+                rank.work(|| lincomb(u, 0.5, Some((&self.u_stage, 0.5)), &self.rhs, 0.5 * dt));
+            }
+            RkOrder::Rk3 => {
+                self.u_stage.raw_mut().copy_from_slice(u.raw());
+                self.eval_rhs(rank, u)?;
+                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.eval_rhs(rank, u)?;
+                rank.work(|| {
+                    lincomb(u, 0.25, Some((&self.u_stage, 0.75)), &self.rhs, 0.25 * dt)
+                });
+                self.eval_rhs(rank, u)?;
+                rank.work(|| {
+                    lincomb(
+                        u,
+                        2.0 / 3.0,
+                        Some((&self.u_stage, 1.0 / 3.0)),
+                        &self.rhs,
+                        2.0 / 3.0 * dt,
+                    )
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Globally stable Δt: local CFL bound reduced with allreduce-min.
+    pub fn stable_dt(&mut self, rank: &mut Rank, u: &mut Field) -> Result<f64, SolverError> {
+        // Local primitives on the interior suffice for the CFL bound.
+        let local = rank.work(|| -> Result<f64, SolverError> {
+            self.recover_interior(u)?;
+            Ok(max_dt(&self.cfg.scheme, &self.prim, self.cfg.cfl))
+        })?;
+        Ok(rank.allreduce_min(local))
+    }
+
+    /// Advance a fixed number of steps (each at the CFL-stable Δt);
+    /// used by the scaling experiments, where a fixed step count keeps
+    /// the work comparable across configurations.
+    pub fn advance_steps(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        nsteps: usize,
+    ) -> Result<DistStats, SolverError> {
+        let start = Instant::now();
+        let bytes0 = rank.bytes_sent();
+        let vtime0 = rank.vtime();
+        let mut stats = DistStats::default();
+        let refresh = self.cfg.dt_refresh_interval.max(1);
+        let mut dt_cached = 0.0;
+        for step in 0..nsteps {
+            let dt = if step % refresh == 0 {
+                dt_cached = self.stable_dt(rank, u)?;
+                dt_cached
+            } else {
+                // Safety margin while coasting on the cached value.
+                0.9 * dt_cached
+            };
+            // Negated form deliberately catches NaN as a collapse.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(dt > 1e-14) {
+                return Err(SolverError::TimestepCollapse { dt });
+            }
+            self.step(rank, u, dt)?;
+            stats.steps += 1;
+            stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
+        }
+        stats.elapsed = start.elapsed();
+        stats.bytes_sent = rank.bytes_sent() - bytes0;
+        stats.vtime = rank.vtime() - vtime0;
+        Ok(stats)
+    }
+
+    /// Advance to `t_end`; returns final state statistics.
+    pub fn advance_to(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        t0: f64,
+        t_end: f64,
+    ) -> Result<DistStats, SolverError> {
+        let start = Instant::now();
+        let bytes0 = rank.bytes_sent();
+        let vtime0 = rank.vtime();
+        let mut t = t0;
+        let mut stats = DistStats::default();
+        while t < t_end - 1e-14 {
+            let mut dt = self.stable_dt(rank, u)?;
+            // Negated form deliberately catches NaN as a collapse.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(dt > 1e-14) {
+                return Err(SolverError::TimestepCollapse { dt });
+            }
+            if t + dt > t_end {
+                dt = t_end - t;
+            }
+            self.step(rank, u, dt)?;
+            t += dt;
+            stats.steps += 1;
+            stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
+        }
+        stats.elapsed = start.elapsed();
+        stats.bytes_sent = rank.bytes_sent() - bytes0;
+        stats.vtime = rank.vtime() - vtime0;
+        Ok(stats)
+    }
+}
+
+/// `u[int] = b*u0[int] + a*u[int] + c*r[int]`, with the summation order
+/// chosen to match [`crate::integrate`]'s serial combiner exactly —
+/// floating-point addition is not associative, and the distributed solver
+/// guarantees bit-identity with the serial one.
+fn lincomb(u: &mut Field, a: f64, u0: Option<(&Field, f64)>, r: &Field, c: f64) {
+    let geom = *u.geom();
+    for (i, j, k) in geom.interior_iter() {
+        let v = match u0 {
+            Some((f0, b)) => {
+                f0.get_cons(i, j, k) * b + u.get_cons(i, j, k) * a + r.get_cons(i, j, k) * c
+            }
+            None => u.get_cons(i, j, k) * a + r.get_cons(i, j, k) * c,
+        };
+        u.set_cons(i, j, k, v);
+    }
+}
+
+fn transverse_len(geom: &PatchGeom, d: usize) -> usize {
+    let (a, b) = transverse_dims(d);
+    geom.n[a] * geom.n[b]
+}
+
+fn transverse_dims(d: usize) -> (usize, usize) {
+    match d {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+/// Iterate the *interior* transverse coordinates of dimension `d`,
+/// yielding ghost-inclusive `(t1, t2)` with `t1` the lower transverse dim.
+fn for_each_transverse(geom: &PatchGeom, d: usize, mut f: impl FnMut(usize, usize)) {
+    let (a, b) = transverse_dims(d);
+    let (ga, gb) = (geom.ng_of(a), geom.ng_of(b));
+    for t2 in 0..geom.n[b] {
+        for t1 in 0..geom.n[a] {
+            f(t1 + ga, t2 + gb);
+        }
+    }
+}
+
+fn cell_of(d: usize, l: usize, t1: usize, t2: usize) -> (usize, usize, usize) {
+    match d {
+        0 => (l, t1, t2),
+        1 => (t1, l, t2),
+        _ => (t1, t2, l),
+    }
+}
+
+/// Gather the interior of every rank's block onto rank 0 as a global,
+/// ghost-free field (for validation and output). Other ranks get `None`.
+pub fn gather_global(
+    rank: &mut Rank,
+    cfg: &DistConfig,
+    local: &Field,
+) -> Option<Field> {
+    const GATHER_TAG: u64 = 1000;
+    let geom = cfg.local_geom(rank.rank());
+    // Flatten the interior, component-major.
+    let mut buf = Vec::with_capacity(NCOMP * geom.interior_len());
+    for c in 0..NCOMP {
+        for (i, j, k) in geom.interior_iter() {
+            buf.push(local.at(c, i, j, k));
+        }
+    }
+    if rank.rank() != 0 {
+        rank.send(0, GATHER_TAG, &buf);
+        return None;
+    }
+    let (lo, hi) = cfg.domain;
+    let global_geom = PatchGeom {
+        n: cfg.global_n,
+        ng: 0,
+        origin: lo,
+        dx: [
+            (hi[0] - lo[0]) / cfg.global_n[0] as f64,
+            (hi[1] - lo[1]) / cfg.global_n[1] as f64,
+            (hi[2] - lo[2]) / cfg.global_n[2] as f64,
+        ],
+    };
+    let mut global = Field::cons(global_geom);
+    let mut place = |r: usize, buf: &[f64]| {
+        let (off, size) = cfg.decomp.local_span(cfg.global_n, r);
+        let mut it = buf.iter();
+        for c in 0..NCOMP {
+            for k in 0..size[2] {
+                for j in 0..size[1] {
+                    for i in 0..size[0] {
+                        global.set(c, off[0] + i, off[1] + j, off[2] + k, *it.next().unwrap());
+                    }
+                }
+            }
+        }
+    };
+    place(0, &buf);
+    for r in 1..rank.size() {
+        let rbuf = rank.recv(r, GATHER_TAG);
+        place(r, &rbuf);
+    }
+    Some(global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::PatchSolver;
+    use crate::problems::Problem;
+    use rhrsc_comm::{run, NetworkModel};
+    use rhrsc_grid::{bc, Bc};
+
+    fn sod_cfg(nranks: usize, mode: ExchangeMode) -> DistConfig {
+        DistConfig {
+            scheme: Scheme::default_with_gamma(5.0 / 3.0),
+            rk: RkOrder::Rk3,
+            global_n: [128, 1, 1],
+            domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+            decomp: CartDecomp::line(nranks, false),
+            bcs: bc::uniform(Bc::Outflow),
+            cfl: 0.4,
+            mode,
+            gang_threads: 0,
+            dt_refresh_interval: 1,
+        }
+    }
+
+    /// Serial reference: the same problem on one patch with PatchSolver.
+    fn serial_reference(cfg: &DistConfig, ic: &dyn Fn([f64; 3]) -> Prim, t_end: f64) -> Field {
+        let geom = PatchGeom {
+            n: cfg.global_n,
+            ng: cfg.scheme.required_ghosts(),
+            origin: cfg.domain.0,
+            dx: cfg.local_geom(0).dx,
+        };
+        let mut u = init_cons(geom, &cfg.scheme.eos, ic);
+        let mut solver = PatchSolver::new(cfg.scheme, cfg.bcs, cfg.rk, geom);
+        solver.advance_to(&mut u, 0.0, t_end, cfg.cfl, None).unwrap();
+        u
+    }
+
+    fn distributed_global(
+        cfg: &DistConfig,
+        ic: impl Fn([f64; 3]) -> Prim + Send + Sync + Copy,
+        t_end: f64,
+    ) -> Field {
+        let outs = run(cfg.decomp.nranks(), NetworkModel::ideal(), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.advance_to(rank, &mut u, 0.0, t_end).unwrap();
+            gather_global(rank, cfg, &u)
+        });
+        outs.into_iter().next().unwrap().unwrap()
+    }
+
+    fn interior_of(global_like: &Field, reference: &Field) -> f64 {
+        // Max abs difference between a gathered (ghost-free) field and the
+        // interior of a ghosted reference.
+        let g = reference.geom();
+        let mut m = 0.0f64;
+        for c in 0..NCOMP {
+            for k in 0..g.n[2] {
+                for j in 0..g.n[1] {
+                    for i in 0..g.n[0] {
+                        let a = global_like.at(c, i, j, k);
+                        let b = reference.at(
+                            c,
+                            i + g.ng_of(0),
+                            j + g.ng_of(1),
+                            k + g.ng_of(2),
+                        );
+                        m = m.max((a - b).abs());
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn distributed_sod_matches_serial_bitwise_bulk_sync() {
+        let cfg = sod_cfg(4, ExchangeMode::BulkSynchronous);
+        let prob = Problem::sod();
+        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let _ = prob;
+        let reference = serial_reference(&cfg, &ic, 0.2);
+        let global = distributed_global(&cfg, ic, 0.2);
+        assert_eq!(interior_of(&global, &reference), 0.0);
+    }
+
+    #[test]
+    fn distributed_sod_matches_serial_bitwise_overlap() {
+        let cfg = sod_cfg(3, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let reference = serial_reference(&cfg, &ic, 0.2);
+        let global = distributed_global(&cfg, ic, 0.2);
+        assert_eq!(interior_of(&global, &reference), 0.0);
+    }
+
+    #[test]
+    fn periodic_2d_distributed_matches_serial() {
+        let cfg = DistConfig {
+            scheme: Scheme::default_with_gamma(5.0 / 3.0),
+            rk: RkOrder::Rk2,
+            global_n: [32, 32, 1],
+            domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+            decomp: CartDecomp {
+                dims: [2, 2, 1],
+                periodic: [true, true, false],
+            },
+            bcs: bc::uniform(Bc::Periodic),
+            cfl: 0.4,
+            mode: ExchangeMode::Overlap,
+            gang_threads: 0,
+            dt_refresh_interval: 1,
+        };
+        let ic = |x: [f64; 3]| Prim {
+            rho: 1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin()
+                * (2.0 * std::f64::consts::PI * x[1]).cos(),
+            vel: [0.4, -0.3, 0.0],
+            p: 1.0,
+        };
+        let reference = serial_reference(&cfg, &ic, 0.1);
+        let global = distributed_global(&cfg, ic, 0.1);
+        assert_eq!(interior_of(&global, &reference), 0.0);
+    }
+
+    #[test]
+    fn overlap_with_latency_still_correct() {
+        let cfg = sod_cfg(4, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let reference = serial_reference(&cfg, &ic, 0.05);
+        let outs = run(4, NetworkModel::with_latency(Duration::from_micros(200)), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
+            gather_global(rank, &cfg, &u)
+        });
+        let global = outs.into_iter().next().unwrap().unwrap();
+        assert_eq!(interior_of(&global, &reference), 0.0);
+    }
+
+    #[test]
+    fn gang_threads_do_not_change_results() {
+        let mut cfg = sod_cfg(2, ExchangeMode::BulkSynchronous);
+        cfg.gang_threads = 3;
+        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let reference = serial_reference(&cfg, &ic, 0.1);
+        let global = distributed_global(&cfg, ic, 0.1);
+        assert_eq!(interior_of(&global, &reference), 0.0);
+    }
+
+    #[test]
+    fn virtual_time_mode_identical_results_and_decreasing_makespan() {
+        // Virtual-time universes must not change the numbers, and the
+        // simulated makespan must shrink as ranks are added (strong
+        // scaling shape, even on a single-core host).
+        let ic = |x: [f64; 3]| Prim {
+            rho: 1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+            vel: [0.4, 0.0, 0.0],
+            p: 1.0,
+        };
+        let make_cfg = |p: usize| DistConfig {
+            scheme: Scheme::default_with_gamma(5.0 / 3.0),
+            rk: RkOrder::Rk2,
+            global_n: [256, 1, 1],
+            domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+            decomp: CartDecomp::line(p, true),
+            bcs: bc::uniform(Bc::Periodic),
+            cfl: 0.4,
+            mode: ExchangeMode::BulkSynchronous,
+            gang_threads: 0,
+            dt_refresh_interval: 1,
+        };
+        let model = NetworkModel::virtual_cluster(Duration::from_micros(1), 10e9);
+        let mut makespans = Vec::new();
+        let mut fields = Vec::new();
+        for p in [1usize, 4] {
+            let cfg = make_cfg(p);
+            let outs = run(p, model, |rank| {
+                let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+                let st = solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
+                (st, gather_global(rank, &cfg, &u))
+            });
+            let makespan = outs.iter().map(|(st, _)| st.vtime).fold(0.0, f64::max);
+            makespans.push(makespan);
+            fields.push(outs.into_iter().next().unwrap().1.unwrap());
+        }
+        assert_eq!(
+            fields[0].raw(),
+            fields[1].raw(),
+            "virtual time must not change results"
+        );
+        assert!(
+            makespans[1] < 0.7 * makespans[0],
+            "4-rank virtual makespan {} vs 1-rank {}",
+            makespans[1],
+            makespans[0]
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let cfg = sod_cfg(2, ExchangeMode::BulkSynchronous);
+        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let outs = run(2, NetworkModel::ideal(), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap()
+        });
+        for st in &outs {
+            assert!(st.steps > 0);
+            assert!(st.bytes_sent > 0, "halos must move bytes");
+            assert!(st.zone_updates > 0);
+        }
+    }
+}

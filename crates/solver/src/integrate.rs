@@ -1,0 +1,364 @@
+//! SSP Runge–Kutta time integration on a single patch.
+
+use crate::scheme::{
+    apply_conserved_floors, max_dt, recover_prims, recover_prims_par, Scheme, SolverError,
+};
+use crate::step::compute_rhs;
+use rhrsc_grid::{fill_ghosts, BcSet, Field, PatchGeom};
+use rhrsc_runtime::WorkStealingPool;
+
+/// Strong-stability-preserving Runge–Kutta order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RkOrder {
+    /// Forward Euler.
+    Rk1,
+    /// Two-stage SSP-RK2 (Heun).
+    Rk2,
+    /// Three-stage SSP-RK3 (Shu–Osher).
+    Rk3,
+}
+
+impl RkOrder {
+    /// All orders, for convergence sweeps.
+    pub const ALL: [RkOrder; 3] = [RkOrder::Rk1, RkOrder::Rk2, RkOrder::Rk3];
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        match self {
+            RkOrder::Rk1 => 1,
+            RkOrder::Rk2 => 2,
+            RkOrder::Rk3 => 3,
+        }
+    }
+}
+
+/// Statistics accumulated while advancing a patch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Time steps taken.
+    pub steps: usize,
+    /// RK stages evaluated.
+    pub stages: usize,
+    /// Interior zone-updates performed (cells × stages).
+    pub zone_updates: u64,
+    /// Cells touched by the conserved-variable limiter (0 in healthy
+    /// runs; nonzero near vacuum cores).
+    pub floored_cells: u64,
+}
+
+/// Serial/gang single-patch integrator with owned scratch storage.
+pub struct PatchSolver {
+    /// Numerical scheme.
+    pub scheme: Scheme,
+    /// Physical boundary conditions.
+    pub bcs: BcSet,
+    /// Runge–Kutta order.
+    pub rk: RkOrder,
+    prim: Field,
+    rhs: Field,
+    u_stage: Field,
+    stats: StepStats,
+}
+
+impl PatchSolver {
+    /// Create a solver for patches with geometry `geom`.
+    pub fn new(scheme: Scheme, bcs: BcSet, rk: RkOrder, geom: PatchGeom) -> Self {
+        assert!(
+            geom.ng >= scheme.required_ghosts(),
+            "geometry has {} ghosts, scheme needs {}",
+            geom.ng,
+            scheme.required_ghosts()
+        );
+        PatchSolver {
+            scheme,
+            bcs,
+            rk,
+            prim: Field::new(geom, 5),
+            rhs: Field::cons(geom),
+            u_stage: Field::cons(geom),
+            stats: StepStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> StepStats {
+        self.stats
+    }
+
+    /// Largest stable Δt for the current state at `cfl`.
+    pub fn stable_dt(&mut self, u: &mut Field, cfl: f64) -> Result<f64, SolverError> {
+        fill_ghosts(u, &self.bcs);
+        recover_prims(&self.scheme, u, &mut self.prim)?;
+        Ok(max_dt(&self.scheme, &self.prim, cfl))
+    }
+
+    /// Evaluate `rhs = L(u)` (ghost fill + recovery + residual).
+    fn eval_rhs(
+        &mut self,
+        u: &mut Field,
+        pool: Option<&WorkStealingPool>,
+    ) -> Result<(), SolverError> {
+        fill_ghosts(u, &self.bcs);
+        recover_prims_par(&self.scheme, u, &mut self.prim, pool)?;
+        compute_rhs(&self.scheme, &self.prim, &mut self.rhs, pool);
+        self.stats.stages += 1;
+        self.stats.zone_updates += u.geom().interior_len() as u64;
+        Ok(())
+    }
+
+    /// Advance `u` by one step of size `dt`.
+    pub fn step(
+        &mut self,
+        u: &mut Field,
+        dt: f64,
+        pool: Option<&WorkStealingPool>,
+    ) -> Result<(), SolverError> {
+        match self.rk {
+            RkOrder::Rk1 => {
+                self.eval_rhs(u, pool)?;
+                axpy_interior(u, 1.0, &self.rhs, dt);
+                self.stats.floored_cells += apply_conserved_floors(u, &self.scheme.c2p) as u64;
+            }
+            RkOrder::Rk2 => {
+                // u1 = u0 + dt L(u0); u = 1/2 u0 + 1/2 (u1 + dt L(u1)).
+                self.u_stage.raw_mut().copy_from_slice(u.raw());
+                self.eval_rhs(u, pool)?;
+                axpy_interior(u, 1.0, &self.rhs, dt);
+                self.stats.floored_cells += apply_conserved_floors(u, &self.scheme.c2p) as u64;
+                self.eval_rhs(u, pool)?;
+                combine_interior(u, 0.5, &self.u_stage, 0.5, &self.rhs, 0.5 * dt);
+                self.stats.floored_cells += apply_conserved_floors(u, &self.scheme.c2p) as u64;
+            }
+            RkOrder::Rk3 => {
+                // Shu–Osher SSP-RK3.
+                self.u_stage.raw_mut().copy_from_slice(u.raw());
+                self.eval_rhs(u, pool)?;
+                // u <- u0 + dt L(u0)
+                axpy_interior(u, 1.0, &self.rhs, dt);
+                self.stats.floored_cells += apply_conserved_floors(u, &self.scheme.c2p) as u64;
+                self.eval_rhs(u, pool)?;
+                // u <- 3/4 u0 + 1/4 (u + dt L(u))
+                combine_interior(u, 0.25, &self.u_stage, 0.75, &self.rhs, 0.25 * dt);
+                self.stats.floored_cells += apply_conserved_floors(u, &self.scheme.c2p) as u64;
+                self.eval_rhs(u, pool)?;
+                // u <- 1/3 u0 + 2/3 (u + dt L(u))
+                combine_interior(
+                    u,
+                    2.0 / 3.0,
+                    &self.u_stage,
+                    1.0 / 3.0,
+                    &self.rhs,
+                    2.0 / 3.0 * dt,
+                );
+                self.stats.floored_cells += apply_conserved_floors(u, &self.scheme.c2p) as u64;
+            }
+        }
+        self.stats.steps += 1;
+        Ok(())
+    }
+
+    /// Advance `u` from `t` to `t_end` under CFL control; returns the
+    /// number of steps taken.
+    pub fn advance_to(
+        &mut self,
+        u: &mut Field,
+        t: f64,
+        t_end: f64,
+        cfl: f64,
+        pool: Option<&WorkStealingPool>,
+    ) -> Result<usize, SolverError> {
+        let mut t = t;
+        let mut steps = 0;
+        while t < t_end - 1e-14 {
+            let mut dt = self.stable_dt(u, cfl)?;
+            // Negated form deliberately catches NaN as a collapse.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(dt > 1e-14) {
+                return Err(SolverError::TimestepCollapse { dt });
+            }
+            if t + dt > t_end {
+                dt = t_end - t;
+            }
+            self.step(u, dt, pool)?;
+            t += dt;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+}
+
+/// `u[int] = scale_u * u[int] + k * r[int]` over interior cells.
+fn axpy_interior(u: &mut Field, scale_u: f64, r: &Field, k: f64) {
+    let geom = *u.geom();
+    for (i, j, k3) in geom.interior_iter() {
+        let v = u.get_cons(i, j, k3) * scale_u + r.get_cons(i, j, k3) * k;
+        u.set_cons(i, j, k3, v);
+    }
+}
+
+/// `u[int] = a*u0[int] + b*u[int] + c*r[int]` over interior cells.
+fn combine_interior(u: &mut Field, b: f64, u0: &Field, a: f64, r: &Field, c: f64) {
+    let geom = *u.geom();
+    for (i, j, k3) in geom.interior_iter() {
+        let v = u0.get_cons(i, j, k3) * a + u.get_cons(i, j, k3) * b + r.get_cons(i, j, k3) * c;
+        u.set_cons(i, j, k3, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::init_cons;
+    use rhrsc_grid::{bc::uniform, Bc, PatchGeom};
+    use rhrsc_srhd::{Prim, NCOMP};
+
+    fn scheme() -> Scheme {
+        Scheme::default_with_gamma(5.0 / 3.0)
+    }
+
+    fn advect_ic(x: [f64; 3]) -> Prim {
+        Prim::new_1d(
+            1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+            0.5,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn uniform_state_is_steady() {
+        let s = scheme();
+        let geom = PatchGeom::line(32, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &|_| Prim::new_1d(1.0, 0.4, 2.0));
+        let before = u.clone();
+        let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
+        solver.advance_to(&mut u, 0.0, 0.1, 0.5, None).unwrap();
+        let d = before.interior_l2_distance(&u);
+        assert!(d < 1e-10, "uniform state drifted by {d}");
+    }
+
+    #[test]
+    fn conservation_under_periodic_bcs() {
+        let s = scheme();
+        let geom = PatchGeom::line(64, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &advect_ic);
+        let before: Vec<f64> = (0..NCOMP).map(|c| u.interior_integral(c)).collect();
+        let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
+        solver.advance_to(&mut u, 0.0, 0.5, 0.5, None).unwrap();
+        for c in 0..NCOMP {
+            let after = u.interior_integral(c);
+            assert!(
+                (after - before[c]).abs() < 1e-12 * before[c].abs().max(1.0),
+                "component {c}: {} -> {}",
+                before[c],
+                after
+            );
+        }
+    }
+
+    #[test]
+    fn density_wave_advects_correctly() {
+        // Uniform v, p: exact solution is rho(x - v t). One period later
+        // the profile returns home; measure the L1 error.
+        let s = scheme();
+        let geom = PatchGeom::line(128, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &advect_ic);
+        let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
+        // One full crossing at v=0.5 takes t=2.
+        solver.advance_to(&mut u, 0.0, 2.0, 0.4, None).unwrap();
+        let mut prim = Field::new(geom, 5);
+        recover_prims(&s, &u, &mut prim).unwrap();
+        let mut l1 = 0.0;
+        for (i, j, k) in geom.interior_iter() {
+            let exact = advect_ic(geom.center(i, j, k)).rho;
+            l1 += (prim.at(0, i, j, k) - exact).abs();
+        }
+        l1 /= geom.interior_len() as f64;
+        assert!(l1 < 5e-3, "L1 density error after one period: {l1}");
+    }
+
+    #[test]
+    fn rk_orders_converge_with_resolution() {
+        let s = scheme();
+        let err_at = |rk: RkOrder, n: usize| -> f64 {
+            let geom = PatchGeom::line(n, 0.0, 1.0, 3);
+            let mut u = init_cons(geom, &s.eos, &advect_ic);
+            let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), rk, geom);
+            solver.advance_to(&mut u, 0.0, 0.4, 0.4, None).unwrap();
+            let mut prim = Field::new(geom, 5);
+            recover_prims(&s, &u, &mut prim).unwrap();
+            let mut l1 = 0.0;
+            for (i, j, k) in geom.interior_iter() {
+                let mut x = geom.center(i, j, k);
+                x[0] -= 0.5 * 0.4; // advected by v t
+                l1 += (prim.at(0, i, j, k) - advect_ic(x).rho).abs();
+            }
+            l1 / geom.interior_len() as f64
+        };
+        // RK3+PPM should show at least ~2.5 observed order on this smooth
+        // advection problem (limiter effects at extrema reduce it from 3).
+        let e1 = err_at(RkOrder::Rk3, 64);
+        let e2 = err_at(RkOrder::Rk3, 128);
+        let order = (e1 / e2).log2();
+        assert!(order > 2.0, "observed order {order:.2} (e1={e1:.2e} e2={e2:.2e})");
+        // RK1 is noticeably worse than RK3 at the same resolution.
+        assert!(err_at(RkOrder::Rk1, 64) > e1);
+    }
+
+    #[test]
+    fn advance_lands_exactly_on_t_end() {
+        let s = scheme();
+        let geom = PatchGeom::line(32, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &advect_ic);
+        let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk2, geom);
+        let d0 = u.interior_integral(0);
+        // t_end chosen to not be a multiple of the CFL dt.
+        let steps = solver.advance_to(&mut u, 0.0, 0.0537, 0.45, None).unwrap();
+        assert!(steps > 0);
+        // Conservation still intact (final partial step was consistent).
+        let total_d = u.interior_integral(0);
+        assert!((total_d - d0).abs() < 1e-12, "D total {total_d} vs {d0}");
+    }
+
+    #[test]
+    fn stats_count_stages() {
+        let s = scheme();
+        let geom = PatchGeom::line(16, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &advect_ic);
+        let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
+        solver.step(&mut u, 1e-3, None).unwrap();
+        solver.step(&mut u, 1e-3, None).unwrap();
+        let st = solver.stats();
+        assert_eq!(st.steps, 2);
+        assert_eq!(st.stages, 6);
+        assert_eq!(st.zone_updates, 6 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghosts")]
+    fn rejects_insufficient_ghosts() {
+        let s = scheme(); // PPM needs 3
+        let geom = PatchGeom::line(16, 0.0, 1.0, 2);
+        let _ = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk2, geom);
+    }
+
+    #[test]
+    fn gang_parallel_step_bitwise_matches_serial() {
+        let s = scheme();
+        let geom = PatchGeom::rect([24, 24], [0.0; 2], [1.0; 2], 3);
+        let ic = |x: [f64; 3]| Prim {
+            rho: 1.0 + 0.4 * (6.0 * x[0]).sin() * (4.0 * x[1]).cos(),
+            vel: [0.3, -0.2, 0.0],
+            p: 1.0,
+        };
+        let mut u_serial = init_cons(geom, &s.eos, &ic);
+        let mut u_par = u_serial.clone();
+        let mut solver1 = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
+        let mut solver2 = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
+        let pool = WorkStealingPool::new(4);
+        for _ in 0..3 {
+            solver1.step(&mut u_serial, 1e-3, None).unwrap();
+            solver2.step(&mut u_par, 1e-3, Some(&pool)).unwrap();
+        }
+        assert_eq!(u_serial.raw(), u_par.raw());
+    }
+}

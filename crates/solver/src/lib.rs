@@ -1,0 +1,38 @@
+//! Method-of-lines HRSC solver for SRHD.
+//!
+//! Assembles the physics ([`rhrsc_srhd`]), grids ([`rhrsc_grid`]), runtime
+//! ([`rhrsc_runtime`]) and communication ([`rhrsc_comm`]) layers into
+//! runnable solvers:
+//!
+//! * [`scheme`] — the numerical scheme bundle (EOS + reconstruction +
+//!   Riemann solver + recovery parameters) and primitive recovery over
+//!   fields,
+//! * [`step`] — the spatial residual `L(U)` (dimension-by-dimension
+//!   reconstruct + Riemann flux + divergence), with sub-region support
+//!   for communication overlap and optional gang parallelism,
+//! * [`integrate`] — SSP Runge–Kutta time integration and CFL control on
+//!   a single patch,
+//! * [`device_backend`] — the same patch integrator staged through the
+//!   simulated accelerator (bit-identical results, offload cost model),
+//! * [`driver`] — the distributed heterogeneous driver: block-decomposed
+//!   domains over simulated ranks with bulk-synchronous or futurized
+//!   (overlapped) halo exchange,
+//! * [`smr`] — two-level static mesh refinement with conservative reflux
+//!   (1D), the structured-adaptivity core of the authors' AMR codes,
+//! * [`problems`] — standard SRHD test problems (Sod, Martí–Müller blast
+//!   waves, density-wave advection, 2D Riemann, Kelvin–Helmholtz, boosted
+//!   tubes),
+//! * [`diag`] — diagnostics: L1 errors vs. reference solutions,
+//!   conservation audits, Lorentz-factor extrema.
+
+pub mod device_backend;
+pub mod diag;
+pub mod driver;
+pub mod integrate;
+pub mod problems;
+pub mod scheme;
+pub mod smr;
+pub mod step;
+
+pub use integrate::{PatchSolver, RkOrder};
+pub use scheme::{Scheme, SolverError};

@@ -1,0 +1,490 @@
+//! The numerical scheme bundle and field-level primitive recovery.
+
+use rhrsc_grid::{Field, PatchGeom};
+use rhrsc_srhd::recon::Recon;
+use rhrsc_srhd::riemann::RiemannSolver;
+use rhrsc_srhd::{cons_to_prim, Con2PrimError, Con2PrimParams, Eos, Prim};
+
+/// Coordinate geometry of the (first) grid dimension.
+///
+/// Curvilinear options treat `x` as the radius `r > 0` of a
+/// symmetry-reduced problem and add the corresponding geometric source
+/// terms to the residual: `S = −(α/r)·F_adv` with `α = 1` (cylindrical)
+/// or `α = 2` (spherical), where `F_adv` is the radial flux *without* the
+/// pressure term. Only meaningful for 1D problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Geometry {
+    /// Plain Cartesian coordinates (any dimensionality).
+    Cartesian,
+    /// 1D cylindrical radial coordinate (axial symmetry).
+    CylindricalRadial,
+    /// 1D spherical radial coordinate (spherical symmetry).
+    SphericalRadial,
+}
+
+impl Geometry {
+    /// The geometric factor α (0 for Cartesian).
+    pub fn alpha(&self) -> f64 {
+        match self {
+            Geometry::Cartesian => 0.0,
+            Geometry::CylindricalRadial => 1.0,
+            Geometry::SphericalRadial => 2.0,
+        }
+    }
+}
+
+/// Everything that defines the numerical method, independent of the grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheme {
+    /// Equation of state.
+    pub eos: Eos,
+    /// Spatial reconstruction.
+    pub recon: Recon,
+    /// Interface Riemann solver.
+    pub riemann: RiemannSolver,
+    /// Conservative→primitive recovery parameters.
+    pub c2p: Con2PrimParams,
+    /// Coordinate geometry (Cartesian unless symmetry-reduced).
+    pub geometry: Geometry,
+}
+
+impl Scheme {
+    /// A sensible production default: ideal gas Γ, PPM + HLLC.
+    pub fn default_with_gamma(gamma: f64) -> Self {
+        Scheme {
+            eos: Eos::ideal(gamma),
+            recon: Recon::Ppm,
+            riemann: RiemannSolver::Hllc,
+            c2p: Con2PrimParams::default(),
+            geometry: Geometry::Cartesian,
+        }
+    }
+
+    /// Ghost zones required by the reconstruction stencil.
+    pub fn required_ghosts(&self) -> usize {
+        self.recon.ghost()
+    }
+
+    /// Clamp a reconstructed primitive state back into the physical
+    /// regime: positive density/pressure, subluminal velocity.
+    /// Reconstruction operates componentwise on (ρ, v, p) and can
+    /// overshoot at strong discontinuities.
+    #[inline]
+    pub fn sanitize(&self, mut w: Prim) -> Prim {
+        w.rho = w.rho.max(self.c2p.rho_floor);
+        w.p = w.p.max(self.c2p.p_floor);
+        let v2 = w.vsq();
+        const V2_MAX: f64 = 1.0 - 1e-12;
+        if v2 >= V2_MAX {
+            let scale = (V2_MAX / v2).sqrt();
+            for v in &mut w.vel {
+                *v *= scale;
+            }
+        }
+        w
+    }
+}
+
+/// Error raised by the solver, locating the offending cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// Primitive recovery failed at a cell.
+    Con2Prim {
+        /// Ghost-inclusive cell indices.
+        cell: (usize, usize, usize),
+        /// Underlying recovery error.
+        err: Con2PrimError,
+    },
+    /// The time step collapsed below a sane minimum.
+    TimestepCollapse {
+        /// The offending Δt.
+        dt: f64,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::Con2Prim { cell, err } => {
+                write!(f, "primitive recovery failed at cell {cell:?}: {err}")
+            }
+            SolverError::TimestepCollapse { dt } => write!(f, "time step collapsed to {dt:.3e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Primitive component layout in a primitive [`Field`]:
+/// `(ρ, v_x, v_y, v_z, p)`.
+pub const PRIM_RHO: usize = 0;
+/// Velocity component `v_x`.
+pub const PRIM_VX: usize = 1;
+/// Velocity component `v_y`.
+pub const PRIM_VY: usize = 2;
+/// Velocity component `v_z`.
+pub const PRIM_VZ: usize = 3;
+/// Pressure.
+pub const PRIM_P: usize = 4;
+
+/// Read a [`Prim`] from a primitive field at ghost-inclusive `(i, j, k)`.
+#[inline]
+pub fn prim_at(prim: &Field, i: usize, j: usize, k: usize) -> Prim {
+    Prim {
+        rho: prim.at(PRIM_RHO, i, j, k),
+        vel: [
+            prim.at(PRIM_VX, i, j, k),
+            prim.at(PRIM_VY, i, j, k),
+            prim.at(PRIM_VZ, i, j, k),
+        ],
+        p: prim.at(PRIM_P, i, j, k),
+    }
+}
+
+/// Write a [`Prim`] into a primitive field at `(i, j, k)`.
+#[inline]
+pub fn set_prim(prim: &mut Field, i: usize, j: usize, k: usize, w: &Prim) {
+    prim.set(PRIM_RHO, i, j, k, w.rho);
+    prim.set(PRIM_VX, i, j, k, w.vel[0]);
+    prim.set(PRIM_VY, i, j, k, w.vel[1]);
+    prim.set(PRIM_VZ, i, j, k, w.vel[2]);
+    prim.set(PRIM_P, i, j, k, w.p);
+}
+
+/// Initialize a conserved field (including ghost zones) from a pointwise
+/// primitive initial condition.
+pub fn init_cons(geom: PatchGeom, eos: &Eos, ic: &dyn Fn([f64; 3]) -> Prim) -> Field {
+    let mut u = Field::cons(geom);
+    for k in 0..geom.ntot(2) {
+        for j in 0..geom.ntot(1) {
+            for i in 0..geom.ntot(0) {
+                let w = ic(geom.center(i, j, k));
+                debug_assert!(w.is_physical(), "unphysical IC at ({i},{j},{k})");
+                u.set_cons(i, j, k, w.to_cons(eos));
+            }
+        }
+    }
+    u
+}
+
+/// Recover primitives over every cell (interior + ghosts) of a conserved
+/// field.
+pub fn recover_prims(scheme: &Scheme, u: &Field, prim: &mut Field) -> Result<(), SolverError> {
+    recover_prims_par(scheme, u, prim, None)
+}
+
+/// Recover primitives over every cell, optionally gang-parallel over
+/// z-slabs (or y-rows in 2D). Results are bit-identical to the serial
+/// path: every cell's root solve is independent and deterministic.
+pub fn recover_prims_par(
+    scheme: &Scheme,
+    u: &Field,
+    prim: &mut Field,
+    pool: Option<&rhrsc_runtime::WorkStealingPool>,
+) -> Result<(), SolverError> {
+    let geom = *u.geom();
+    let (n0, n1, n2) = (geom.ntot(0), geom.ntot(1), geom.ntot(2));
+    match pool {
+        Some(pool) if n1 * n2 > 1 => {
+            // Parallelize over (j, k) rows; each row writes disjoint prim
+            // cells, so shared mutable access through a raw pointer is
+            // sound. The first error (if any) is captured.
+            let err = parking_lot::Mutex::new(None::<SolverError>);
+            let raw = RawPrim {
+                ptr: prim.raw_mut().as_mut_ptr(),
+                comp_stride: geom.len(),
+            };
+            // Capture the wrapper (not its raw-pointer field) so the
+            // closure is Sync via `unsafe impl Sync for RawPrim`.
+            let raw = &raw;
+            pool.par_for(n1 * n2, 1, &|row| {
+                let j = row % n1;
+                let k = row / n1;
+                for i in 0..n0 {
+                    let cons = u.get_cons(i, j, k);
+                    match cons_to_prim(&scheme.eos, &cons, None, &scheme.c2p) {
+                        Ok(w) => {
+                            let ix = geom.idx(i, j, k);
+                            let vals = [w.rho, w.vel[0], w.vel[1], w.vel[2], w.p];
+                            for (c, v) in vals.into_iter().enumerate() {
+                                // SAFETY: rows are disjoint across tasks.
+                                unsafe { *raw.ptr.add(c * raw.comp_stride + ix) = v };
+                            }
+                        }
+                        Err(e) => {
+                            let mut g = err.lock();
+                            g.get_or_insert(SolverError::Con2Prim { cell: (i, j, k), err: e });
+                            return;
+                        }
+                    }
+                }
+            });
+            err.into_inner().map_or(Ok(()), Err)
+        }
+        _ => {
+            for k in 0..n2 {
+                for j in 0..n1 {
+                    for i in 0..n0 {
+                        recover_cell(scheme, u, prim, i, j, k)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Raw pointer to primitive storage for row-disjoint parallel recovery.
+#[derive(Clone, Copy)]
+struct RawPrim {
+    ptr: *mut f64,
+    comp_stride: usize,
+}
+
+unsafe impl Send for RawPrim {}
+unsafe impl Sync for RawPrim {}
+
+/// Recover a single cell's primitives (shared by full-field and region
+/// recovery paths).
+///
+/// Deliberately *cold-starts* the root solve from a deterministic seed
+/// derived from the conserved state alone (never from the previous
+/// pressure): warm starts land on slightly different iterates, which would
+/// break the bit-identity guarantees between the serial, gang-parallel,
+/// distributed, and device execution paths.
+#[inline]
+pub fn recover_cell(
+    scheme: &Scheme,
+    u: &Field,
+    prim: &mut Field,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> Result<(), SolverError> {
+    let cons = u.get_cons(i, j, k);
+    match cons_to_prim(&scheme.eos, &cons, None, &scheme.c2p) {
+        Ok(w) => {
+            set_prim(prim, i, j, k, &w);
+            Ok(())
+        }
+        Err(err) => Err(SolverError::Con2Prim { cell: (i, j, k), err }),
+    }
+}
+
+/// Conserved-variable limiter applied after each stage update.
+///
+/// Evolved conserved states can leave the physical region near vacuum
+/// cores and strong rarefactions (negative τ, `|S|² > τ(τ+2D)`), after
+/// which no primitive state exists and the recovery rightly fails. This
+/// limiter — the standard production safeguard — restores admissibility
+/// with minimal intervention:
+///
+/// * `D ≥ rho_floor`, `τ ≥ p_floor`,
+/// * `|S|² ≤ (1−ε) τ(τ+2D)` (the `p ≥ 0, |v| < 1` admissibility bound),
+///   enforced by rescaling the momentum.
+///
+/// Returns the number of cells touched (a diagnostic: nonzero counts mean
+/// the scheme is running at its robustness margin, and conservation is
+/// locally violated by the floors).
+pub fn apply_conserved_floors(u: &mut Field, params: &Con2PrimParams) -> usize {
+    let geom = *u.geom();
+    let mut touched = 0;
+    for (i, j, k) in geom.interior_iter() {
+        let mut c = u.get_cons(i, j, k);
+        let mut dirty = false;
+        if !c.is_finite() {
+            // Let the recovery report non-finite states; flooring NaNs
+            // would mask genuine scheme failures.
+            continue;
+        }
+        if c.d < params.rho_floor {
+            c.d = params.rho_floor;
+            dirty = true;
+        }
+        if c.tau < params.p_floor {
+            c.tau = params.p_floor;
+            dirty = true;
+        }
+        // Admissibility (p ≥ 0, |v| < 1) requires |S|² ≤ τ(τ+2D); but
+        // rescaling exactly onto that boundary leaves |v| → 1 states
+        // (W can reach (τ+D)/D ≫ 1) that destabilize their neighbors.
+        // Cap the recovered Lorentz factor instead: with p ≥ 0,
+        // |v| = |S|/(τ+D+p) ≤ |S|/(τ+D), so |S| ≤ v_cap (τ+D) bounds W.
+        let v_cap2 = 1.0 - 1.0 / (params.w_cap * params.w_cap);
+        let e0 = c.tau + c.d;
+        let s2_max = ((1.0 - 1e-12) * c.tau * (c.tau + 2.0 * c.d)).min(v_cap2 * e0 * e0);
+        let s2 = c.ssq();
+        if s2 > s2_max {
+            let scale = (s2_max / s2).sqrt();
+            for sc in &mut c.s {
+                *sc *= scale;
+            }
+            dirty = true;
+        }
+        if dirty {
+            u.set_cons(i, j, k, c);
+            touched += 1;
+        }
+    }
+    touched
+}
+
+/// Largest stable time step on a patch under the unsplit method-of-lines
+/// CFL condition: `dt = cfl / max_cells Σ_d (λ_max,d / dx_d)`.
+///
+/// The per-dimension bound `min_d(dx_d / λ_d)` familiar from dimensionally
+/// *split* schemes is not sufficient here: the residual sums flux
+/// differences from every dimension in one stage, so the signal speeds
+/// add. In 3D the difference is up to a factor of three — using the split
+/// bound drives strong multi-dimensional blasts unstable.
+pub fn max_dt(scheme: &Scheme, prim: &Field, cfl: f64) -> f64 {
+    let geom = prim.geom();
+    let mut max_rate = 0.0f64;
+    for (i, j, k) in geom.interior_iter() {
+        let w = prim_at(prim, i, j, k);
+        let mut rate = 0.0;
+        for d in 0..3 {
+            if !geom.active(d) {
+                continue;
+            }
+            let dir = rhrsc_srhd::Dir::ALL[d];
+            let (lm, lp) = rhrsc_srhd::flux::signal_speeds(&scheme.eos, &w, dir);
+            rate += lm.abs().max(lp.abs()) / geom.dx[d];
+        }
+        max_rate = max_rate.max(rate);
+    }
+    cfl / max_rate.max(1e-30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhrsc_grid::PatchGeom;
+
+    fn scheme() -> Scheme {
+        Scheme::default_with_gamma(5.0 / 3.0)
+    }
+
+    #[test]
+    fn init_then_recover_roundtrip() {
+        let s = scheme();
+        let geom = PatchGeom::line(16, 0.0, 1.0, 3);
+        let ic = |x: [f64; 3]| Prim::new_1d(1.0 + 0.5 * (x[0] * 6.0).sin(), 0.3, 2.0);
+        let u = init_cons(geom, &s.eos, &ic);
+        let mut prim = Field::new(geom, 5);
+        recover_prims(&s, &u, &mut prim).unwrap();
+        for k in 0..geom.ntot(2) {
+            for i in 0..geom.ntot(0) {
+                let w = prim_at(&prim, i, 0, k);
+                let expected = ic(geom.center(i, 0, k));
+                assert!((w.rho - expected.rho).abs() < 1e-9, "cell {i}");
+                assert!((w.vel[0] - 0.3).abs() < 1e-9, "cell {i}");
+                assert!((w.p - 2.0).abs() < 1e-9, "cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sanitize_restores_physicality() {
+        let s = scheme();
+        let bad = Prim {
+            rho: -1.0,
+            vel: [0.9, 0.9, 0.9],
+            p: -2.0,
+        };
+        let fixed = s.sanitize(bad);
+        assert!(fixed.is_physical());
+        // Velocity direction is preserved.
+        assert!(fixed.vel[0] > 0.0 && (fixed.vel[0] - fixed.vel[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sanitize_is_identity_on_physical_states() {
+        let s = scheme();
+        let w = Prim::new_1d(1.0, 0.5, 2.0);
+        assert_eq!(s.sanitize(w), w);
+    }
+
+    #[test]
+    fn max_dt_scales_with_resolution() {
+        let s = scheme();
+        let dt_of = |n: usize| {
+            let geom = PatchGeom::line(n, 0.0, 1.0, 3);
+            let u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
+            let mut prim = Field::new(geom, 5);
+            recover_prims(&s, &u, &mut prim).unwrap();
+            max_dt(&s, &prim, 0.5)
+        };
+        let d64 = dt_of(64);
+        let d128 = dt_of(128);
+        assert!((d64 / d128 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dt_subluminal_bound() {
+        // Even ultrarelativistic flow cannot demand dt below cfl*dx/c.
+        let s = scheme();
+        let geom = PatchGeom::line(8, 0.0, 1.0, 3);
+        let u = init_cons(geom, &s.eos, &|_| Prim::new_1d(1.0, 0.999999, 1e3));
+        let mut prim = Field::new(geom, 5);
+        recover_prims(&s, &u, &mut prim).unwrap();
+        let dt = max_dt(&s, &prim, 1.0);
+        let dx = geom.dx[0];
+        assert!(dt >= dx * 0.999, "dt {dt} vs dx {dx}");
+    }
+
+    #[test]
+    fn conserved_floors_are_noop_on_healthy_states() {
+        let s = scheme();
+        let geom = PatchGeom::line(16, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &|x| {
+            Prim::new_1d(1.0 + 0.5 * (x[0] * 7.0).sin(), 0.5, 2.0)
+        });
+        let before = u.clone();
+        assert_eq!(apply_conserved_floors(&mut u, &s.c2p), 0);
+        assert_eq!(u.raw(), before.raw());
+    }
+
+    #[test]
+    fn conserved_floors_repair_inadmissible_states() {
+        let s = scheme();
+        let geom = PatchGeom::line(4, 0.0, 1.0, 2);
+        let mut u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
+        // Poison: negative tau, excessive momentum, sub-floor density.
+        u.set_cons(2, 0, 0, rhrsc_srhd::Cons { d: 1.0, s: [5.0, 0.0, 0.0], tau: -0.5 });
+        u.set_cons(3, 0, 0, rhrsc_srhd::Cons { d: 1e-20, s: [0.0; 3], tau: 1.0 });
+        let touched = apply_conserved_floors(&mut u, &s.c2p);
+        assert_eq!(touched, 2);
+        // Every interior state must now recover.
+        let mut prim = Field::new(geom, 5);
+        for (i, j, k) in geom.interior_iter() {
+            recover_cell(&s, &u, &mut prim, i, j, k)
+                .unwrap_or_else(|e| panic!("cell ({i},{j},{k}) still bad: {e}"));
+        }
+    }
+
+    #[test]
+    fn conserved_floors_leave_nan_for_recovery_to_report() {
+        let s = scheme();
+        let geom = PatchGeom::line(4, 0.0, 1.0, 2);
+        let mut u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
+        u.set(0, 3, 0, 0, f64::NAN);
+        apply_conserved_floors(&mut u, &s.c2p);
+        assert!(u.at(0, 3, 0, 0).is_nan(), "NaN must not be silently floored");
+    }
+
+    #[test]
+    fn recovery_error_carries_cell() {
+        let s = scheme();
+        let geom = PatchGeom::line(4, 0.0, 1.0, 2);
+        let mut u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
+        // Poison one interior cell.
+        u.set(0, 3, 0, 0, f64::NAN);
+        let mut prim = Field::new(geom, 5);
+        let err = recover_prims(&s, &u, &mut prim).unwrap_err();
+        match err {
+            SolverError::Con2Prim { cell, .. } => assert_eq!(cell, (3, 0, 0)),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Physical fluxes and characteristic (signal) speeds of the SRHD system.
+
+use crate::state::{Cons, Dir, Prim};
+use rhrsc_eos::Eos;
+
+/// Physical flux `F^n(U)` of the SRHD system along direction `dir`:
+///
+/// ```text
+/// F_D   = D v_n
+/// F_S_i = S_i v_n + p δ_{i n}
+/// F_τ   = (τ + p) v_n = S_n − D v_n
+/// ```
+#[inline]
+pub fn physical_flux(eos: &Eos, prim: &Prim, dir: Dir) -> Cons {
+    let u = prim.to_cons(eos);
+    physical_flux_from(prim, &u, dir)
+}
+
+/// Same as [`physical_flux`] but reusing an already-computed conserved state
+/// (hot path inside the Riemann solvers).
+#[inline]
+pub fn physical_flux_from(prim: &Prim, u: &Cons, dir: Dir) -> Cons {
+    let n = dir.axis();
+    let vn = prim.vel[n];
+    let mut s = [u.s[0] * vn, u.s[1] * vn, u.s[2] * vn];
+    s[n] += prim.p;
+    Cons { d: u.d * vn, s, tau: (u.tau + prim.p) * vn }
+}
+
+/// Smallest and largest characteristic speeds (acoustic eigenvalues) of the
+/// flux Jacobian along `dir`:
+///
+/// ```text
+/// λ± = [ v_n (1−cs²) ± cs sqrt( (1−v²) (1−v²cs² − v_n²(1−cs²)) ) ] / (1−v²cs²)
+/// ```
+///
+/// The middle eigenvalue (triple, material) is `λ0 = v_n`. All eigenvalues
+/// are bounded by the speed of light in magnitude.
+#[inline]
+pub fn signal_speeds(eos: &Eos, prim: &Prim, dir: Dir) -> (f64, f64) {
+    let cs2 = eos.sound_speed_sq(prim.rho, prim.p).clamp(0.0, 1.0 - 1e-15);
+    let v2 = prim.vsq();
+    let vn = prim.vn(dir);
+    let den = 1.0 - v2 * cs2;
+    // Discriminant can go slightly negative from round-off when |v| -> 1.
+    let disc = ((1.0 - v2) * (1.0 - v2 * cs2 - vn * vn * (1.0 - cs2))).max(0.0);
+    let root = disc.sqrt();
+    let cs = cs2.sqrt();
+    let lm = (vn * (1.0 - cs2) - cs * root) / den;
+    let lp = (vn * (1.0 - cs2) + cs * root) / den;
+    (lm.clamp(-1.0, 1.0), lp.clamp(-1.0, 1.0))
+}
+
+/// Largest absolute characteristic speed over all directions; used for the
+/// CFL condition.
+#[inline]
+pub fn max_signal_speed(eos: &Eos, prim: &Prim) -> f64 {
+    let mut m = 0.0f64;
+    for dir in Dir::ALL {
+        let (lm, lp) = signal_speeds(eos, prim, dir);
+        m = m.max(lm.abs()).max(lp.abs());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eos() -> Eos {
+        Eos::ideal(5.0 / 3.0)
+    }
+
+    #[test]
+    fn flux_at_rest_is_pressure_only() {
+        let p = Prim::at_rest(1.0, 2.5);
+        let f = physical_flux(&eos(), &p, Dir::X);
+        assert_eq!(f.d, 0.0);
+        assert_eq!(f.s, [2.5, 0.0, 0.0]);
+        assert_eq!(f.tau, 0.0);
+    }
+
+    #[test]
+    fn flux_tau_identity() {
+        // F_τ = (τ+p) v_n must equal S_n − D v_n analytically.
+        let eos = eos();
+        let prim = Prim { rho: 1.3, vel: [0.4, -0.2, 0.1], p: 0.7 };
+        let u = prim.to_cons(&eos);
+        for dir in Dir::ALL {
+            let f = physical_flux(&eos, &prim, dir);
+            let alt = u.sn(dir) - u.d * prim.vn(dir);
+            assert!((f.tau - alt).abs() < 1e-13, "{dir:?}: {} vs {alt}", f.tau);
+        }
+    }
+
+    #[test]
+    fn signal_speeds_at_rest_are_plus_minus_cs() {
+        let eos = eos();
+        let p = Prim::at_rest(1.0, 1.0);
+        let cs = p.sound_speed(&eos);
+        let (lm, lp) = signal_speeds(&eos, &p, Dir::X);
+        assert!((lp - cs).abs() < 1e-14);
+        assert!((lm + cs).abs() < 1e-14);
+    }
+
+    #[test]
+    fn signal_speeds_ordered_and_subluminal() {
+        let eos = eos();
+        for &vx in &[-0.99, -0.5, 0.0, 0.5, 0.99] {
+            for &vy in &[0.0, 0.09] {
+                let p = Prim { rho: 1.0, vel: [vx, vy, 0.0], p: 10.0 };
+                for dir in Dir::ALL {
+                    let (lm, lp) = signal_speeds(&eos, &p, dir);
+                    let vn = p.vn(dir);
+                    assert!(lm <= vn + 1e-14 && vn <= lp + 1e-14, "ordering at v={vx}");
+                    assert!(lm >= -1.0 && lp <= 1.0, "causality at v={vx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relativistic_velocity_addition_limit() {
+        // For v ≫ cs transversally nothing exceeds light speed.
+        let eos = eos();
+        let p = Prim { rho: 1.0, vel: [0.0, 0.995, 0.0], p: 100.0 };
+        let (lm, lp) = signal_speeds(&eos, &p, Dir::X);
+        assert!(lp < 1.0 && lm > -1.0);
+        // Aberration shrinks the transverse sound cone.
+        let cs = p.sound_speed(&eos);
+        assert!(lp < cs);
+    }
+
+    #[test]
+    fn max_signal_speed_dominates_each_direction() {
+        let eos = eos();
+        let p = Prim { rho: 0.8, vel: [0.3, -0.6, 0.2], p: 1.7 };
+        let m = max_signal_speed(&eos, &p);
+        for dir in Dir::ALL {
+            let (lm, lp) = signal_speeds(&eos, &p, dir);
+            assert!(m >= lp.abs() - 1e-15 && m >= lm.abs() - 1e-15);
+        }
+        assert!(m <= 1.0);
+    }
+
+    #[test]
+    fn flux_consistency_with_galilean_like_limit() {
+        // For small v and small p/rho the flux approaches the Newtonian one.
+        let eos = eos();
+        let prim = Prim::new_1d(1.0, 1e-4, 1e-6);
+        let f = physical_flux(&eos, &prim, Dir::X);
+        // F_D ≈ ρ v
+        assert!((f.d - 1e-4).abs() < 1e-9);
+        // F_Sx ≈ ρv² + p
+        assert!((f.s[0] - (1e-8 + 1e-6)).abs() < 1e-10);
+    }
+}

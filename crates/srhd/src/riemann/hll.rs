@@ -1,0 +1,102 @@
+//! HLL (Harten–Lax–van Leer) two-wave approximate Riemann solver.
+
+use super::davis_speeds;
+use crate::flux::physical_flux_from;
+use crate::state::{Cons, Dir, Prim};
+use rhrsc_eos::Eos;
+
+/// HLL flux with Davis wave-speed estimates:
+///
+/// ```text
+///        ⎧ F_L                                              λ_L ≥ 0
+/// F_hll =⎨ (λ_R F_L − λ_L F_R + λ_L λ_R (U_R − U_L)) / (λ_R − λ_L)
+///        ⎩ F_R                                              λ_R ≤ 0
+/// ```
+#[inline]
+pub fn hll_flux(eos: &Eos, left: &Prim, right: &Prim, dir: Dir) -> Cons {
+    let (lam_l, lam_r) = davis_speeds(eos, left, right, dir);
+    let u_l = left.to_cons(eos);
+    let u_r = right.to_cons(eos);
+    let f_l = physical_flux_from(left, &u_l, dir);
+    let f_r = physical_flux_from(right, &u_r, dir);
+    hll_flux_from(&u_l, &u_r, &f_l, &f_r, lam_l, lam_r)
+}
+
+/// HLL flux from precomputed states/fluxes/speeds (shared with HLLC).
+#[inline]
+pub(crate) fn hll_flux_from(
+    u_l: &Cons,
+    u_r: &Cons,
+    f_l: &Cons,
+    f_r: &Cons,
+    lam_l: f64,
+    lam_r: f64,
+) -> Cons {
+    if lam_l >= 0.0 {
+        *f_l
+    } else if lam_r <= 0.0 {
+        *f_r
+    } else {
+        let inv = 1.0 / (lam_r - lam_l);
+        (*f_l * lam_r - *f_r * lam_l + (*u_r - *u_l) * (lam_l * lam_r)) * inv
+    }
+}
+
+/// The HLL *intermediate state* (the fan average), used by HLLC to locate
+/// the contact wave.
+#[inline]
+pub(crate) fn hll_state(
+    u_l: &Cons,
+    u_r: &Cons,
+    f_l: &Cons,
+    f_r: &Cons,
+    lam_l: f64,
+    lam_r: f64,
+) -> Cons {
+    let inv = 1.0 / (lam_r - lam_l);
+    (*u_r * lam_r - *u_l * lam_l + (*f_l - *f_r)) * inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flux::physical_flux;
+
+    #[test]
+    fn reduces_to_upwind_for_supersonic() {
+        let eos = Eos::ideal(5.0 / 3.0);
+        let l = Prim::new_1d(1.0, -0.99, 1e-3);
+        let r = Prim::new_1d(0.5, -0.99, 1e-3);
+        let f = hll_flux(&eos, &l, &r, Dir::X);
+        let expected = physical_flux(&eos, &r, Dir::X);
+        assert!((f - expected).max_norm() < 1e-13);
+    }
+
+    #[test]
+    fn hll_state_is_consistent_average() {
+        // For equal states the fan average is the state itself.
+        let eos = Eos::ideal(5.0 / 3.0);
+        let p = Prim::new_1d(1.0, 0.3, 2.0);
+        let u = p.to_cons(&eos);
+        let f = physical_flux(&eos, &p, Dir::X);
+        let fan = hll_state(&u, &u, &f, &f, -0.9, 0.9);
+        assert!((fan - u).max_norm() < 1e-14);
+    }
+
+    #[test]
+    fn hll_state_conserves_integral() {
+        // Integral consistency: λR UR − λL UL − (FR − FL) = (λR−λL) U_hll.
+        let eos = Eos::ideal(5.0 / 3.0);
+        let l = Prim::new_1d(1.0, 0.5, 1.0);
+        let r = Prim::new_1d(0.2, -0.3, 0.05);
+        let u_l = l.to_cons(&eos);
+        let u_r = r.to_cons(&eos);
+        let f_l = physical_flux(&eos, &l, Dir::X);
+        let f_r = physical_flux(&eos, &r, Dir::X);
+        let (lam_l, lam_r) = super::super::davis_speeds(&eos, &l, &r, Dir::X);
+        let fan = hll_state(&u_l, &u_r, &f_l, &f_r, lam_l, lam_r);
+        let lhs = u_r * lam_r - u_l * lam_l + (f_l - f_r);
+        let rhs = fan * (lam_r - lam_l);
+        assert!((lhs - rhs).max_norm() < 1e-13);
+    }
+}

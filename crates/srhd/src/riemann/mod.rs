@@ -1,0 +1,191 @@
+//! Riemann solvers for the SRHD interface flux.
+//!
+//! Approximate solvers (used in the HRSC scheme, in increasing order of
+//! sharpness at contact discontinuities):
+//! * [`rusanov_flux`] — local Lax–Friedrichs, maximally diffusive,
+//!   bulletproof;
+//! * [`hll_flux`] — two-wave HLL with Davis speed estimates;
+//! * [`hllc_flux`] — Mignone & Bodo (2005) three-wave solver restoring
+//!   the contact wave.
+//!
+//! The [`exact`] module implements the exact ideal-gas SRHD Riemann solver
+//! (Martí & Müller) used as ground truth by the validation experiments.
+
+pub mod exact;
+mod hll;
+mod hllc;
+mod rusanov;
+
+pub use hll::hll_flux;
+pub use hllc::hllc_flux;
+pub use rusanov::rusanov_flux;
+
+use crate::state::{Cons, Dir, Prim};
+use rhrsc_eos::Eos;
+
+/// Choice of approximate Riemann solver for the interface flux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RiemannSolver {
+    /// Local Lax–Friedrichs (Rusanov).
+    Rusanov,
+    /// Harten–Lax–van Leer two-wave solver.
+    Hll,
+    /// Mignone–Bodo HLLC three-wave solver.
+    Hllc,
+}
+
+impl RiemannSolver {
+    /// All solvers, for comparison sweeps.
+    pub const ALL: [RiemannSolver; 3] =
+        [RiemannSolver::Rusanov, RiemannSolver::Hll, RiemannSolver::Hllc];
+
+    /// Short display name (used in benchmark tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RiemannSolver::Rusanov => "rusanov",
+            RiemannSolver::Hll => "hll",
+            RiemannSolver::Hllc => "hllc",
+        }
+    }
+
+    /// Numerical flux through the interface between `left` and `right`
+    /// states, along direction `dir`.
+    #[inline]
+    pub fn flux(&self, eos: &Eos, left: &Prim, right: &Prim, dir: Dir) -> Cons {
+        match self {
+            RiemannSolver::Rusanov => rusanov_flux(eos, left, right, dir),
+            RiemannSolver::Hll => hll_flux(eos, left, right, dir),
+            RiemannSolver::Hllc => hllc_flux(eos, left, right, dir),
+        }
+    }
+}
+
+/// Davis-type wave-speed estimate: the outermost characteristic speeds over
+/// both interface states.
+#[inline]
+pub(crate) fn davis_speeds(eos: &Eos, left: &Prim, right: &Prim, dir: Dir) -> (f64, f64) {
+    let (lm_l, lp_l) = crate::flux::signal_speeds(eos, left, dir);
+    let (lm_r, lp_r) = crate::flux::signal_speeds(eos, right, dir);
+    (lm_l.min(lm_r), lp_l.max(lp_r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flux::physical_flux;
+
+    fn eos() -> Eos {
+        Eos::ideal(5.0 / 3.0)
+    }
+
+    fn states() -> Vec<(Prim, Prim)> {
+        vec![
+            (Prim::new_1d(1.0, 0.0, 1.0), Prim::new_1d(0.125, 0.0, 0.1)),
+            (Prim::new_1d(10.0, 0.0, 13.33), Prim::new_1d(1.0, 0.0, 1e-7)),
+            (Prim::new_1d(1.0, 0.9, 1.0), Prim::new_1d(1.0, -0.9, 1.0)),
+            (
+                Prim { rho: 1.0, vel: [0.5, 0.3, -0.1], p: 0.4 },
+                Prim { rho: 2.0, vel: [-0.2, 0.6, 0.0], p: 5.0 },
+            ),
+        ]
+    }
+
+    #[test]
+    fn consistency_f_uu_equals_physical_flux() {
+        // Every Riemann solver must reduce to the physical flux for equal
+        // states (consistency requirement of a conservative scheme).
+        let eos = eos();
+        for (l, _) in states() {
+            let f_phys = physical_flux(&eos, &l, Dir::X);
+            for rs in RiemannSolver::ALL {
+                let f = rs.flux(&eos, &l, &l, Dir::X);
+                let diff = (f - f_phys).max_norm();
+                assert!(diff < 1e-12, "{}: diff {diff}", rs.name());
+            }
+        }
+    }
+
+    #[test]
+    fn supersonic_upwinding() {
+        // For flow faster than every wave, all solvers must return the
+        // upwind physical flux exactly.
+        let eos = eos();
+        let l = Prim::new_1d(1.0, 0.99, 1e-3);
+        let r = Prim::new_1d(0.5, 0.99, 1e-3);
+        let f_l = physical_flux(&eos, &l, Dir::X);
+        for rs in [RiemannSolver::Hll, RiemannSolver::Hllc] {
+            let f = rs.flux(&eos, &l, &r, Dir::X);
+            assert!((f - f_l).max_norm() < 1e-12, "{}", rs.name());
+        }
+    }
+
+    #[test]
+    fn fluxes_finite_for_strong_jumps() {
+        let eos = eos();
+        for (l, r) in states() {
+            for rs in RiemannSolver::ALL {
+                for dir in Dir::ALL {
+                    let f = rs.flux(&eos, &l, &r, dir);
+                    assert!(f.is_finite(), "{} {dir:?}", rs.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hllc_resolves_stationary_contact_exactly() {
+        // Pure contact: equal p and v=0, jump in rho. HLLC must return zero
+        // flux (stationary contact), HLL/Rusanov smear it.
+        let eos = eos();
+        let l = Prim::new_1d(1.0, 0.0, 1.0);
+        let r = Prim::new_1d(0.1, 0.0, 1.0);
+        let f_hllc = hllc_flux(&eos, &l, &r, Dir::X);
+        assert!(f_hllc.d.abs() < 1e-12, "HLLC D-flux {}", f_hllc.d);
+        assert!(f_hllc.tau.abs() < 1e-12, "HLLC tau-flux {}", f_hllc.tau);
+        assert!((f_hllc.s[0] - 1.0).abs() < 1e-12, "HLLC Sx-flux {}", f_hllc.s[0]);
+        let f_hll = hll_flux(&eos, &l, &r, Dir::X);
+        assert!(f_hll.d.abs() > 1e-3, "HLL should diffuse the contact");
+    }
+
+    #[test]
+    fn diffusivity_ordering_on_contact() {
+        // |F_D| at a moving contact: rusanov >= hll >= hllc (~0 error terms).
+        let eos = eos();
+        let l = Prim::new_1d(1.0, 0.1, 1.0);
+        let r = Prim::new_1d(0.1, 0.1, 1.0);
+        let exact_fd = 1.0 * Prim::new_1d(1.0, 0.1, 1.0).lorentz() * 0.1; // upwind D*vn
+        let e_rus = (rusanov_flux(&eos, &l, &r, Dir::X).d - exact_fd).abs();
+        let e_hll = (hll_flux(&eos, &l, &r, Dir::X).d - exact_fd).abs();
+        let e_hllc = (hllc_flux(&eos, &l, &r, Dir::X).d - exact_fd).abs();
+        assert!(e_rus >= e_hll * 0.99, "rusanov {e_rus} vs hll {e_hll}");
+        assert!(e_hll >= e_hllc * 0.99, "hll {e_hll} vs hllc {e_hllc}");
+        assert!(e_hllc < 1e-10, "hllc should be (near-)exact on contacts: {e_hllc}");
+    }
+
+    #[test]
+    fn symmetry_mirror_invariance() {
+        // Mirroring the problem (x -> -x) must negate the D and tau fluxes
+        // and preserve the normal-momentum flux.
+        let eos = eos();
+        for (l, r) in states() {
+            let mirror = |p: &Prim| Prim { rho: p.rho, vel: [-p.vel[0], p.vel[1], p.vel[2]], p: p.p };
+            for rs in RiemannSolver::ALL {
+                let f = rs.flux(&eos, &l, &r, Dir::X);
+                let fm = rs.flux(&eos, &mirror(&r), &mirror(&l), Dir::X);
+                assert!((f.d + fm.d).abs() < 1e-12, "{} D", rs.name());
+                assert!((f.tau + fm.tau).abs() < 1e-12, "{} tau", rs.name());
+                assert!((f.s[0] - fm.s[0]).abs() < 1e-12, "{} Sx", rs.name());
+            }
+        }
+    }
+
+    #[test]
+    fn davis_speeds_bracket_both_states() {
+        let eos = eos();
+        for (l, r) in states() {
+            let (lm, lp) = davis_speeds(&eos, &l, &r, Dir::X);
+            assert!(lm <= lp);
+            assert!(lm >= -1.0 && lp <= 1.0);
+        }
+    }
+}

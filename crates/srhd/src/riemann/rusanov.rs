@@ -1,0 +1,50 @@
+//! Rusanov (local Lax–Friedrichs) flux.
+
+use crate::flux::physical_flux_from;
+use crate::state::{Cons, Dir, Prim};
+use rhrsc_eos::Eos;
+
+/// Rusanov flux: central average plus maximal-wave-speed dissipation,
+///
+/// ```text
+/// F = ½ (F_L + F_R) − ½ a (U_R − U_L),   a = max(|λ±_L|, |λ±_R|)
+/// ```
+///
+/// The most diffusive of the solvers here, but positivity-preserving and a
+/// useful robustness fallback at extreme Lorentz factors.
+#[inline]
+pub fn rusanov_flux(eos: &Eos, left: &Prim, right: &Prim, dir: Dir) -> Cons {
+    let u_l = left.to_cons(eos);
+    let u_r = right.to_cons(eos);
+    let f_l = physical_flux_from(left, &u_l, dir);
+    let f_r = physical_flux_from(right, &u_r, dir);
+    let (lm_l, lp_l) = crate::flux::signal_speeds(eos, left, dir);
+    let (lm_r, lp_r) = crate::flux::signal_speeds(eos, right, dir);
+    let a = lm_l.abs().max(lp_l.abs()).max(lm_r.abs()).max(lp_r.abs());
+    (f_l + f_r) * 0.5 - (u_r - u_l) * (0.5 * a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dissipation_vanishes_for_equal_states() {
+        let eos = Eos::ideal(1.4);
+        let p = Prim { rho: 1.0, vel: [0.2, -0.3, 0.4], p: 2.0 };
+        let f = rusanov_flux(&eos, &p, &p, Dir::Y);
+        let expected = crate::flux::physical_flux(&eos, &p, Dir::Y);
+        assert!((f - expected).max_norm() < 1e-14);
+    }
+
+    #[test]
+    fn adds_dissipation_proportional_to_jump() {
+        let eos = Eos::ideal(1.4);
+        let l = Prim::new_1d(1.0, 0.0, 1.0);
+        let r_small = Prim::new_1d(0.9, 0.0, 1.0);
+        let r_big = Prim::new_1d(0.5, 0.0, 1.0);
+        let f_small = rusanov_flux(&eos, &l, &r_small, Dir::X).d.abs();
+        let f_big = rusanov_flux(&eos, &l, &r_big, Dir::X).d.abs();
+        assert!(f_big > f_small, "{f_big} vs {f_small}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the relativistic Sod shock tube.
+//!
+//! Solves the canonical SRHD Riemann problem with PPM + HLLC + SSP-RK3,
+//! compares against the exact solution, and prints the density/velocity/
+//! pressure profile.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rhrsc::grid::PatchGeom;
+use rhrsc::solver::diag::l1_density_error;
+use rhrsc::solver::problems::Problem;
+use rhrsc::solver::scheme::{init_cons, prim_at};
+use rhrsc::solver::{PatchSolver, RkOrder, Scheme};
+
+fn main() {
+    let n = 400;
+    let prob = Problem::sod();
+    let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+    let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
+
+    println!("# Relativistic Sod shock tube");
+    println!("# N = {n}, scheme = ppm + hllc + ssp-rk3, t_end = {}", prob.t_end);
+
+    let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
+    let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
+    let t0 = std::time::Instant::now();
+    let steps = solver
+        .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+        .expect("solver failed");
+    let elapsed = t0.elapsed();
+
+    let exact = prob.exact.clone().expect("sod has an exact solution");
+    let (l1, prim) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
+
+    println!("# steps = {steps}, wall = {elapsed:.2?}, L1(rho) vs exact = {l1:.4e}");
+    println!("#");
+    println!("{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}", "x", "rho", "vx", "p", "rho_exact", "vx_exact", "p_exact");
+    for (i, j, k) in geom.interior_iter().step_by(8) {
+        let x = geom.center(i, j, k);
+        let w = prim_at(&prim, i, j, k);
+        let ex = exact(x, prob.t_end);
+        println!(
+            "{:>10.5} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            x[0], w.rho, w.vel[0], w.p, ex.rho, ex.vel[0], ex.p
+        );
+    }
+    assert!(l1 < 5e-3, "accuracy regression: L1 = {l1}");
+    println!("# OK");
+}
