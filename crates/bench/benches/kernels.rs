@@ -19,7 +19,14 @@ fn bench_con2prim(c: &mut Criterion) {
     let params = Con2PrimParams::default();
     let mut g = c.benchmark_group("con2prim");
     for (name, prim) in [
-        ("moderate", Prim { rho: 1.0, vel: [0.3, 0.2, -0.1], p: 0.5 }),
+        (
+            "moderate",
+            Prim {
+                rho: 1.0,
+                vel: [0.3, 0.2, -0.1],
+                p: 0.5,
+            },
+        ),
         ("cold_fast", Prim::new_1d(1.0, 0.99, 1e-6)),
         ("hot", Prim::at_rest(1.0, 1e4)),
         ("w100", Prim::new_1d(1.0, (1.0f64 - 1e-4).sqrt(), 0.1)),
@@ -56,7 +63,9 @@ fn bench_riemann(c: &mut Criterion) {
 
 fn bench_recon(c: &mut Criterion) {
     let n = 128;
-    let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + if i > 64 { 1.0 } else { 0.0 }).collect();
+    let q: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.3).sin() + if i > 64 { 1.0 } else { 0.0 })
+        .collect();
     let mut ql = vec![0.0; n + 1];
     let mut qr = vec![0.0; n + 1];
     let mut g = c.benchmark_group("reconstruction");
@@ -96,7 +105,12 @@ fn bench_step(c: &mut Criterion) {
         g.throughput(Throughput::Elements(1024 * 3));
         g.bench_function(BenchmarkId::new("rk3", "1d_1024"), |b| {
             b.iter_batched(
-                || (u0.clone(), PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom)),
+                || {
+                    (
+                        u0.clone(),
+                        PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom),
+                    )
+                },
                 |(mut u, mut solver)| solver.step(&mut u, 1e-4, None).unwrap(),
                 criterion::BatchSize::LargeInput,
             )
@@ -110,7 +124,12 @@ fn bench_step(c: &mut Criterion) {
         g.throughput(Throughput::Elements(64 * 64 * 3));
         g.bench_function(BenchmarkId::new("rk3", "2d_64x64"), |b| {
             b.iter_batched(
-                || (u0.clone(), PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom)),
+                || {
+                    (
+                        u0.clone(),
+                        PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom),
+                    )
+                },
                 |(mut u, mut solver)| solver.step(&mut u, 1e-4, None).unwrap(),
                 criterion::BatchSize::LargeInput,
             )
@@ -119,5 +138,11 @@ fn bench_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_con2prim, bench_riemann, bench_recon, bench_step);
+criterion_group!(
+    benches,
+    bench_con2prim,
+    bench_riemann,
+    bench_recon,
+    bench_step
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn main() {
         let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
         let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
         let t0 = Instant::now();
-        solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
+        solver
+            .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+            .unwrap();
         let wall = t0.elapsed().as_secs_f64();
         let zones = solver.stats().zone_updates as f64;
         let exact = prob.exact.clone().unwrap();

@@ -28,7 +28,9 @@ fn main() {
         let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
         let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
         let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
-        solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
+        solver
+            .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+            .unwrap();
         let (l1, _) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
         (l1, solver.stats().zone_updates)
     };
@@ -40,7 +42,14 @@ fn main() {
     let (refine_lo, refine_hi) = (20usize, 95usize);
     let run_smr = |subcycled: bool| -> (f64, u64) {
         let mut smr = SmrSolver::new(
-            scheme, prob.bcs, RkOrder::Rk3, 100, 0.0, 1.0, refine_lo, refine_hi,
+            scheme,
+            prob.bcs,
+            RkOrder::Rk3,
+            100,
+            0.0,
+            1.0,
+            refine_lo,
+            refine_hi,
         );
         if subcycled {
             smr = smr.with_subcycling();
@@ -73,12 +82,7 @@ fn main() {
         ("smr-100+2x", e_smr, z_smr),
         ("smr+subcycle", e_sub, z_sub),
     ] {
-        table.row(&[
-            name.to_string(),
-            sci(e),
-            z.to_string(),
-            f3(e / e_fine),
-        ]);
+        table.row(&[name.to_string(), sci(e), z.to_string(), f3(e / e_fine)]);
     }
     table.print();
     table.save_csv("a5_smr_efficiency");

@@ -25,7 +25,9 @@ fn main() {
             let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
             let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
             let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
-            solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
+            solver
+                .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+                .unwrap();
             let exact = prob.exact.clone().unwrap();
             let (l1, prim) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
 

@@ -18,8 +18,10 @@ use std::time::Duration;
 
 fn ic(x: [f64; 3]) -> Prim {
     Prim {
-        rho: 1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin()
-            * (2.0 * std::f64::consts::PI * x[1]).cos(),
+        rho: 1.0
+            + 0.4
+                * (2.0 * std::f64::consts::PI * x[0]).sin()
+                * (2.0 * std::f64::consts::PI * x[1]).cos(),
         vel: [0.4, -0.3, 0.0],
         p: 1.0,
     }

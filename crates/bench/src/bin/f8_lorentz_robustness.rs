@@ -28,7 +28,9 @@ fn main() {
         (RiemannSolver::Hllc, Recon::Weno5),
     ];
 
-    let mut table = Table::new(&["riemann", "recon", "boost_v", "W_bulk", "status", "L1(rho)", "W_max"]);
+    let mut table = Table::new(&[
+        "riemann", "recon", "boost_v", "W_bulk", "status", "L1(rho)", "W_max",
+    ]);
     for (rs, recon) in combos {
         for &vb in &boosts {
             let w_bulk = 1.0 / (1.0 - vb * vb).sqrt();
@@ -46,11 +48,19 @@ fn main() {
                 Ok(_) => {
                     let exact = prob.exact.clone().unwrap();
                     match l1_density_error(&scheme, &u, &exact, prob.t_end) {
-                        Ok((l1, prim)) => ("ok".to_string(), sci(l1), format!("{:.1}", max_lorentz(&prim))),
+                        Ok((l1, prim)) => (
+                            "ok".to_string(),
+                            sci(l1),
+                            format!("{:.1}", max_lorentz(&prim)),
+                        ),
                         Err(e) => (format!("post-fail: {e}"), "-".into(), "-".into()),
                     }
                 }
-                Err(e) => (format!("fail: {e}").chars().take(28).collect(), "-".into(), "-".into()),
+                Err(e) => (
+                    format!("fail: {e}").chars().take(28).collect(),
+                    "-".into(),
+                    "-".into(),
+                ),
             };
             table.row(&[
                 rs.name().to_string(),

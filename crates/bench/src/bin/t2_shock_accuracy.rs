@@ -20,7 +20,11 @@ use rhrsc_srhd::riemann::RiemannSolver;
 fn main() {
     println!("# T2: shock-tube L1(rho) error vs exact solution, N = 400");
     let n = 400;
-    let problems = [Problem::sod(), Problem::blast_wave_1(), Problem::blast_wave_2()];
+    let problems = [
+        Problem::sod(),
+        Problem::blast_wave_1(),
+        Problem::blast_wave_2(),
+    ];
     let recons = [
         Recon::Pc,
         Recon::Plm(Limiter::Mc),
@@ -44,7 +48,9 @@ fn main() {
                 let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
                 solver
                     .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
-                    .unwrap_or_else(|e| panic!("{} {} {}: {e}", prob.name, rs.name(), recon.name()));
+                    .unwrap_or_else(|e| {
+                        panic!("{} {} {}: {e}", prob.name, rs.name(), recon.name())
+                    });
                 let exact = prob.exact.clone().unwrap();
                 let (l1, _) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
                 table.row(&[

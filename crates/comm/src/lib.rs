@@ -16,4 +16,5 @@
 
 pub mod rank;
 
-pub use rank::{run, NetworkModel, Rank};
+pub use rank::{run, run_with_faults, NetworkModel, Rank};
+pub use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};

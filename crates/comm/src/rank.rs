@@ -1,10 +1,19 @@
 //! Ranks, tagged messaging, and collectives.
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tags at or above this value are reserved for collectives.
 const RESERVED_TAG_BASE: u64 = 1 << 62;
+
+/// Fault injection applies only to tags below this limit (the halo-traffic
+/// tag space). Collectives and gathers stay reliable: they carry control
+/// decisions — Δt agreement, error coordination — whose loss the recovery
+/// protocol itself depends on, mirroring how real resilience layers run
+/// their control plane over a reliable transport.
+const FAULT_TAG_LIMIT: u64 = 64;
 
 /// Cost model of the simulated interconnect.
 #[derive(Debug, Clone, Copy)]
@@ -128,6 +137,9 @@ pub struct Rank {
     vtime: f64,
     /// Shared CPU token for virtual-time compute sections.
     cpu: std::sync::Arc<CpuToken>,
+    /// Optional fault injector for halo-tag traffic (see
+    /// [`run_with_faults`]).
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Rank {
@@ -181,14 +193,45 @@ impl Rank {
         self.vtime += secs;
     }
 
+    /// This rank's fault injector, if the universe was started with
+    /// [`run_with_faults`] and an active plan.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// Counters of faults injected on this rank so far.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
     /// Eagerly send `data` to rank `to` with `tag`. Never blocks; the
     /// network cost is charged to the *receiver* as a delivery timestamp.
+    /// Under an active fault plan, halo-tag messages may be truncated or
+    /// delayed in flight.
     pub fn send(&mut self, to: usize, tag: u64, data: &[f64]) {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        if tag < FAULT_TAG_LIMIT {
+            if let Some(inj) = self.injector.clone() {
+                let extra = inj.should_delay_msg().unwrap_or(Duration::ZERO);
+                if inj.should_truncate_msg() && !data.is_empty() {
+                    // Deterministic truncation: drop the trailing half.
+                    // The receiver detects the short payload by length.
+                    let keep = data.len() / 2;
+                    self.send_with_delay(to, tag, &data[..keep], extra);
+                } else {
+                    self.send_with_delay(to, tag, data, extra);
+                }
+                return;
+            }
+        }
         self.send_raw(to, tag, data);
     }
 
     fn send_raw(&mut self, to: usize, tag: u64, data: &[f64]) {
+        self.send_with_delay(to, tag, data, Duration::ZERO);
+    }
+
+    fn send_with_delay(&mut self, to: usize, tag: u64, data: &[f64], extra: Duration) {
         assert!(to < self.size, "send to invalid rank {to}");
         assert_ne!(to, self.rank, "self-send is not supported");
         self.bytes_sent += std::mem::size_of_val(data) as u64;
@@ -200,9 +243,9 @@ impl Rank {
                 // No physical wait in virtual mode.
                 Instant::now()
             } else {
-                self.model.deliverable_at(data.len())
+                self.model.deliverable_at(data.len()) + extra
             },
-            v_deliver: self.vtime + self.model.cost_secs(data.len()),
+            v_deliver: self.vtime + self.model.cost_secs(data.len()) + extra.as_secs_f64(),
         };
         self.senders[to].send(env).expect("rank channel closed");
     }
@@ -342,7 +385,11 @@ impl Rank {
         let size = self.size;
         let vrank = (self.rank + size - root) % size;
         let to_real = move |v: usize| (v + root) % size;
-        let mut payload = if vrank == 0 { data.to_vec() } else { Vec::new() };
+        let mut payload = if vrank == 0 {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
         let mut top = 1usize;
         while top < self.size {
             top <<= 1;
@@ -390,7 +437,21 @@ where
     T: Send,
     F: Fn(&mut Rank) -> T + Send + Sync,
 {
+    run_with_faults(n, model, None, f)
+}
+
+/// [`run`] with a fault plan: each rank gets a deterministic
+/// [`FaultInjector`] salted by its id, applied to halo-tag traffic (and
+/// available through [`Rank::fault_injector`] for higher layers to draw
+/// cell-poisoning decisions from). `None` or an inactive plan behaves
+/// exactly like [`run`].
+pub fn run_with_faults<T, F>(n: usize, model: NetworkModel, plan: Option<FaultPlan>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Send + Sync,
+{
     assert!(n > 0);
+    let plan = plan.filter(|p| p.is_active());
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
@@ -413,6 +474,9 @@ where
             bytes_sent: 0,
             vtime: 0.0,
             cpu: cpu.clone(),
+            injector: plan
+                .as_ref()
+                .map(|p| Arc::new(FaultInjector::new(p.clone(), i as u64))),
         })
         .collect();
     drop(txs);
@@ -421,9 +485,7 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = ranks
             .iter_mut()
-            .map(|rank| {
-                s.spawn(move || f(rank))
-            })
+            .map(|rank| s.spawn(move || f(rank)))
             .collect();
         handles
             .into_iter()
@@ -497,7 +559,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let out = run(3, NetworkModel::ideal(), |r| {
-            let payload = if r.rank() == 2 { vec![5.0, 6.0] } else { vec![] };
+            let payload = if r.rank() == 2 {
+                vec![5.0, 6.0]
+            } else {
+                vec![]
+            };
             r.broadcast(2, &payload)
         });
         for v in &out {
@@ -690,7 +756,10 @@ mod tests {
                 r.vtime()
             }
         });
-        assert!(t0.elapsed() < Duration::from_secs(2), "must not wait physically");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "must not wait physically"
+        );
         assert!(out[1] >= 10.0, "receiver clock {}", out[1]);
         assert!(out[0] < 1.0, "sender clock unaffected: {}", out[0]);
     }
@@ -759,5 +828,94 @@ mod tests {
                 // Avoid hanging the other rank before the panic propagates.
             }
         });
+    }
+
+    #[test]
+    fn fault_plan_truncates_halo_messages() {
+        let plan = FaultPlan {
+            seed: 3,
+            msg_truncate_prob: 1.0,
+            ..FaultPlan::disabled()
+        };
+        let out = run_with_faults(2, NetworkModel::ideal(), Some(plan), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[1.0, 2.0, 3.0, 4.0]);
+                r.fault_stats().unwrap().msgs_truncated
+            } else {
+                r.recv(0, 1).len() as u64
+            }
+        });
+        assert_eq!(out[0], 1, "sender counted the truncation");
+        assert_eq!(out[1], 2, "receiver got half the payload");
+    }
+
+    #[test]
+    fn faults_spare_collectives_and_high_tags() {
+        let plan = FaultPlan {
+            seed: 4,
+            msg_truncate_prob: 1.0,
+            ..FaultPlan::disabled()
+        };
+        let out = run_with_faults(4, NetworkModel::ideal(), Some(plan), |r| {
+            let s = r.allreduce_sum(r.rank() as f64);
+            let gathered = if r.rank() == 0 {
+                let mut len = 3usize; // own contribution, not sent
+                for src in 1..4 {
+                    len += r.recv(src, 1000).len();
+                }
+                len
+            } else {
+                r.send(0, 1000, &[0.0, 0.0, 0.0]);
+                12
+            };
+            (s, gathered)
+        });
+        for &(s, g) in &out {
+            assert_eq!(s, 6.0, "collectives must be reliable under faults");
+            assert_eq!(g, 12, "tags >= FAULT_TAG_LIMIT are never truncated");
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let plan = || FaultPlan {
+            seed: 99,
+            msg_truncate_prob: 0.5,
+            ..FaultPlan::disabled()
+        };
+        let lens = || {
+            run_with_faults(2, NetworkModel::ideal(), Some(plan()), |r| {
+                if r.rank() == 0 {
+                    for m in 0..32 {
+                        r.send(1, (m % 4) as u64, &[1.0; 8]);
+                    }
+                    vec![]
+                } else {
+                    let mut got = Vec::new();
+                    for m in 0..32 {
+                        got.push(r.recv(0, (m % 4) as u64).len());
+                    }
+                    got
+                }
+            })
+        };
+        let a = lens();
+        let b = lens();
+        assert_eq!(a[1], b[1], "same plan, same fault pattern");
+        assert!(a[1].contains(&4), "some messages truncated");
+        assert!(a[1].contains(&8), "some messages intact");
+    }
+
+    #[test]
+    fn inactive_plan_is_transparent() {
+        let out = run_with_faults(2, NetworkModel::ideal(), Some(FaultPlan::disabled()), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[1.0, 2.0]);
+                r.fault_injector().is_none()
+            } else {
+                r.recv(0, 1).len() == 2
+            }
+        });
+        assert!(out.iter().all(|&b| b), "inactive plans attach no injector");
     }
 }

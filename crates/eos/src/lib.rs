@@ -192,7 +192,11 @@ mod tests {
 
     #[test]
     fn sound_speed_subluminal_and_positive() {
-        for eos in [Eos::ideal(4.0 / 3.0), Eos::ideal(5.0 / 3.0), Eos::TaubMathews] {
+        for eos in [
+            Eos::ideal(4.0 / 3.0),
+            Eos::ideal(5.0 / 3.0),
+            Eos::TaubMathews,
+        ] {
             // Sweep 12 decades of Θ.
             for k in -6..6 {
                 let p = 10f64.powi(k);
@@ -221,7 +225,10 @@ mod tests {
         // Cold limit: cs² -> Γ Θ = (5/3)Θ -> matches ideal gas.
         let theta = 1e-8;
         let cold = tm.sound_speed_sq(1.0, theta);
-        assert!((cold / (5.0 / 3.0 * theta) - 1.0).abs() < 1e-3, "cold cs2 {cold}");
+        assert!(
+            (cold / (5.0 / 3.0 * theta) - 1.0).abs() < 1e-3,
+            "cold cs2 {cold}"
+        );
     }
 
     #[test]

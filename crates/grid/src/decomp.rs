@@ -222,7 +222,11 @@ mod tests {
             for dim in 0..3 {
                 for side in 0..2 {
                     if let Some(nb) = d.neighbor(r, dim, side) {
-                        assert_eq!(d.neighbor(nb, dim, 1 - side), Some(r), "r={r} dim={dim} side={side}");
+                        assert_eq!(
+                            d.neighbor(nb, dim, 1 - side),
+                            Some(r),
+                            "r={r} dim={dim} side={side}"
+                        );
                     }
                 }
             }

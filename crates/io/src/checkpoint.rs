@@ -1,6 +1,6 @@
 //! Binary checkpoint/restart.
 //!
-//! Format (little-endian, version 1):
+//! Format (little-endian, version 2):
 //!
 //! ```text
 //! magic  "RHRSCCKP"           8 bytes
@@ -9,16 +9,24 @@
 //! geometry: n[3] u64, ng u64, origin[3] f64, dx[3] f64
 //! ncomp  u64
 //! data   ncomp * len f64      (ghost-inclusive, component-major)
-//! crc    u64 (FNV-1a over the data section)
+//! fnv    u64 (FNV-1a over the data section)
+//! crc32  u32 (CRC-32 over every preceding byte, header included)
 //! ```
+//!
+//! Writes are atomic: the payload goes to a sibling temp file which is
+//! fsynced and renamed into place, so a crash mid-write can never leave a
+//! file that [`load_checkpoint`] accepts — at worst a stale `*.tmp`,
+//! which the loaders ignore. [`CheckpointSlots`] adds a `latest`/`prev`
+//! rotation on top, so one torn or corrupted checkpoint still leaves a
+//! valid restart point.
 
 use bytes::{Buf, BufMut, BytesMut};
 use rhrsc_grid::{Field, PatchGeom};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"RHRSCCKP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A restartable solver state.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +78,21 @@ fn fnv1a(data: &[u8]) -> u64 {
     h
 }
 
+/// CRC-32 (IEEE, reflected) over a byte slice. Covers the whole file
+/// including the header, unlike the FNV data checksum — a bit flip in
+/// `time` or the geometry is as fatal to a restart as one in the data.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb88320 & mask);
+        }
+    }
+    !crc
+}
+
 /// Serialize a checkpoint to bytes.
 pub fn encode(ckp: &Checkpoint) -> Vec<u8> {
     let geom = ckp.field.geom();
@@ -95,11 +118,15 @@ pub fn encode(ckp: &Checkpoint) -> Vec<u8> {
     }
     let crc = fnv1a(&buf[data_start..]);
     buf.put_u64_le(crc);
+    let footer = crc32(&buf[..]);
+    buf.put_u32_le(footer);
     buf.to_vec()
 }
 
 /// Deserialize a checkpoint from bytes.
-pub fn decode(mut bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let orig = bytes;
+    let mut bytes = bytes;
     if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
         return Err(CheckpointError::Format("missing magic".into()));
     }
@@ -131,12 +158,24 @@ pub fn decode(mut bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     let geom = PatchGeom { n, ng, origin, dx };
     let ncomp = bytes.get_u64_le() as usize;
     let len = ncomp * geom.len();
-    if bytes.remaining() != len * 8 + 8 {
+    if bytes.remaining() != len * 8 + 8 + 4 {
         return Err(CheckpointError::Format(format!(
             "data section: expected {} bytes, have {}",
-            len * 8 + 8,
+            len * 8 + 8 + 4,
             bytes.remaining()
         )));
+    }
+    // Whole-file CRC first: catches header corruption the per-section FNV
+    // checksum cannot see.
+    let footer_off = orig.len() - 4;
+    let stored = u32::from_le_bytes([
+        orig[footer_off],
+        orig[footer_off + 1],
+        orig[footer_off + 2],
+        orig[footer_off + 3],
+    ]);
+    if crc32(&orig[..footer_off]) != stored {
+        return Err(CheckpointError::Corrupt);
     }
     let data_bytes = &bytes[..len * 8];
     let crc_expected = fnv1a(data_bytes);
@@ -155,11 +194,27 @@ pub fn decode(mut bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     })
 }
 
-/// Write a checkpoint file.
+/// Sibling temp path used for atomic writes (`state.ckp` → `state.ckp.tmp`).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Write a checkpoint file atomically.
+///
+/// The payload goes to a sibling `<path>.tmp`, is fsynced, and renamed
+/// into place. A crash at any point leaves either the old file or the new
+/// one — never a torn write under `path` itself.
 pub fn save_checkpoint(path: &Path, ckp: &Checkpoint) -> Result<(), CheckpointError> {
     let bytes = encode(ckp);
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&bytes)?;
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -168,6 +223,54 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     decode(&bytes)
+}
+
+/// Rotating two-slot checkpoint store: `latest.ckp` and `prev.ckp` in one
+/// directory. Saving demotes the current `latest` to `prev` before the
+/// atomic rename, so even if the new checkpoint is later found corrupted
+/// (e.g. media failure after the write), the previous generation is still
+/// on disk and [`CheckpointSlots::load_newest`] falls back to it.
+#[derive(Debug, Clone)]
+pub struct CheckpointSlots {
+    dir: PathBuf,
+}
+
+impl CheckpointSlots {
+    /// Open (and create if missing) a slot directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointSlots { dir })
+    }
+
+    /// Path of the most recent checkpoint slot.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("latest.ckp")
+    }
+
+    /// Path of the previous-generation checkpoint slot.
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join("prev.ckp")
+    }
+
+    /// Save a checkpoint, rotating `latest` → `prev` first.
+    pub fn save(&self, ckp: &Checkpoint) -> Result<(), CheckpointError> {
+        let latest = self.latest_path();
+        if latest.exists() {
+            std::fs::rename(&latest, self.prev_path())?;
+        }
+        save_checkpoint(&latest, ckp)
+    }
+
+    /// Load the newest valid checkpoint: `latest` if it decodes cleanly,
+    /// otherwise `prev`. Returns the last error if both slots are missing
+    /// or corrupt.
+    pub fn load_newest(&self) -> Result<Checkpoint, CheckpointError> {
+        match load_checkpoint(&self.latest_path()) {
+            Ok(ckp) => Ok(ckp),
+            Err(_) => load_checkpoint(&self.prev_path()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +345,68 @@ mod tests {
     }
 
     #[test]
+    fn detects_header_corruption() {
+        // A bit flip in the `time` field is invisible to the data-section
+        // FNV checksum; the whole-file CRC must catch it.
+        let ckp = sample();
+        let mut bytes = encode(&ckp);
+        bytes[12] ^= 0x01; // low byte of `time`
+        assert!(matches!(decode(&bytes), Err(CheckpointError::Corrupt)));
+    }
+
+    #[test]
+    fn save_is_atomic_over_stale_tmp() {
+        // A crash mid-write leaves a garbage `<path>.tmp`. A later save
+        // must still succeed, the result must load cleanly, and no tmp
+        // file may survive.
+        let dir = std::env::temp_dir().join("rhrsc-ckp-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckp");
+        let tmp = tmp_path(&path);
+        std::fs::write(&tmp, b"torn write from a crashed run").unwrap();
+        let ckp = sample();
+        save_checkpoint(&path, &ckp).unwrap();
+        assert!(!tmp.exists(), "tmp file must be renamed away");
+        assert_eq!(load_checkpoint(&path).unwrap(), ckp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slots_rotate_and_fall_back() {
+        let dir = std::env::temp_dir().join("rhrsc-ckp-slots-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let slots = CheckpointSlots::new(&dir).unwrap();
+
+        // Nothing saved yet: load must fail.
+        assert!(slots.load_newest().is_err());
+
+        let mut a = sample();
+        a.step = 1;
+        slots.save(&a).unwrap();
+        assert_eq!(slots.load_newest().unwrap().step, 1);
+        assert!(!slots.prev_path().exists());
+
+        let mut b = sample();
+        b.step = 2;
+        slots.save(&b).unwrap();
+        assert_eq!(slots.load_newest().unwrap().step, 2);
+        // First generation rotated into prev.
+        assert_eq!(load_checkpoint(&slots.prev_path()).unwrap().step, 1);
+
+        // Corrupt latest: load_newest must fall back to prev.
+        let mut bytes = std::fs::read(slots.latest_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(slots.latest_path(), &bytes).unwrap();
+        assert_eq!(slots.load_newest().unwrap().step, 1);
+
+        // Corrupt prev too: now everything is gone.
+        std::fs::write(slots.prev_path(), b"junk").unwrap();
+        assert!(slots.load_newest().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn special_values_roundtrip() {
         let geom = PatchGeom::line(4, 0.0, 1.0, 1);
         let mut field = Field::new(geom, 1);
@@ -249,7 +414,11 @@ mod tests {
         field.raw_mut()[1] = -0.0;
         field.raw_mut()[2] = 1e308;
         field.raw_mut()[3] = 5e-324; // subnormal
-        let ckp = Checkpoint { time: 0.0, step: 0, field };
+        let ckp = Checkpoint {
+            time: 0.0,
+            step: 0,
+            field,
+        };
         let out = decode(&encode(&ckp)).unwrap();
         assert_eq!(out.field.raw(), ckp.field.raw());
         assert!(out.field.raw()[1].is_sign_negative());

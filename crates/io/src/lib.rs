@@ -13,4 +13,6 @@ pub mod checkpoint;
 pub mod image;
 pub mod vtk;
 
-pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, Checkpoint, CheckpointError, CheckpointSlots,
+};

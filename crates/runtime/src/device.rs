@@ -20,12 +20,14 @@
 //! (crossover tile size, T3) matches the shape of a genuine offload
 //! device.
 
+use crate::fault::FaultInjector;
 use crate::future::{promise, Future, Promise};
 use crate::pool::WorkStealingPool;
 use crate::spin_for;
 use crossbeam_channel::{unbounded, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -126,9 +128,14 @@ type Kernel = Box<dyn FnOnce(&mut DeviceCtx) + Send + 'static>;
 enum Command {
     Alloc(u64, usize),
     Free(u64),
-    H2D(u64, Vec<f64>, Promise<()>),
+    /// Bool flags a fault-injected copy: the transfer cost is paid twice
+    /// (one failed attempt + the retry).
+    H2D(u64, Vec<f64>, Promise<()>, bool),
     D2H(u64, Promise<Vec<f64>>),
-    Launch(Kernel, Promise<()>),
+    /// Bool flags a fault-injected launch: the kernel still executes (the
+    /// transparent host fallback), but its time is charged at host speed
+    /// instead of through the throughput multiplier.
+    Launch(Kernel, Promise<()>, bool),
     Fence(Promise<()>),
     Shutdown,
 }
@@ -141,6 +148,9 @@ pub struct Accelerator {
     /// Modeled device-time consumed, in nanoseconds.
     vclock_ns: std::sync::Arc<AtomicU64>,
     worker: Option<JoinHandle<()>>,
+    /// Optional fault injector (failed launches fall back to host-speed
+    /// execution, failed copies are retried — both transparently).
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Accelerator {
@@ -163,12 +173,16 @@ impl Accelerator {
                         Command::Free(id) => {
                             buffers.remove(&id);
                         }
-                        Command::H2D(id, data, done) => {
+                        Command::H2D(id, data, done, faulted) => {
                             charge_copy(&dev_cfg, data.len());
-                            charge_vclock(&vclock, copy_secs(&dev_cfg, data.len()));
-                            let buf = buffers
-                                .get_mut(&id)
-                                .expect("H2D into unallocated buffer");
+                            let mut secs = copy_secs(&dev_cfg, data.len());
+                            if faulted {
+                                // The failed first attempt paid the link
+                                // cost too before the retry succeeded.
+                                secs *= 2.0;
+                            }
+                            charge_vclock(&vclock, secs);
+                            let buf = buffers.get_mut(&id).expect("H2D into unallocated buffer");
                             assert_eq!(buf.len(), data.len(), "H2D size mismatch");
                             buf.copy_from_slice(&data);
                             done.set(());
@@ -179,7 +193,7 @@ impl Accelerator {
                             charge_vclock(&vclock, copy_secs(&dev_cfg, buf.len()));
                             done.set(buf.clone());
                         }
-                        Command::Launch(kernel, done) => {
+                        Command::Launch(kernel, done, host_fallback) => {
                             spin_for(dev_cfg.launch_overhead);
                             let mut ctx = DeviceCtx {
                                 buffers: &mut buffers,
@@ -187,9 +201,16 @@ impl Accelerator {
                             };
                             let t0 = std::time::Instant::now();
                             kernel(&mut ctx);
+                            // A failed launch re-runs on the host: same
+                            // kernel, same data (results stay
+                            // bit-identical), but no accelerator speedup.
+                            let multiplier = if host_fallback {
+                                1.0
+                            } else {
+                                dev_cfg.throughput_multiplier.max(1e-9)
+                            };
                             let secs = dev_cfg.launch_overhead.as_secs_f64()
-                                + t0.elapsed().as_secs_f64()
-                                    / dev_cfg.throughput_multiplier.max(1e-9);
+                                + t0.elapsed().as_secs_f64() / multiplier;
                             charge_vclock(&vclock, secs);
                             done.set(());
                         }
@@ -205,7 +226,21 @@ impl Accelerator {
             cfg,
             vclock_ns,
             worker: Some(worker),
+            injector: None,
         }
+    }
+
+    /// Attach a fault injector: subsequent launches/copies may be failed
+    /// according to its plan, with transparent recovery (host-fallback
+    /// execution and copy retries). Results are unaffected; only the
+    /// virtual clock and the injector's counters change.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// The attached fault injector's counters, if any.
+    pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
     }
 
     /// Modeled device time consumed so far (launch overheads + kernel
@@ -235,11 +270,14 @@ impl Accelerator {
         let _ = self.tx.send(Command::Free(id.0));
     }
 
-    /// Asynchronously copy host data into a device buffer.
+    /// Asynchronously copy host data into a device buffer. An injected
+    /// copy fault costs one failed attempt (charged to the virtual clock)
+    /// before the transparent retry.
     pub fn copy_to_device(&self, id: BufId, data: &[f64]) -> Future<()> {
+        let faulted = self.injector.as_ref().is_some_and(|i| i.should_fail_copy());
         let (p, f) = promise();
         self.tx
-            .send(Command::H2D(id.0, data.to_vec(), p))
+            .send(Command::H2D(id.0, data.to_vec(), p, faulted))
             .expect("device queue closed");
         f
     }
@@ -253,11 +291,17 @@ impl Accelerator {
         f
     }
 
-    /// Asynchronously launch a kernel on the device's command queue.
+    /// Asynchronously launch a kernel on the device's command queue. An
+    /// injected launch fault executes the kernel anyway — the transparent
+    /// host fallback — but at host speed on the virtual clock.
     pub fn launch(&self, kernel: impl FnOnce(&mut DeviceCtx) + Send + 'static) -> Future<()> {
+        let host_fallback = self
+            .injector
+            .as_ref()
+            .is_some_and(|i| i.should_fail_launch());
         let (p, f) = promise();
         self.tx
-            .send(Command::Launch(Box::new(kernel), p))
+            .send(Command::Launch(Box::new(kernel), p, host_fallback))
             .expect("device queue closed");
         f
     }
@@ -265,7 +309,9 @@ impl Accelerator {
     /// Block until every previously enqueued command has completed.
     pub fn sync(&self) {
         let (p, f) = promise();
-        self.tx.send(Command::Fence(p)).expect("device queue closed");
+        self.tx
+            .send(Command::Fence(p))
+            .expect("device queue closed");
         f.get();
     }
 }
@@ -432,7 +478,7 @@ mod tests {
         dev.free(a);
         let b = dev.alloc(10);
         assert_ne!(a, b, "buffer ids are never recycled");
-        dev.copy_to_device(b, &vec![1.0; 10]).get();
+        dev.copy_to_device(b, &[1.0; 10]).get();
     }
 
     #[test]
@@ -440,5 +486,72 @@ mod tests {
         let dev = Accelerator::new(fast_cfg());
         let b = dev.alloc(8);
         assert_eq!(dev.copy_to_host(b).get(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn injected_faults_are_transparent() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        // Every launch fails, every copy fails: results must still be
+        // exactly what a healthy device produces, with the faults counted.
+        let mut dev = Accelerator::new(fast_cfg());
+        let plan = FaultPlan {
+            seed: 11,
+            launch_fail_prob: 1.0,
+            copy_fail_prob: 1.0,
+            ..FaultPlan::disabled()
+        };
+        dev.set_fault_injector(Arc::new(FaultInjector::new(plan, 0)));
+        let buf = dev.alloc(16);
+        dev.copy_to_device(buf, &[3.0; 16]).get();
+        dev.launch(move |ctx| {
+            for v in ctx.buf_mut(buf) {
+                *v += 1.0;
+            }
+        })
+        .get();
+        assert_eq!(dev.copy_to_host(buf).get(), vec![4.0; 16]);
+        let st = dev.fault_stats().unwrap();
+        assert_eq!(st.launches_failed, 1);
+        assert_eq!(st.copies_failed, 1);
+    }
+
+    #[test]
+    fn launch_fallback_charges_host_speed() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        // A failed launch loses the accelerator speedup: its virtual-time
+        // charge must exceed a healthy launch's by about the multiplier.
+        let mut cfg = fast_cfg();
+        cfg.throughput_multiplier = 16.0;
+        let busy = || {
+            move |ctx: &mut DeviceCtx| {
+                let b = ctx.buf_mut(BufId(1));
+                for _ in 0..2000 {
+                    for v in b.iter_mut() {
+                        *v = (*v + 1.0).sin();
+                    }
+                }
+            }
+        };
+        let healthy = Accelerator::new(cfg.clone());
+        let hb = healthy.alloc(512);
+        assert_eq!(hb, BufId(1));
+        healthy.launch(busy()).get();
+        let t_healthy = healthy.virtual_time();
+
+        let mut faulty = Accelerator::new(cfg);
+        let plan = FaultPlan {
+            seed: 1,
+            launch_fail_prob: 1.0,
+            ..FaultPlan::disabled()
+        };
+        faulty.set_fault_injector(Arc::new(FaultInjector::new(plan, 0)));
+        let fb = faulty.alloc(512);
+        assert_eq!(fb, BufId(1));
+        faulty.launch(busy()).get();
+        let t_faulty = faulty.virtual_time();
+        assert!(
+            t_faulty > t_healthy * 4,
+            "host fallback {t_faulty:?} should dwarf accelerated {t_healthy:?}"
+        );
     }
 }

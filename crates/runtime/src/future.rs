@@ -52,7 +52,9 @@ pub fn promise<T>() -> (Promise<T>, Future<T>) {
         cv: Condvar::new(),
     });
     (
-        Promise { shared: shared.clone() },
+        Promise {
+            shared: shared.clone(),
+        },
         Future { shared },
     )
 }

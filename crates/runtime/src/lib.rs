@@ -19,12 +19,14 @@
 
 pub mod device;
 pub mod executor;
+pub mod fault;
 pub mod future;
 pub mod pool;
 pub mod sched;
 
 pub use device::{Accelerator, AcceleratorConfig, BufId};
 pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use future::{promise, Future, Promise};
 pub use pool::WorkStealingPool;
 pub use sched::{plan_static, plan_weighted, Policy};

@@ -62,7 +62,11 @@ impl WorkStealingPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        WorkStealingPool { shared, handles, nthreads }
+        WorkStealingPool {
+            shared,
+            handles,
+            nthreads,
+        }
     }
 
     /// Number of worker threads.
@@ -225,9 +229,7 @@ fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<Shared>) {
         if !shared.injector.is_empty() {
             continue;
         }
-        shared
-            .wake
-            .wait_for(&mut guard, Duration::from_millis(5));
+        shared.wake.wait_for(&mut guard, Duration::from_millis(5));
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }

@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn static_plan_covers_all_tiles_once() {
         let plan = plan_static(17, 4);
-        let mut seen = vec![false; 17];
+        let mut seen = [false; 17];
         for tiles in &plan {
             for &t in tiles {
                 assert!(!seen[t]);
@@ -173,7 +173,10 @@ mod tests {
                 h[t].fetch_add(1, Ordering::Relaxed);
             })
         };
-        let counts = run_dynamic(vec![mk(hits.clone()), mk(hits.clone()), mk(hits.clone())], n);
+        let counts = run_dynamic(
+            vec![mk(hits.clone()), mk(hits.clone()), mk(hits.clone())],
+            n,
+        );
         assert_eq!(counts.iter().sum::<usize>(), n);
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }

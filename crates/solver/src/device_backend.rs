@@ -52,6 +52,19 @@ impl DevicePatchSolver {
         &self.geom
     }
 
+    /// Attach a fault injector to the underlying device: subsequent
+    /// launches and copies may fail per the plan and fall back
+    /// transparently (results stay bit-identical; only the cost model and
+    /// the fault counters change).
+    pub fn set_fault_injector(&mut self, injector: std::sync::Arc<rhrsc_runtime::FaultInjector>) {
+        self.dev.set_fault_injector(injector);
+    }
+
+    /// Device-side fault counters, if an injector is attached.
+    pub fn fault_stats(&self) -> Option<rhrsc_runtime::FaultStats> {
+        self.dev.fault_stats()
+    }
+
     /// Modeled device time consumed so far (see
     /// [`rhrsc_runtime::Accelerator::virtual_time`]).
     pub fn device_time(&self) -> std::time::Duration {
@@ -187,11 +200,13 @@ mod tests {
         let scheme = Scheme::default_with_gamma(5.0 / 3.0);
         let bcs = bc::uniform(rhrsc_grid::Bc::Periodic);
         let mk_ic = |phase: f64| {
-            move |x: [f64; 3]| rhrsc_srhd::Prim::new_1d(
-                1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0] + phase).sin(),
-                0.4,
-                1.0,
-            )
+            move |x: [f64; 3]| {
+                rhrsc_srhd::Prim::new_1d(
+                    1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0] + phase).sin(),
+                    0.4,
+                    1.0,
+                )
+            }
         };
         let geom = PatchGeom::line(64, 0.0, 1.0, scheme.required_ghosts());
         let devs: Vec<DevicePatchSolver> = (0..2)

@@ -18,13 +18,16 @@
 
 use crate::integrate::RkOrder;
 use crate::scheme::{
-    init_cons, max_dt, recover_cell, recover_prims, Scheme, SolverError,
+    init_cons, max_dt, recover_cell, recover_cells_resilient, recover_prims,
+    recover_prims_resilient, RecoveryPolicy, RecoveryStats, Scheme, SolverError,
 };
 use crate::step::{accumulate_rhs_region, Region};
 use rhrsc_comm::Rank;
 use rhrsc_grid::{fill_face, BcSet, CartDecomp, Field, PatchGeom};
+use rhrsc_io::checkpoint::{load_checkpoint, Checkpoint, CheckpointSlots};
 use rhrsc_runtime::WorkStealingPool;
 use rhrsc_srhd::{Prim, NCOMP};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Halo-exchange strategy.
@@ -113,6 +116,58 @@ pub struct DistStats {
     pub vtime: f64,
 }
 
+/// Knobs of the resilient advance loop
+/// ([`BlockSolver::advance_to_with_restart`]).
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// How the in-step primitive recovery responds to failures. The
+    /// resilient driver wants [`RecoveryPolicy::Cascade`] (the default
+    /// here): under it a rank's compute phase cannot fail, which keeps
+    /// the collective communication pattern intact across ranks even
+    /// while a step is going wrong.
+    pub recovery: RecoveryPolicy,
+    /// Retries of a failed step before escalating to a checkpoint
+    /// restore. Each retry rolls the state back and halves the effective
+    /// CFL (exponential backoff).
+    pub max_step_retries: usize,
+    /// Checkpoint restores before giving up entirely.
+    pub max_restarts: usize,
+    /// Save a rotating checkpoint every this many committed steps
+    /// (0 disables periodic checkpoints; an initial one is still written
+    /// when `checkpoint_dir` is set, so a restore target always exists).
+    pub checkpoint_interval: usize,
+    /// Directory for per-rank checkpoint slots (`<dir>/rank<r>/`).
+    /// `None` disables checkpointing — and with it the restart tier.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            recovery: RecoveryPolicy::Cascade,
+            max_step_retries: 3,
+            max_restarts: 2,
+            checkpoint_interval: 10,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Counters of the resilient advance loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Committed steps that needed at least one retry.
+    pub retried_steps: u64,
+    /// Total step retries (a step may be retried more than once).
+    pub retries: u64,
+    /// Checkpoint restores.
+    pub restarts: u64,
+    /// Checkpoints written (initial + periodic).
+    pub checkpoints_saved: u64,
+    /// Cells repaired by the primitive-recovery cascade, by tier.
+    pub recovery: RecoveryStats,
+}
+
 /// One rank's solver state.
 pub struct BlockSolver {
     cfg: DistConfig,
@@ -122,6 +177,8 @@ pub struct BlockSolver {
     rhs: Field,
     u_stage: Field,
     gang: Option<WorkStealingPool>,
+    recovery: RecoveryPolicy,
+    rec_stats: RecoveryStats,
 }
 
 impl BlockSolver {
@@ -140,6 +197,8 @@ impl BlockSolver {
                 rhs: Field::cons(geom),
                 u_stage: Field::cons(geom),
                 gang,
+                recovery: RecoveryPolicy::default(),
+                rec_stats: RecoveryStats::default(),
             },
             u,
         )
@@ -150,6 +209,17 @@ impl BlockSolver {
         &self.geom
     }
 
+    /// Set how primitive-recovery failures are handled (default:
+    /// [`RecoveryPolicy::Strict`], the seed behavior).
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// Cascade-tier counters accumulated so far on this rank.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.rec_stats
+    }
+
     /// Pack the `ng` interior layers adjacent to face (`d`, `side`)
     /// (transverse interior only — corners are never exchanged).
     fn pack_face(&self, u: &Field, d: usize, side: usize) -> Vec<f64> {
@@ -157,8 +227,7 @@ impl BlockSolver {
         let ng = geom.ng_of(d);
         let n = geom.n[d];
         let range = if side == 0 { ng..2 * ng } else { n..n + ng };
-        let mut buf =
-            Vec::with_capacity(NCOMP * ng * transverse_len(geom, d));
+        let mut buf = Vec::with_capacity(NCOMP * ng * transverse_len(geom, d));
         for c in 0..NCOMP {
             for l in range.clone() {
                 for_each_transverse(geom, d, |t1, t2| {
@@ -171,21 +240,38 @@ impl BlockSolver {
     }
 
     /// Unpack a received halo into the ghost layers of face (`d`, `side`).
-    fn unpack_face(&self, u: &mut Field, d: usize, side: usize, buf: &[f64]) {
+    /// A wrong-length buffer (truncated in flight) leaves the ghosts
+    /// untouched and reports [`SolverError::HaloMismatch`].
+    fn unpack_face(
+        &self,
+        u: &mut Field,
+        d: usize,
+        side: usize,
+        buf: &[f64],
+    ) -> Result<(), SolverError> {
         let geom = &self.geom;
         let ng = geom.ng_of(d);
         let n = geom.n[d];
+        let expected = NCOMP * ng * transverse_len(geom, d);
+        if buf.len() != expected {
+            return Err(SolverError::HaloMismatch {
+                expected,
+                got: buf.len(),
+            });
+        }
         let range = if side == 0 { 0..ng } else { ng + n..2 * ng + n };
-        let mut it = buf.iter();
+        let mut idx = 0;
         for c in 0..NCOMP {
             for l in range.clone() {
                 for_each_transverse(geom, d, |t1, t2| {
                     let (i, j, k) = cell_of(d, l, t1, t2);
-                    u.set(c, i, j, k, *it.next().expect("halo buffer too short"));
+                    u.set(c, i, j, k, buf[idx]);
+                    idx += 1;
                 });
             }
         }
-        assert!(it.next().is_none(), "halo buffer too long");
+        debug_assert_eq!(idx, expected);
+        Ok(())
     }
 
     /// Post all halo sends for the current state.
@@ -207,7 +293,13 @@ impl BlockSolver {
     }
 
     /// Receive all halos and fill physical faces.
-    fn recv_halos(&self, rank: &mut Rank, u: &mut Field) {
+    ///
+    /// Every expected message is received even after an unpack failure —
+    /// bailing out early would leave messages queued and desynchronize
+    /// this rank's communication pattern from its neighbors'. The first
+    /// error is reported after the exchange is fully drained.
+    fn recv_halos(&self, rank: &mut Rank, u: &mut Field) -> Result<(), SolverError> {
+        let mut first_err = None;
         for d in 0..3 {
             if !self.geom.active(d) {
                 continue;
@@ -223,7 +315,9 @@ impl BlockSolver {
                         // Neighbor's opposite face arrives tagged with its
                         // (d, 1-side).
                         let buf = rank.recv(nb, (d * 2 + (1 - side)) as u64);
-                        rank.work(|| self.unpack_face(u, d, side, &buf));
+                        if let Err(e) = rank.work(|| self.unpack_face(u, d, side, &buf)) {
+                            first_err.get_or_insert(e);
+                        }
                     }
                     _ => {
                         // Physical boundary, or periodic self-wrap when the
@@ -233,12 +327,35 @@ impl BlockSolver {
                 }
             }
         }
+        first_err.map_or(Ok(()), Err)
     }
 
     /// Recover primitives over the ghost-face slabs only (after halos
     /// arrive in overlap mode; the interior was recovered earlier).
-    fn recover_ghost_faces(&mut self, u: &Field) -> Result<(), SolverError> {
+    fn recover_ghost_faces(&mut self, u: &mut Field) -> Result<(), SolverError> {
         let geom = self.geom;
+        if self.recovery == RecoveryPolicy::Cascade {
+            let mut cells = Vec::new();
+            for d in 0..3 {
+                let ng = geom.ng_of(d);
+                if ng == 0 {
+                    continue;
+                }
+                let n = geom.n[d];
+                for side in 0..2 {
+                    let range = if side == 0 { 0..ng } else { ng + n..2 * ng + n };
+                    for l in range {
+                        for_each_transverse(&geom, d, |t1, t2| {
+                            cells.push(cell_of(d, l, t1, t2));
+                        });
+                    }
+                }
+            }
+            let mut stats = RecoveryStats::default();
+            recover_cells_resilient(&self.cfg.scheme, u, &mut self.prim, cells, &mut stats);
+            self.rec_stats.merge(&stats);
+            return Ok(());
+        }
         for d in 0..3 {
             let ng = geom.ng_of(d);
             if ng == 0 {
@@ -254,8 +371,7 @@ impl BlockSolver {
                             return;
                         }
                         let (i, j, k) = cell_of(d, l, t1, t2);
-                        if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k)
-                        {
+                        if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k) {
                             err = Some(e);
                         }
                     });
@@ -269,8 +385,15 @@ impl BlockSolver {
     }
 
     /// Recover primitives over interior cells only.
-    fn recover_interior(&mut self, u: &Field) -> Result<(), SolverError> {
+    fn recover_interior(&mut self, u: &mut Field) -> Result<(), SolverError> {
         let geom = self.geom;
+        if self.recovery == RecoveryPolicy::Cascade {
+            let mut stats = RecoveryStats::default();
+            let cells: Vec<_> = geom.interior_iter().collect();
+            recover_cells_resilient(&self.cfg.scheme, u, &mut self.prim, cells, &mut stats);
+            self.rec_stats.merge(&stats);
+            return Ok(());
+        }
         let mut err = None;
         for (i, j, k) in geom.interior_iter() {
             if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k) {
@@ -287,11 +410,18 @@ impl BlockSolver {
         match self.cfg.mode {
             ExchangeMode::BulkSynchronous => {
                 self.post_sends(rank, u);
-                self.recv_halos(rank, u);
+                self.recv_halos(rank, u)?;
                 let scheme = self.cfg.scheme;
                 let geom = self.geom;
+                let policy = self.recovery;
                 rank.work(|| -> Result<(), SolverError> {
-                    recover_prims(&scheme, u, &mut self.prim)?;
+                    if policy == RecoveryPolicy::Cascade {
+                        let mut stats = RecoveryStats::default();
+                        recover_prims_resilient(&scheme, u, &mut self.prim, &mut stats);
+                        self.rec_stats.merge(&stats);
+                    } else {
+                        recover_prims(&scheme, u, &mut self.prim)?;
+                    }
                     let region = Region::interior(&geom);
                     accumulate_rhs_region(
                         &scheme,
@@ -319,7 +449,7 @@ impl BlockSolver {
                     );
                     Ok(())
                 })?;
-                self.recv_halos(rank, u);
+                self.recv_halos(rank, u)?;
                 rank.work(|| -> Result<(), SolverError> {
                     self.recover_ghost_faces(u)?;
                     for sh in &shells {
@@ -357,9 +487,7 @@ impl BlockSolver {
                 self.eval_rhs(rank, u)?;
                 rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
                 self.eval_rhs(rank, u)?;
-                rank.work(|| {
-                    lincomb(u, 0.25, Some((&self.u_stage, 0.75)), &self.rhs, 0.25 * dt)
-                });
+                rank.work(|| lincomb(u, 0.25, Some((&self.u_stage, 0.75)), &self.rhs, 0.25 * dt));
                 self.eval_rhs(rank, u)?;
                 rank.work(|| {
                     lincomb(
@@ -373,6 +501,58 @@ impl BlockSolver {
             }
         }
         Ok(())
+    }
+
+    /// Like [`BlockSolver::step`], but every RK stage runs even after an
+    /// error. Under [`RecoveryPolicy::Cascade`] the only in-step failure
+    /// mode is a halo mismatch, and by then the neighbor ranks are
+    /// already committed to the full per-step communication pattern —
+    /// aborting mid-step would leave them blocked in `recv`. Instead the
+    /// remaining stages keep exchanging (possibly stale) data, the first
+    /// error is reported at the end, and the caller rolls the state back.
+    pub fn step_resilient(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        dt: f64,
+    ) -> Result<(), SolverError> {
+        fn note(slot: &mut Option<SolverError>, r: Result<(), SolverError>) {
+            if let Err(e) = r {
+                slot.get_or_insert(e);
+            }
+        }
+        let mut first = None;
+        match self.cfg.rk {
+            RkOrder::Rk1 => {
+                note(&mut first, self.eval_rhs(rank, u));
+                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+            }
+            RkOrder::Rk2 => {
+                self.u_stage.raw_mut().copy_from_slice(u.raw());
+                note(&mut first, self.eval_rhs(rank, u));
+                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                note(&mut first, self.eval_rhs(rank, u));
+                rank.work(|| lincomb(u, 0.5, Some((&self.u_stage, 0.5)), &self.rhs, 0.5 * dt));
+            }
+            RkOrder::Rk3 => {
+                self.u_stage.raw_mut().copy_from_slice(u.raw());
+                note(&mut first, self.eval_rhs(rank, u));
+                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                note(&mut first, self.eval_rhs(rank, u));
+                rank.work(|| lincomb(u, 0.25, Some((&self.u_stage, 0.75)), &self.rhs, 0.25 * dt));
+                note(&mut first, self.eval_rhs(rank, u));
+                rank.work(|| {
+                    lincomb(
+                        u,
+                        2.0 / 3.0,
+                        Some((&self.u_stage, 1.0 / 3.0)),
+                        &self.rhs,
+                        2.0 / 3.0 * dt,
+                    )
+                });
+            }
+        }
+        first.map_or(Ok(()), Err)
     }
 
     /// Globally stable Δt: local CFL bound reduced with allreduce-min.
@@ -456,6 +636,226 @@ impl BlockSolver {
         stats.vtime = rank.vtime() - vtime0;
         Ok(stats)
     }
+
+    /// One attempt of a resilient step: Δt allreduce at `scale`× the
+    /// configured CFL, then a full (never-deadlocking) step. Returns the
+    /// committed Δt.
+    fn try_step(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        t: f64,
+        t_end: f64,
+        scale: f64,
+    ) -> Result<f64, SolverError> {
+        let mut dt = self.stable_dt(rank, u)? * scale;
+        // Negated form deliberately catches NaN as a collapse.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(dt > 1e-14) {
+            return Err(SolverError::TimestepCollapse { dt });
+        }
+        if t + dt > t_end {
+            dt = t_end - t;
+        }
+        self.step_resilient(rank, u, dt)?;
+        Ok(dt)
+    }
+
+    /// Advance to `t_end` with the full resilience stack:
+    ///
+    /// 1. in-step primitive-recovery failures are repaired by the cascade
+    ///    (per [`ResilienceConfig::recovery`]),
+    /// 2. a failed step (halo mismatch or Δt collapse on *any* rank — the
+    ///    ranks agree via an allreduce after every step) is rolled back
+    ///    from an in-memory backup and retried at halved CFL, up to
+    ///    [`ResilienceConfig::max_step_retries`] times,
+    /// 3. when retries are exhausted, the newest valid checkpoint is
+    ///    restored (rotating per-rank `latest`/`prev` slots, ranks agree
+    ///    on a common step) and the run resumes at reduced CFL, ramping
+    ///    back up as steps succeed, up to
+    ///    [`ResilienceConfig::max_restarts`] restores.
+    ///
+    /// With no fault injection active, the trajectory is bit-identical to
+    /// [`BlockSolver::advance_to`]: the cascade only engages on failures,
+    /// the CFL scale stays exactly 1, and the coordination allreduce does
+    /// not touch the state.
+    ///
+    /// `DistStats::steps` counts *committed* steps, including any re-run
+    /// after a checkpoint restore.
+    pub fn advance_to_with_restart(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        t0: f64,
+        t_end: f64,
+        res: &ResilienceConfig,
+    ) -> Result<(DistStats, ResilienceStats), SolverError> {
+        fn ck_err(e: rhrsc_io::checkpoint::CheckpointError) -> SolverError {
+            SolverError::Checkpoint { msg: e.to_string() }
+        }
+        self.recovery = res.recovery;
+        let start = Instant::now();
+        let bytes0 = rank.bytes_sent();
+        let vtime0 = rank.vtime();
+        let rec0 = self.rec_stats;
+        let mut stats = DistStats::default();
+        let mut rstats = ResilienceStats::default();
+        let slots = match &res.checkpoint_dir {
+            Some(dir) => Some(
+                CheckpointSlots::new(dir.join(format!("rank{}", self.my_rank))).map_err(ck_err)?,
+            ),
+            None => None,
+        };
+        let mut t = t0;
+        let mut step_no: u64 = 0;
+        let mut cfl_scale = 1.0f64;
+        let mut restarts_left = res.max_restarts;
+        let mut backup = Field::cons(self.geom);
+        if let Some(slots) = &slots {
+            // Always write an initial checkpoint so a restore target
+            // exists from the very first step.
+            let ckp = Checkpoint {
+                time: t,
+                step: step_no,
+                field: u.clone(),
+            };
+            slots.save(&ckp).map_err(ck_err)?;
+            rstats.checkpoints_saved += 1;
+        }
+        let injector = rank.fault_injector().cloned();
+        while t < t_end - 1e-14 {
+            // Deterministic state corruption, if the fault plan asks for
+            // it: one interior conserved value becomes NaN, which the
+            // recovery cascade must repair in-flight.
+            if let Some(inj) = &injector {
+                if let Some(victim) = inj.should_poison_cell() {
+                    let cells: Vec<_> = self.geom.interior_iter().collect();
+                    let (i, j, k) = cells[victim as usize % cells.len()];
+                    u.set(0, i, j, k, f64::NAN);
+                }
+            }
+            let mut attempt = 0usize;
+            loop {
+                backup.raw_mut().copy_from_slice(u.raw());
+                let scale = cfl_scale * 0.5f64.powi(attempt as i32);
+                let outcome = self.try_step(rank, u, t, t_end, scale);
+                // Every rank must agree on success: a mismatch dropped on
+                // one rank means every rank's step is suspect.
+                let failed = rank.allreduce_max(if outcome.is_err() { 1.0 } else { 0.0 }) > 0.0;
+                match outcome {
+                    Ok(dt) if !failed => {
+                        t += dt;
+                        step_no += 1;
+                        stats.steps += 1;
+                        stats.zone_updates +=
+                            (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
+                        // A reduced CFL (from retries or a restart) ramps
+                        // back up as steps succeed.
+                        cfl_scale = if attempt > 0 { scale } else { cfl_scale };
+                        cfl_scale = (cfl_scale * 2.0).min(1.0);
+                        if let Some(slots) = &slots {
+                            let interval = res.checkpoint_interval;
+                            if interval > 0 && step_no.is_multiple_of(interval as u64) {
+                                let ckp = Checkpoint {
+                                    time: t,
+                                    step: step_no,
+                                    field: u.clone(),
+                                };
+                                slots.save(&ckp).map_err(ck_err)?;
+                                rstats.checkpoints_saved += 1;
+                            }
+                        }
+                        break;
+                    }
+                    outcome => {
+                        // Roll back; the backup state is untouched by the
+                        // failed attempt.
+                        u.raw_mut().copy_from_slice(backup.raw());
+                        if attempt < res.max_step_retries {
+                            if attempt == 0 {
+                                rstats.retried_steps += 1;
+                            }
+                            rstats.retries += 1;
+                            attempt += 1;
+                            continue;
+                        }
+                        // Retries exhausted: restore from checkpoint. The
+                        // attempt/restart counters march in lockstep on
+                        // every rank, so this decision is collective.
+                        let slots_ref = match &slots {
+                            Some(s) if restarts_left > 0 => s,
+                            _ => {
+                                return Err(outcome.err().unwrap_or(SolverError::Checkpoint {
+                                    msg: "step failed on a peer rank; retries and \
+                                              restarts exhausted"
+                                        .into(),
+                                }))
+                            }
+                        };
+                        let loaded = slots_ref.load_newest();
+                        let all_loaded =
+                            rank.allreduce_min(if loaded.is_ok() { 1.0 } else { 0.0 }) > 0.5;
+                        let ckp = match (loaded, all_loaded) {
+                            (Ok(c), true) => c,
+                            (loaded, _) => {
+                                return Err(loaded.err().map(ck_err).unwrap_or(
+                                    SolverError::Checkpoint {
+                                        msg: "checkpoint restore failed on a peer rank".into(),
+                                    },
+                                ))
+                            }
+                        };
+                        // Ranks may disagree on the newest valid slot (one
+                        // rank's `latest` may have been lost); restart from
+                        // the oldest agreed step.
+                        let agreed = rank.allreduce_min(ckp.step as f64);
+                        let ckp = if (ckp.step as f64) > agreed {
+                            load_checkpoint(&slots_ref.prev_path())
+                                .ok()
+                                .filter(|c| (c.step as f64) == agreed)
+                        } else {
+                            Some(ckp)
+                        };
+                        let all_agreed =
+                            rank.allreduce_min(if ckp.is_some() { 1.0 } else { 0.0 }) > 0.5;
+                        let ckp = match (ckp, all_agreed) {
+                            (Some(c), true) => c,
+                            _ => {
+                                return Err(SolverError::Checkpoint {
+                                    msg: "ranks could not agree on a common restart \
+                                          checkpoint"
+                                        .into(),
+                                })
+                            }
+                        };
+                        if ckp.field.geom() != &self.geom || ckp.field.ncomp() != u.ncomp() {
+                            return Err(SolverError::Checkpoint {
+                                msg: "checkpoint geometry does not match this rank's block".into(),
+                            });
+                        }
+                        u.raw_mut().copy_from_slice(ckp.field.raw());
+                        t = ckp.time;
+                        step_no = ckp.step;
+                        rstats.restarts += 1;
+                        restarts_left -= 1;
+                        // Resume cautiously; successful steps double the
+                        // scale back toward 1.
+                        cfl_scale = 0.25;
+                        break;
+                    }
+                }
+            }
+        }
+        rstats.recovery = RecoveryStats {
+            relaxed_tol: self.rec_stats.relaxed_tol - rec0.relaxed_tol,
+            neighbor_avg: self.rec_stats.neighbor_avg - rec0.neighbor_avg,
+            atmosphere: self.rec_stats.atmosphere - rec0.atmosphere,
+        };
+        stats.elapsed = start.elapsed();
+        stats.bytes_sent = rank.bytes_sent() - bytes0;
+        stats.vtime = rank.vtime() - vtime0;
+        Ok((stats, rstats))
+    }
 }
 
 /// `u[int] = b*u0[int] + a*u[int] + c*r[int]`, with the summation order
@@ -509,12 +909,16 @@ fn cell_of(d: usize, l: usize, t1: usize, t2: usize) -> (usize, usize, usize) {
 }
 
 /// Gather the interior of every rank's block onto rank 0 as a global,
-/// ghost-free field (for validation and output). Other ranks get `None`.
+/// ghost-free field (for validation and output). Other ranks get
+/// `Ok(None)`. A wrong-length contribution (which a reliable transport
+/// never produces, but a corrupted one might) is reported as
+/// [`SolverError::HaloMismatch`] after all contributions have been
+/// drained.
 pub fn gather_global(
     rank: &mut Rank,
     cfg: &DistConfig,
     local: &Field,
-) -> Option<Field> {
+) -> Result<Option<Field>, SolverError> {
     const GATHER_TAG: u64 = 1000;
     let geom = cfg.local_geom(rank.rank());
     // Flatten the interior, component-major.
@@ -526,8 +930,10 @@ pub fn gather_global(
     }
     if rank.rank() != 0 {
         rank.send(0, GATHER_TAG, &buf);
-        return None;
+        return Ok(None);
     }
+    // Drain every contribution before validating any of them.
+    let rbufs: Vec<Vec<f64>> = (1..rank.size()).map(|r| rank.recv(r, GATHER_TAG)).collect();
     let (lo, hi) = cfg.domain;
     let global_geom = PatchGeom {
         n: cfg.global_n,
@@ -540,25 +946,33 @@ pub fn gather_global(
         ],
     };
     let mut global = Field::cons(global_geom);
-    let mut place = |r: usize, buf: &[f64]| {
+    let mut place = |r: usize, buf: &[f64]| -> Result<(), SolverError> {
         let (off, size) = cfg.decomp.local_span(cfg.global_n, r);
-        let mut it = buf.iter();
+        let expected = NCOMP * size[0] * size[1] * size[2];
+        if buf.len() != expected {
+            return Err(SolverError::HaloMismatch {
+                expected,
+                got: buf.len(),
+            });
+        }
+        let mut idx = 0;
         for c in 0..NCOMP {
             for k in 0..size[2] {
                 for j in 0..size[1] {
                     for i in 0..size[0] {
-                        global.set(c, off[0] + i, off[1] + j, off[2] + k, *it.next().unwrap());
+                        global.set(c, off[0] + i, off[1] + j, off[2] + k, buf[idx]);
+                        idx += 1;
                     }
                 }
             }
         }
+        Ok(())
     };
-    place(0, &buf);
-    for r in 1..rank.size() {
-        let rbuf = rank.recv(r, GATHER_TAG);
-        place(r, &rbuf);
+    place(0, &buf)?;
+    for (r, rbuf) in rbufs.iter().enumerate() {
+        place(r + 1, rbuf)?;
     }
-    Some(global)
+    Ok(Some(global))
 }
 
 #[cfg(test)]
@@ -594,7 +1008,9 @@ mod tests {
         };
         let mut u = init_cons(geom, &cfg.scheme.eos, ic);
         let mut solver = PatchSolver::new(cfg.scheme, cfg.bcs, cfg.rk, geom);
-        solver.advance_to(&mut u, 0.0, t_end, cfg.cfl, None).unwrap();
+        solver
+            .advance_to(&mut u, 0.0, t_end, cfg.cfl, None)
+            .unwrap();
         u
     }
 
@@ -606,7 +1022,7 @@ mod tests {
         let outs = run(cfg.decomp.nranks(), NetworkModel::ideal(), |rank| {
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
             solver.advance_to(rank, &mut u, 0.0, t_end).unwrap();
-            gather_global(rank, cfg, &u)
+            gather_global(rank, cfg, &u).unwrap()
         });
         outs.into_iter().next().unwrap().unwrap()
     }
@@ -621,12 +1037,7 @@ mod tests {
                 for j in 0..g.n[1] {
                     for i in 0..g.n[0] {
                         let a = global_like.at(c, i, j, k);
-                        let b = reference.at(
-                            c,
-                            i + g.ng_of(0),
-                            j + g.ng_of(1),
-                            k + g.ng_of(2),
-                        );
+                        let b = reference.at(c, i + g.ng_of(0), j + g.ng_of(1), k + g.ng_of(2));
                         m = m.max((a - b).abs());
                     }
                 }
@@ -639,7 +1050,13 @@ mod tests {
     fn distributed_sod_matches_serial_bitwise_bulk_sync() {
         let cfg = sod_cfg(4, ExchangeMode::BulkSynchronous);
         let prob = Problem::sod();
-        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
         let _ = prob;
         let reference = serial_reference(&cfg, &ic, 0.2);
         let global = distributed_global(&cfg, ic, 0.2);
@@ -649,7 +1066,13 @@ mod tests {
     #[test]
     fn distributed_sod_matches_serial_bitwise_overlap() {
         let cfg = sod_cfg(3, ExchangeMode::Overlap);
-        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
         let reference = serial_reference(&cfg, &ic, 0.2);
         let global = distributed_global(&cfg, ic, 0.2);
         assert_eq!(interior_of(&global, &reference), 0.0);
@@ -673,8 +1096,10 @@ mod tests {
             dt_refresh_interval: 1,
         };
         let ic = |x: [f64; 3]| Prim {
-            rho: 1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin()
-                * (2.0 * std::f64::consts::PI * x[1]).cos(),
+            rho: 1.0
+                + 0.4
+                    * (2.0 * std::f64::consts::PI * x[0]).sin()
+                    * (2.0 * std::f64::consts::PI * x[1]).cos(),
             vel: [0.4, -0.3, 0.0],
             p: 1.0,
         };
@@ -686,13 +1111,23 @@ mod tests {
     #[test]
     fn overlap_with_latency_still_correct() {
         let cfg = sod_cfg(4, ExchangeMode::Overlap);
-        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
         let reference = serial_reference(&cfg, &ic, 0.05);
-        let outs = run(4, NetworkModel::with_latency(Duration::from_micros(200)), |rank| {
-            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
-            solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
-            gather_global(rank, &cfg, &u)
-        });
+        let outs = run(
+            4,
+            NetworkModel::with_latency(Duration::from_micros(200)),
+            |rank| {
+                let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+                solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
+                gather_global(rank, &cfg, &u).unwrap()
+            },
+        );
         let global = outs.into_iter().next().unwrap().unwrap();
         assert_eq!(interior_of(&global, &reference), 0.0);
     }
@@ -701,7 +1136,13 @@ mod tests {
     fn gang_threads_do_not_change_results() {
         let mut cfg = sod_cfg(2, ExchangeMode::BulkSynchronous);
         cfg.gang_threads = 3;
-        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
         let reference = serial_reference(&cfg, &ic, 0.1);
         let global = distributed_global(&cfg, ic, 0.1);
         assert_eq!(interior_of(&global, &reference), 0.0);
@@ -737,7 +1178,7 @@ mod tests {
             let outs = run(p, model, |rank| {
                 let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
                 let st = solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
-                (st, gather_global(rank, &cfg, &u))
+                (st, gather_global(rank, &cfg, &u).unwrap())
             });
             let makespan = outs.iter().map(|(st, _)| st.vtime).fold(0.0, f64::max);
             makespans.push(makespan);
@@ -757,9 +1198,168 @@ mod tests {
     }
 
     #[test]
+    fn resilient_advance_without_faults_is_bit_identical() {
+        // With no fault injection the resilient loop must reproduce the
+        // plain advance exactly — cascade, backup, and the coordination
+        // allreduce are all invisible on the healthy path.
+        let cfg = sod_cfg(2, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
+        let plain = distributed_global(&cfg, ic, 0.1);
+        let dir = std::env::temp_dir().join("rhrsc-resilient-bitident");
+        let _ = std::fs::remove_dir_all(&dir);
+        let res = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_interval: 7,
+            ..ResilienceConfig::default()
+        };
+        let outs = run(2, NetworkModel::ideal(), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            let (_, rstats) = solver
+                .advance_to_with_restart(rank, &mut u, 0.0, 0.1, &res)
+                .unwrap();
+            (rstats, gather_global(rank, &cfg, &u).unwrap())
+        });
+        for (rstats, _) in &outs {
+            assert_eq!(rstats.retries, 0);
+            assert_eq!(rstats.restarts, 0);
+            assert_eq!(rstats.recovery.total(), 0);
+            assert!(rstats.checkpoints_saved > 0);
+        }
+        let global = outs.into_iter().next().unwrap().1.unwrap();
+        assert_eq!(global.raw(), plain.raw());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_halos_trigger_cfl_backoff_retries() {
+        use rhrsc_comm::{run_with_faults, FaultPlan};
+        let cfg = sod_cfg(2, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
+        let dir = std::env::temp_dir().join("rhrsc-resilient-retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        let res = ResilienceConfig {
+            max_step_retries: 6,
+            max_restarts: 10,
+            checkpoint_interval: 5,
+            checkpoint_dir: Some(dir.clone()),
+            ..ResilienceConfig::default()
+        };
+        let plan = FaultPlan {
+            seed: 7,
+            msg_truncate_prob: 0.05,
+            ..FaultPlan::disabled()
+        };
+        let outs = run_with_faults(2, NetworkModel::ideal(), Some(plan), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver
+                .advance_to_with_restart(rank, &mut u, 0.0, 0.1, &res)
+                .unwrap()
+        });
+        let retries: u64 = outs.iter().map(|(_, r)| r.retries).sum();
+        assert!(retries > 0, "expected at least one step retry under faults");
+        // The decision is collective: every rank retried the same steps.
+        assert_eq!(outs[0].1.retries, outs[1].1.retries);
+        assert_eq!(outs[0].1.retried_steps, outs[1].1.retried_steps);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_to_checkpoint_restart() {
+        use rhrsc_comm::{run_with_faults, FaultPlan};
+        let cfg = sod_cfg(2, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
+        let dir = std::env::temp_dir().join("rhrsc-resilient-restart");
+        let _ = std::fs::remove_dir_all(&dir);
+        // No step retries allowed: any failed step must restore from the
+        // rotating checkpoint slots.
+        let res = ResilienceConfig {
+            max_step_retries: 0,
+            max_restarts: 200,
+            checkpoint_interval: 3,
+            checkpoint_dir: Some(dir.clone()),
+            ..ResilienceConfig::default()
+        };
+        let plan = FaultPlan {
+            seed: 11,
+            msg_truncate_prob: 0.02,
+            ..FaultPlan::disabled()
+        };
+        let outs = run_with_faults(2, NetworkModel::ideal(), Some(plan), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver
+                .advance_to_with_restart(rank, &mut u, 0.0, 0.1, &res)
+                .unwrap()
+        });
+        assert!(
+            outs.iter().all(|(_, r)| r.restarts > 0),
+            "expected at least one checkpoint restore, got {:?}",
+            outs.iter().map(|(_, r)| r.restarts).collect::<Vec<_>>()
+        );
+        assert_eq!(outs[0].1.restarts, outs[1].1.restarts);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_cells_are_repaired_by_the_cascade() {
+        use rhrsc_comm::{run_with_faults, FaultPlan};
+        let cfg = sod_cfg(2, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
+        let res = ResilienceConfig::default(); // no checkpointing needed
+        let plan = FaultPlan {
+            seed: 3,
+            cell_poison_prob: 0.25,
+            ..FaultPlan::disabled()
+        };
+        let outs = run_with_faults(2, NetworkModel::ideal(), Some(plan), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            let out = solver
+                .advance_to_with_restart(rank, &mut u, 0.0, 0.1, &res)
+                .unwrap();
+            // The final state must be fully healthy again.
+            assert!(u.raw().iter().all(|v| v.is_finite()));
+            out
+        });
+        let repaired: u64 = outs.iter().map(|(_, r)| r.recovery.total()).sum();
+        assert!(
+            repaired > 0,
+            "expected the cascade to repair poisoned cells"
+        );
+    }
+
+    #[test]
     fn stats_populated() {
         let cfg = sod_cfg(2, ExchangeMode::BulkSynchronous);
-        let ic = |x: [f64; 3]| if x[0] < 0.5 { Prim::new_1d(1.0, 0.0, 1.0) } else { Prim::new_1d(0.125, 0.0, 0.1) };
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
         let outs = run(2, NetworkModel::ideal(), |rank| {
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
             solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap()

@@ -244,13 +244,11 @@ mod tests {
         let before: Vec<f64> = (0..NCOMP).map(|c| u.interior_integral(c)).collect();
         let mut solver = PatchSolver::new(s, uniform(Bc::Periodic), RkOrder::Rk3, geom);
         solver.advance_to(&mut u, 0.0, 0.5, 0.5, None).unwrap();
-        for c in 0..NCOMP {
+        for (c, b) in before.iter().enumerate() {
             let after = u.interior_integral(c);
             assert!(
-                (after - before[c]).abs() < 1e-12 * before[c].abs().max(1.0),
-                "component {c}: {} -> {}",
-                before[c],
-                after
+                (after - b).abs() < 1e-12 * b.abs().max(1.0),
+                "component {c}: {b} -> {after}"
             );
         }
     }
@@ -299,7 +297,10 @@ mod tests {
         let e1 = err_at(RkOrder::Rk3, 64);
         let e2 = err_at(RkOrder::Rk3, 128);
         let order = (e1 / e2).log2();
-        assert!(order > 2.0, "observed order {order:.2} (e1={e1:.2e} e2={e2:.2e})");
+        assert!(
+            order > 2.0,
+            "observed order {order:.2} (e1={e1:.2e} e2={e2:.2e})"
+        );
         // RK1 is noticeably worse than RK3 at the same resolution.
         assert!(err_at(RkOrder::Rk1, 64) > e1);
     }

@@ -34,5 +34,6 @@ pub mod scheme;
 pub mod smr;
 pub mod step;
 
+pub use driver::{ResilienceConfig, ResilienceStats};
 pub use integrate::{PatchSolver, RkOrder};
-pub use scheme::{Scheme, SolverError};
+pub use scheme::{RecoveryPolicy, RecoveryStats, Scheme, SolverError};

@@ -37,13 +37,7 @@ pub struct Problem {
 impl Problem {
     /// A generic 1D Riemann problem on `[0, 1]` with the membrane at
     /// `x = 0.5`, with the exact solution attached.
-    pub fn riemann_1d(
-        name: &str,
-        left: Prim,
-        right: Prim,
-        gamma: f64,
-        t_end: f64,
-    ) -> Problem {
+    pub fn riemann_1d(name: &str, left: Prim, right: Prim, gamma: f64, t_end: f64) -> Problem {
         let sol = ExactRiemann::solve(&left, &right, gamma)
             .unwrap_or_else(|e| panic!("exact solution for {name} failed: {e}"));
         let exact = Arc::new(move |x: [f64; 3], t: f64| sol.eval(x[0], t, 0.5));
@@ -105,7 +99,13 @@ impl Problem {
         // Shorter t_end: the structure leaves the unit domain quickly at
         // high boost.
         let t_end = 0.4 * (1.0 - vb).max(0.05);
-        Problem::riemann_1d(&format!("boosted-sod-v{vb:.6}"), left, right, 5.0 / 3.0, t_end)
+        Problem::riemann_1d(
+            &format!("boosted-sod-v{vb:.6}"),
+            left,
+            right,
+            5.0 / 3.0,
+            t_end,
+        )
     }
 
     /// Smooth relativistic density-wave advection: uniform velocity and
@@ -140,10 +140,26 @@ impl Problem {
     /// Del Zanna & Bucciantini 2002): interacting shocks and contacts on
     /// the unit square, Γ = 5/3, t = 0.4.
     pub fn riemann_2d() -> Problem {
-        let ne = Prim { rho: 0.1, vel: [0.0, 0.0, 0.0], p: 0.01 };
-        let nw = Prim { rho: 0.1, vel: [0.99, 0.0, 0.0], p: 1.0 };
-        let sw = Prim { rho: 0.5, vel: [0.0, 0.0, 0.0], p: 1.0 };
-        let se = Prim { rho: 0.1, vel: [0.0, 0.99, 0.0], p: 1.0 };
+        let ne = Prim {
+            rho: 0.1,
+            vel: [0.0, 0.0, 0.0],
+            p: 0.01,
+        };
+        let nw = Prim {
+            rho: 0.1,
+            vel: [0.99, 0.0, 0.0],
+            p: 1.0,
+        };
+        let sw = Prim {
+            rho: 0.5,
+            vel: [0.0, 0.0, 0.0],
+            p: 1.0,
+        };
+        let se = Prim {
+            rho: 0.1,
+            vel: [0.0, 0.99, 0.0],
+            p: 1.0,
+        };
         Problem {
             name: "riemann2d".to_string(),
             eos: Eos::ideal(5.0 / 3.0),
@@ -198,8 +214,7 @@ impl Problem {
             // diffusion before the instability can grow.
             let a = 0.04; // layer thickness
             let y = x[1];
-            let profile =
-                ((y - 0.25) / a).tanh() * (-((y - 0.75) / a).tanh());
+            let profile = ((y - 0.25) / a).tanh() * (-((y - 0.75) / a).tanh());
             let vx = v_shear * profile;
             // Single-mode perturbation localized at the layers.
             let envelope = (-((y - 0.25) / (2.0 * a)).powi(2)).exp()
@@ -207,7 +222,11 @@ impl Problem {
             let vy = perturb * (2.0 * std::f64::consts::PI * x[0]).sin() * envelope;
             // Smooth density transition matching the shear profile.
             let rho = 1.5 + 0.5 * profile;
-            Prim { rho, vel: [vx, vy, 0.0], p: 2.5 }
+            Prim {
+                rho,
+                vel: [vx, vy, 0.0],
+                p: 2.5,
+            }
         };
         Problem {
             name: "khi".to_string(),
@@ -237,7 +256,11 @@ mod tests {
 
     #[test]
     fn exact_solutions_match_ic_at_t0() {
-        for prob in [Problem::sod(), Problem::blast_wave_1(), Problem::blast_wave_2()] {
+        for prob in [
+            Problem::sod(),
+            Problem::blast_wave_1(),
+            Problem::blast_wave_2(),
+        ] {
             let exact = prob.exact.as_ref().unwrap();
             for &x in &[0.1, 0.3, 0.7, 0.9] {
                 let ic = (prob.ic)([x, 0.0, 0.0]);

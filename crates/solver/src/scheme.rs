@@ -100,6 +100,20 @@ pub enum SolverError {
         /// The offending Δt.
         dt: f64,
     },
+    /// A halo message did not have the expected length (truncated or
+    /// corrupted in flight). Recoverable: the step can be rolled back and
+    /// retried, which resends the exchange.
+    HaloMismatch {
+        /// Expected payload length, in doubles.
+        expected: usize,
+        /// Received payload length, in doubles.
+        got: usize,
+    },
+    /// Checkpoint I/O failed during a resilient advance.
+    Checkpoint {
+        /// Human-readable cause.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for SolverError {
@@ -109,11 +123,56 @@ impl std::fmt::Display for SolverError {
                 write!(f, "primitive recovery failed at cell {cell:?}: {err}")
             }
             SolverError::TimestepCollapse { dt } => write!(f, "time step collapsed to {dt:.3e}"),
+            SolverError::HaloMismatch { expected, got } => {
+                write!(
+                    f,
+                    "halo message length mismatch: expected {expected}, got {got}"
+                )
+            }
+            SolverError::Checkpoint { msg } => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SolverError {}
+
+/// How the solver responds to primitive-recovery failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Propagate the first failure as a [`SolverError`] (the seed
+    /// behavior, and the default: failures are loud).
+    #[default]
+    Strict,
+    /// Repair failed cells through the tiered cascade — relaxed
+    /// tolerances, then neighbor-averaged primitives, then the atmosphere
+    /// floor — counting each tier in [`RecoveryStats`].
+    Cascade,
+}
+
+/// Per-tier counters of the recovery cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Cells recovered by retrying with relaxed tolerances.
+    pub relaxed_tol: u64,
+    /// Cells replaced by the average of their recoverable face neighbors.
+    pub neighbor_avg: u64,
+    /// Cells reset to the atmosphere floor (last resort).
+    pub atmosphere: u64,
+}
+
+impl RecoveryStats {
+    /// Total cells repaired by any tier.
+    pub fn total(&self) -> u64 {
+        self.relaxed_tol + self.neighbor_avg + self.atmosphere
+    }
+
+    /// Accumulate another batch of counters.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.relaxed_tol += other.relaxed_tol;
+        self.neighbor_avg += other.neighbor_avg;
+        self.atmosphere += other.atmosphere;
+    }
+}
 
 /// Primitive component layout in a primitive [`Field`]:
 /// `(ρ, v_x, v_y, v_z, p)`.
@@ -213,7 +272,10 @@ pub fn recover_prims_par(
                         }
                         Err(e) => {
                             let mut g = err.lock();
-                            g.get_or_insert(SolverError::Con2Prim { cell: (i, j, k), err: e });
+                            g.get_or_insert(SolverError::Con2Prim {
+                                cell: (i, j, k),
+                                err: e,
+                            });
                             return;
                         }
                     }
@@ -267,8 +329,153 @@ pub fn recover_cell(
             set_prim(prim, i, j, k, &w);
             Ok(())
         }
-        Err(err) => Err(SolverError::Con2Prim { cell: (i, j, k), err }),
+        Err(err) => Err(SolverError::Con2Prim {
+            cell: (i, j, k),
+            err,
+        }),
     }
+}
+
+/// Recover primitives over an explicit cell set with cascade repair: cells
+/// whose strict recovery fails are repaired in a second pass (so tier 2
+/// can read the successfully recovered neighbors) and never abort the
+/// run. Repairs that synthesize a new state (tiers 2–3) also rewrite the
+/// conserved field to keep `u` and `prim` consistent.
+pub fn recover_cells_resilient(
+    scheme: &Scheme,
+    u: &mut Field,
+    prim: &mut Field,
+    cells: impl IntoIterator<Item = (usize, usize, usize)>,
+    stats: &mut RecoveryStats,
+) {
+    let mut failed = Vec::new();
+    for (i, j, k) in cells {
+        if recover_cell(scheme, u, prim, i, j, k).is_err() {
+            failed.push((i, j, k));
+        }
+    }
+    if failed.is_empty() {
+        return;
+    }
+    let bad: std::collections::HashSet<(usize, usize, usize)> = failed.iter().copied().collect();
+    for &(i, j, k) in &failed {
+        cascade_cell(scheme, u, prim, i, j, k, &bad, stats);
+    }
+}
+
+/// Resilient variant of [`recover_prims`]: every cell (interior + ghosts),
+/// cascade repair instead of failure.
+pub fn recover_prims_resilient(
+    scheme: &Scheme,
+    u: &mut Field,
+    prim: &mut Field,
+    stats: &mut RecoveryStats,
+) {
+    let geom = *u.geom();
+    let (n0, n1, n2) = (geom.ntot(0), geom.ntot(1), geom.ntot(2));
+    let cells =
+        (0..n2).flat_map(move |k| (0..n1).flat_map(move |j| (0..n0).map(move |i| (i, j, k))));
+    recover_cells_resilient(scheme, u, prim, cells, stats);
+}
+
+/// Repair one unrecoverable cell through the cascade tiers.
+#[allow(clippy::too_many_arguments)]
+fn cascade_cell(
+    scheme: &Scheme,
+    u: &mut Field,
+    prim: &mut Field,
+    i: usize,
+    j: usize,
+    k: usize,
+    bad: &std::collections::HashSet<(usize, usize, usize)>,
+    stats: &mut RecoveryStats,
+) {
+    // Tier 1: the state may be merely stiff, not lost — retry the root
+    // solve with relaxed tolerances and widened iteration budgets. The
+    // conserved state is untouched.
+    let cons = u.get_cons(i, j, k);
+    if cons.is_finite() {
+        if let Ok(w) = cons_to_prim(&scheme.eos, &cons, None, &scheme.c2p.relaxed()) {
+            set_prim(prim, i, j, k, &w);
+            stats.relaxed_tol += 1;
+            return;
+        }
+    }
+    // Tier 2: synthesize the cell from the average of its recoverable
+    // face neighbors, then overwrite both prim and cons so the repair
+    // persists (locally non-conservative, like any floor).
+    if let Some(w) = neighbor_average(u.geom(), prim, i, j, k, bad) {
+        let w = scheme.sanitize(w);
+        set_prim(prim, i, j, k, &w);
+        u.set_cons(i, j, k, w.to_cons(&scheme.eos));
+        stats.neighbor_avg += 1;
+        return;
+    }
+    // Tier 3: atmosphere floor — the cell is surrounded by failures.
+    let w = Prim::at_rest(
+        scheme.c2p.rho_floor.max(1e-300),
+        scheme.c2p.p_floor.max(1e-300),
+    );
+    set_prim(prim, i, j, k, &w);
+    u.set_cons(i, j, k, w.to_cons(&scheme.eos));
+    stats.atmosphere += 1;
+}
+
+/// Average of the physical primitives among a cell's face neighbors,
+/// skipping neighbors that themselves failed recovery this pass.
+fn neighbor_average(
+    geom: &PatchGeom,
+    prim: &Field,
+    i: usize,
+    j: usize,
+    k: usize,
+    bad: &std::collections::HashSet<(usize, usize, usize)>,
+) -> Option<Prim> {
+    let cell = [i, j, k];
+    let mut sum = Prim {
+        rho: 0.0,
+        vel: [0.0; 3],
+        p: 0.0,
+    };
+    let mut count = 0usize;
+    for d in 0..3 {
+        if !geom.active(d) {
+            continue;
+        }
+        for delta in [-1isize, 1] {
+            let c = cell[d] as isize + delta;
+            if c < 0 || c as usize >= geom.ntot(d) {
+                continue;
+            }
+            let mut nb = cell;
+            nb[d] = c as usize;
+            if bad.contains(&(nb[0], nb[1], nb[2])) {
+                continue;
+            }
+            let w = prim_at(prim, nb[0], nb[1], nb[2]);
+            let finite =
+                w.rho.is_finite() && w.p.is_finite() && w.vel.iter().all(|v| v.is_finite());
+            if !finite || !w.is_physical() {
+                continue;
+            }
+            sum.rho += w.rho;
+            sum.p += w.p;
+            for a in 0..3 {
+                sum.vel[a] += w.vel[a];
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    let inv = 1.0 / count as f64;
+    sum.rho *= inv;
+    sum.p *= inv;
+    for a in 0..3 {
+        sum.vel[a] *= inv;
+    }
+    Some(sum)
 }
 
 /// Conserved-variable limiter applied after each stage update.
@@ -451,8 +658,26 @@ mod tests {
         let geom = PatchGeom::line(4, 0.0, 1.0, 2);
         let mut u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
         // Poison: negative tau, excessive momentum, sub-floor density.
-        u.set_cons(2, 0, 0, rhrsc_srhd::Cons { d: 1.0, s: [5.0, 0.0, 0.0], tau: -0.5 });
-        u.set_cons(3, 0, 0, rhrsc_srhd::Cons { d: 1e-20, s: [0.0; 3], tau: 1.0 });
+        u.set_cons(
+            2,
+            0,
+            0,
+            rhrsc_srhd::Cons {
+                d: 1.0,
+                s: [5.0, 0.0, 0.0],
+                tau: -0.5,
+            },
+        );
+        u.set_cons(
+            3,
+            0,
+            0,
+            rhrsc_srhd::Cons {
+                d: 1e-20,
+                s: [0.0; 3],
+                tau: 1.0,
+            },
+        );
         let touched = apply_conserved_floors(&mut u, &s.c2p);
         assert_eq!(touched, 2);
         // Every interior state must now recover.
@@ -470,7 +695,10 @@ mod tests {
         let mut u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
         u.set(0, 3, 0, 0, f64::NAN);
         apply_conserved_floors(&mut u, &s.c2p);
-        assert!(u.at(0, 3, 0, 0).is_nan(), "NaN must not be silently floored");
+        assert!(
+            u.at(0, 3, 0, 0).is_nan(),
+            "NaN must not be silently floored"
+        );
     }
 
     #[test]
@@ -486,5 +714,98 @@ mod tests {
             SolverError::Con2Prim { cell, .. } => assert_eq!(cell, (3, 0, 0)),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn cascade_tier1_relaxed_tolerances() {
+        // Starve the strict iteration budgets so every cell fails tier 0;
+        // the cascade must recover all of them via relaxed tolerances
+        // without touching the conserved state.
+        let mut s = scheme();
+        s.c2p.max_newton = 0;
+        s.c2p.max_bisect = 0;
+        let geom = PatchGeom::line(8, 0.0, 1.0, 2);
+        let mut u = init_cons(geom, &s.eos, &|_| Prim::new_1d(1.0, 0.9, 0.1));
+        let before = u.clone();
+        let mut prim = Field::new(geom, 5);
+        assert!(recover_prims(&s, &u, &mut prim).is_err());
+        let mut stats = RecoveryStats::default();
+        recover_prims_resilient(&s, &mut u, &mut prim, &mut stats);
+        assert_eq!(stats.relaxed_tol, geom.len() as u64);
+        assert_eq!(stats.neighbor_avg, 0);
+        assert_eq!(stats.atmosphere, 0);
+        assert_eq!(u.raw(), before.raw(), "tier 1 must not modify cons");
+        for (i, j, k) in geom.interior_iter() {
+            let w = prim_at(&prim, i, j, k);
+            assert!((w.rho - 1.0).abs() < 1e-3, "rho at {i}: {}", w.rho);
+            assert!((w.p - 0.1).abs() < 1e-3, "p at {i}: {}", w.p);
+        }
+    }
+
+    #[test]
+    fn cascade_tier2_neighbor_average() {
+        let s = scheme();
+        let geom = PatchGeom::line(8, 0.0, 1.0, 2);
+        let mut u = init_cons(geom, &s.eos, &|x| Prim::new_1d(1.0 + x[0], 0.2, 2.0));
+        // A NaN cell fails even relaxed recovery; its neighbors are fine.
+        u.set(0, 5, 0, 0, f64::NAN);
+        let mut prim = Field::new(geom, 5);
+        let mut stats = RecoveryStats::default();
+        recover_prims_resilient(&s, &mut u, &mut prim, &mut stats);
+        assert_eq!(stats.neighbor_avg, 1);
+        assert_eq!(stats.relaxed_tol, 0);
+        assert_eq!(stats.atmosphere, 0);
+        // The repaired cell interpolates its neighbors and the conserved
+        // state was rewritten to something recoverable.
+        let w = prim_at(&prim, 5, 0, 0);
+        let wl = prim_at(&prim, 4, 0, 0);
+        let wr = prim_at(&prim, 6, 0, 0);
+        assert!((w.rho - 0.5 * (wl.rho + wr.rho)).abs() < 1e-12);
+        assert!(u.get_cons(5, 0, 0).is_finite());
+        assert!(recover_cell(&s, &u, &mut prim, 5, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn cascade_tier3_atmosphere() {
+        let s = scheme();
+        let geom = PatchGeom::line(4, 0.0, 1.0, 2);
+        let mut u = init_cons(geom, &s.eos, &|_| Prim::at_rest(1.0, 1.0));
+        // Poison every cell (ghosts included): no neighbor is usable, so
+        // the cascade bottoms out at the atmosphere floor.
+        for v in u.raw_mut() {
+            *v = f64::NAN;
+        }
+        let mut prim = Field::new(geom, 5);
+        let mut stats = RecoveryStats::default();
+        recover_prims_resilient(&s, &mut u, &mut prim, &mut stats);
+        assert_eq!(stats.atmosphere, geom.len() as u64);
+        for (i, j, k) in geom.interior_iter() {
+            let w = prim_at(&prim, i, j, k);
+            assert_eq!(w.vel, [0.0; 3]);
+            assert!(w.rho > 0.0 && w.p > 0.0);
+            assert!(u.get_cons(i, j, k).is_finite());
+        }
+    }
+
+    #[test]
+    fn cascade_noop_on_healthy_field() {
+        let s = scheme();
+        let geom = PatchGeom::line(16, 0.0, 1.0, 3);
+        let mut u = init_cons(geom, &s.eos, &|x| {
+            Prim::new_1d(1.0 + 0.5 * (x[0] * 6.0).sin(), 0.3, 2.0)
+        });
+        let mut prim_strict = Field::new(geom, 5);
+        recover_prims(&s, &u, &mut prim_strict).unwrap();
+        let before = u.clone();
+        let mut prim = Field::new(geom, 5);
+        let mut stats = RecoveryStats::default();
+        recover_prims_resilient(&s, &mut u, &mut prim, &mut stats);
+        assert_eq!(stats, RecoveryStats::default());
+        assert_eq!(u.raw(), before.raw());
+        assert_eq!(
+            prim.raw(),
+            prim_strict.raw(),
+            "healthy path is bit-identical"
+        );
     }
 }

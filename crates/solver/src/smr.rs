@@ -25,8 +25,8 @@
 
 use crate::integrate::RkOrder;
 use crate::scheme::{
-    apply_conserved_floors, max_dt, prim_at, recover_prims, Geometry, Scheme, SolverError,
-    PRIM_P, PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ,
+    apply_conserved_floors, max_dt, prim_at, recover_prims, Geometry, Scheme, SolverError, PRIM_P,
+    PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ,
 };
 use rhrsc_grid::{fill_ghosts, BcSet, Field, PatchGeom};
 use rhrsc_srhd::{Cons, Dir, Prim, NCOMP};
@@ -209,8 +209,18 @@ impl SmrSolver {
         self.prolong_fine_ghosts();
         recover_prims(&self.scheme, &self.u_f, &mut self.prim_f)?;
 
-        rhs_1d_with_fluxes(&self.scheme, &self.prim_c, &mut self.rhs_c, &mut self.flux_c);
-        rhs_1d_with_fluxes(&self.scheme, &self.prim_f, &mut self.rhs_f, &mut self.flux_f);
+        rhs_1d_with_fluxes(
+            &self.scheme,
+            &self.prim_c,
+            &mut self.rhs_c,
+            &mut self.flux_c,
+        );
+        rhs_1d_with_fluxes(
+            &self.scheme,
+            &self.prim_f,
+            &mut self.rhs_f,
+            &mut self.flux_f,
+        );
 
         // Reflux substitution: the uncovered coarse neighbors of the
         // refined region see the *fine* interface flux.
@@ -224,16 +234,14 @@ impl SmrSolver {
             let i = ng_c + lo - 1; // uncovered cell left of the fine patch
             let f_left = self.flux_c[ng_c + lo - 1];
             let f_right = self.flux_f[ng_f];
-            self.rhs_c
-                .set_cons(i, 0, 0, -(f_right - f_left) * inv_dx);
+            self.rhs_c.set_cons(i, 0, 0, -(f_right - f_left) * inv_dx);
         }
         // Right interface: coarse interface hi == fine interface ng_f+n_f.
         {
             let i = ng_c + hi; // uncovered cell right of the fine patch
             let f_left = self.flux_f[ng_f + self.geom_f.n[0]];
             let f_right = self.flux_c[ng_c + hi + 1];
-            self.rhs_c
-                .set_cons(i, 0, 0, -(f_right - f_left) * inv_dx);
+            self.rhs_c.set_cons(i, 0, 0, -(f_right - f_left) * inv_dx);
         }
         Ok(())
     }
@@ -318,7 +326,11 @@ impl SmrSolver {
                 &[0.0, 1.0],
             ),
             RkOrder::Rk3 => (
-                &[(0.0, 1.0, 1.0), (0.75, 0.25, 0.25), (1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0)],
+                &[
+                    (0.0, 1.0, 1.0),
+                    (0.75, 0.25, 0.25),
+                    (1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0),
+                ],
                 &[1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0],
                 &[0.0, 1.0, 0.5],
             ),
@@ -359,7 +371,12 @@ impl SmrSolver {
         for (si, &(a, b, c)) in stages.iter().enumerate() {
             fill_ghosts(&mut self.u_c, &self.bcs);
             recover_prims(&self.scheme, &self.u_c, &mut self.prim_c)?;
-            rhs_1d_with_fluxes(&self.scheme, &self.prim_c, &mut self.rhs_c, &mut self.flux_c);
+            rhs_1d_with_fluxes(
+                &self.scheme,
+                &self.prim_c,
+                &mut self.rhs_c,
+                &mut self.flux_c,
+            );
             acc_c[0] += self.flux_c[ifc_l] * weights[si];
             acc_c[1] += self.flux_c[ifc_r] * weights[si];
             self.combine_level(true, a, b, c, dt);
@@ -373,7 +390,12 @@ impl SmrSolver {
                 let theta = (sub as f64 + ctimes[si]) * 0.5;
                 self.prolong_fine_ghosts_lerp(theta);
                 recover_prims(&self.scheme, &self.u_f, &mut self.prim_f)?;
-                rhs_1d_with_fluxes(&self.scheme, &self.prim_f, &mut self.rhs_f, &mut self.flux_f);
+                rhs_1d_with_fluxes(
+                    &self.scheme,
+                    &self.prim_f,
+                    &mut self.rhs_f,
+                    &mut self.flux_f,
+                );
                 acc_f[0] += self.flux_f[iff_l] * (0.5 * weights[si]);
                 acc_f[1] += self.flux_f[iff_r] * (0.5 * weights[si]);
                 self.combine_level(false, a, b, c, 0.5 * dt);
@@ -482,11 +504,7 @@ impl SmrSolver {
 
 /// Per-stage `(a, b, c)` combine coefficients, effective flux weights,
 /// and stage times of an SSP-RK form.
-type RkTables = (
-    &'static [(f64, f64, f64)],
-    &'static [f64],
-    &'static [f64],
-);
+type RkTables = (&'static [(f64, f64, f64)], &'static [f64], &'static [f64]);
 
 /// Conservative, minmod-limited linear prolongation of coarse data into
 /// the fine level's ghost zones. Fine cell `f` (0-based global fine index,
@@ -510,7 +528,11 @@ fn prolong_ghosts_from(
             let u_0 = src_c.at(c, i, 0, 0);
             let u_p = src_c.at(c, i + 1, 0, 0);
             let s = minmod(u_0 - u_m, u_p - u_0);
-            let v = if child == 0 { u_0 - 0.25 * s } else { u_0 + 0.25 * s };
+            let v = if child == 0 {
+                u_0 - 0.25 * s
+            } else {
+                u_0 + 0.25 * s
+            };
             dst_f.set(c, gi_f, 0, 0, v);
         }
     };
@@ -557,7 +579,9 @@ fn rhs_1d_with_fluxes(scheme: &Scheme, prim: &Field, rhs: &mut Field, flux: &mut
         .enumerate()
     {
         prim.read_pencil(comp, 0, 0, 0, &mut q[c]);
-        scheme.recon.pencil(&q[c], ng, ng + n + 1, &mut wl[c], &mut wr[c]);
+        scheme
+            .recon
+            .pencil(&q[c], ng, ng + n + 1, &mut wl[c], &mut wr[c]);
     }
     for j in ng..=ng + n {
         let left = scheme.sanitize(Prim {
@@ -608,7 +632,12 @@ mod tests {
         for i in 0..64 {
             let u = smr.coarse().get_cons(ng + i, 0, 0);
             let w = Prim::new_1d(1.0, 0.3, 2.0).to_cons(&scheme().eos);
-            assert!((u.d - w.d).abs() < 1e-11, "coarse cell {i}: {} vs {}", u.d, w.d);
+            assert!(
+                (u.d - w.d).abs() < 1e-11,
+                "coarse cell {i}: {} vs {}",
+                u.d,
+                w.d
+            );
         }
         let ngf = smr.fine_geom().ng;
         for i in 0..smr.fine_geom().n[0] {
@@ -633,7 +662,11 @@ mod tests {
             44,
         );
         smr.init(&|x| {
-            Prim::new_1d(1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(), 0.5, 1.0)
+            Prim::new_1d(
+                1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+                0.5,
+                1.0,
+            )
         });
         let before = smr.composite_totals();
         smr.advance_to(0.0, 0.5, 0.4).unwrap();
@@ -654,16 +687,7 @@ mod tests {
         // final error against the exact advected profile must be at the
         // coarse-grid level (no spurious reflections at the c/f boundary).
         let prob = Problem::density_wave(0.5, 0.3);
-        let mut smr = SmrSolver::new(
-            scheme(),
-            prob.bcs,
-            RkOrder::Rk3,
-            64,
-            0.0,
-            1.0,
-            24,
-            40,
-        );
+        let mut smr = SmrSolver::new(scheme(), prob.bcs, RkOrder::Rk3, 64, 0.0, 1.0, 24, 40);
         smr.init(&|x| (prob.ic)(x));
         smr.advance_to(0.0, 2.0, 0.4).unwrap(); // one full period
         let exact = prob.exact.clone().unwrap();
@@ -675,8 +699,7 @@ mod tests {
         let mut u = init_cons(geom, &s.eos, &|x| (prob.ic)(x));
         let mut solver = PatchSolver::new(s, prob.bcs, RkOrder::Rk3, geom);
         solver.advance_to(&mut u, 0.0, 2.0, 0.4, None).unwrap();
-        let (l1_coarse, _) =
-            crate::diag::l1_density_error(&s, &u, &exact, 2.0).unwrap();
+        let (l1_coarse, _) = crate::diag::l1_density_error(&s, &u, &exact, 2.0).unwrap();
 
         assert!(
             l1 < 1.5 * l1_coarse,
@@ -696,14 +719,17 @@ mod tests {
             let geom = PatchGeom::line(n, 0.0, 1.0, s.required_ghosts());
             let mut u = init_cons(geom, &s.eos, &|x| (prob.ic)(x));
             let mut solver = PatchSolver::new(s, prob.bcs, RkOrder::Rk3, geom);
-            solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
-            crate::diag::l1_density_error(&s, &u, &exact, prob.t_end).unwrap().0
+            solver
+                .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+                .unwrap();
+            crate::diag::l1_density_error(&s, &u, &exact, prob.t_end)
+                .unwrap()
+                .0
         };
         let e_coarse = err_uniform(100);
         let e_fine = err_uniform(200);
 
-        let mut smr =
-            SmrSolver::new(s, prob.bcs, RkOrder::Rk3, 100, 0.0, 1.0, 20, 95);
+        let mut smr = SmrSolver::new(s, prob.bcs, RkOrder::Rk3, 100, 0.0, 1.0, 20, 95);
         smr.init(&|x| (prob.ic)(x));
         smr.advance_to(0.0, prob.t_end, 0.4).unwrap();
         let e_smr = smr.l1_density_error(&*exact, prob.t_end).unwrap();
@@ -764,7 +790,11 @@ mod tests {
         )
         .with_subcycling();
         smr.init(&|x| {
-            Prim::new_1d(1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(), 0.5, 1.0)
+            Prim::new_1d(
+                1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+                0.5,
+                1.0,
+            )
         });
         let before = smr.composite_totals();
         smr.advance_to(0.0, 0.5, 0.4).unwrap();
@@ -787,16 +817,7 @@ mod tests {
         let prob = Problem::density_wave(0.5, 0.3);
         let exact = prob.exact.clone().unwrap();
         let build = |sub: bool| {
-            let smr = SmrSolver::new(
-                scheme(),
-                prob.bcs,
-                RkOrder::Rk3,
-                64,
-                0.0,
-                1.0,
-                24,
-                40,
-            );
+            let smr = SmrSolver::new(scheme(), prob.bcs, RkOrder::Rk3, 64, 0.0, 1.0, 24, 40);
             if sub {
                 smr.with_subcycling()
             } else {
@@ -828,9 +849,8 @@ mod tests {
         // Shock crossing the refinement boundary under subcycling.
         let prob = Problem::sod();
         let exact = prob.exact.clone().unwrap();
-        let mut smr =
-            SmrSolver::new(scheme(), prob.bcs, RkOrder::Rk3, 100, 0.0, 1.0, 20, 95)
-                .with_subcycling();
+        let mut smr = SmrSolver::new(scheme(), prob.bcs, RkOrder::Rk3, 100, 0.0, 1.0, 20, 95)
+            .with_subcycling();
         smr.init(&|x| (prob.ic)(x));
         smr.advance_to(0.0, prob.t_end, 0.4).unwrap();
         let e = smr.l1_density_error(&*exact, prob.t_end).unwrap();
@@ -846,6 +866,15 @@ mod tests {
             geometry: Geometry::SphericalRadial,
             ..scheme()
         };
-        let _ = SmrSolver::new(s, bc::uniform(Bc::Outflow), RkOrder::Rk2, 32, 0.0, 1.0, 8, 24);
+        let _ = SmrSolver::new(
+            s,
+            bc::uniform(Bc::Outflow),
+            RkOrder::Rk2,
+            32,
+            0.0,
+            1.0,
+            8,
+            24,
+        );
     }
 }

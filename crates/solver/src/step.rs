@@ -41,7 +41,9 @@ impl Region {
 
     /// Number of cells in the region.
     pub fn len(&self) -> usize {
-        (0..3).map(|d| self.hi[d].saturating_sub(self.lo[d])).product()
+        (0..3)
+            .map(|d| self.hi[d].saturating_sub(self.lo[d]))
+            .product()
     }
 
     /// `true` when the region contains no cells.
@@ -242,7 +244,9 @@ unsafe fn sweep_pencil(
         .enumerate()
     {
         prim.read_pencil(comp, d, t1, t2, &mut q[c]);
-        scheme.recon.pencil(&q[c], lo, hi + 1, &mut wl[c], &mut wr[c]);
+        scheme
+            .recon
+            .pencil(&q[c], lo, hi + 1, &mut wl[c], &mut wr[c]);
     }
 
     // Interface fluxes for j in lo..=hi.
@@ -325,7 +329,11 @@ mod tests {
         let s = scheme();
         let geom = PatchGeom::line(64, 0.0, 1.0, 3);
         let prim = prims_for(&s, geom, &|x| {
-            Prim::new_1d(1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(), 0.4, 1.5)
+            Prim::new_1d(
+                1.0 + 0.4 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+                0.4,
+                1.5,
+            )
         });
         let mut rhs = Field::cons(geom);
         compute_rhs(&s, &prim, &mut rhs, None);
@@ -417,7 +425,11 @@ mod tests {
         let pool = WorkStealingPool::new(4);
         let mut par = Field::cons(geom);
         compute_rhs(&s, &prim, &mut par, Some(&pool));
-        assert_eq!(serial.raw(), par.raw(), "gang-parallel rhs must be bit-identical");
+        assert_eq!(
+            serial.raw(),
+            par.raw(),
+            "gang-parallel rhs must be bit-identical"
+        );
     }
 
     #[test]
@@ -486,11 +498,18 @@ mod tests {
         let s = scheme();
         let geom = PatchGeom::line(64, 0.0, 1.0, 3);
         let prim = prims_for(&s, geom, &|x| {
-            Prim::new_1d(1.0 + 0.2 * (2.0 * std::f64::consts::PI * x[0]).sin(), 0.5, 1.0)
+            Prim::new_1d(
+                1.0 + 0.2 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+                0.5,
+                1.0,
+            )
         });
         let mut rhs = Field::cons(geom);
         compute_rhs(&s, &prim, &mut rhs, None);
         let max_d = rhs.comp(0).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        assert!(max_d > 0.1, "advection should produce a D residual, got {max_d}");
+        assert!(
+            max_d > 0.1,
+            "advection should produce a D residual, got {max_d}"
+        );
     }
 }

@@ -24,7 +24,11 @@ pub fn physical_flux_from(prim: &Prim, u: &Cons, dir: Dir) -> Cons {
     let vn = prim.vel[n];
     let mut s = [u.s[0] * vn, u.s[1] * vn, u.s[2] * vn];
     s[n] += prim.p;
-    Cons { d: u.d * vn, s, tau: (u.tau + prim.p) * vn }
+    Cons {
+        d: u.d * vn,
+        s,
+        tau: (u.tau + prim.p) * vn,
+    }
 }
 
 /// Smallest and largest characteristic speeds (acoustic eigenvalues) of the
@@ -84,7 +88,11 @@ mod tests {
     fn flux_tau_identity() {
         // F_τ = (τ+p) v_n must equal S_n − D v_n analytically.
         let eos = eos();
-        let prim = Prim { rho: 1.3, vel: [0.4, -0.2, 0.1], p: 0.7 };
+        let prim = Prim {
+            rho: 1.3,
+            vel: [0.4, -0.2, 0.1],
+            p: 0.7,
+        };
         let u = prim.to_cons(&eos);
         for dir in Dir::ALL {
             let f = physical_flux(&eos, &prim, dir);
@@ -108,7 +116,11 @@ mod tests {
         let eos = eos();
         for &vx in &[-0.99, -0.5, 0.0, 0.5, 0.99] {
             for &vy in &[0.0, 0.09] {
-                let p = Prim { rho: 1.0, vel: [vx, vy, 0.0], p: 10.0 };
+                let p = Prim {
+                    rho: 1.0,
+                    vel: [vx, vy, 0.0],
+                    p: 10.0,
+                };
                 for dir in Dir::ALL {
                     let (lm, lp) = signal_speeds(&eos, &p, dir);
                     let vn = p.vn(dir);
@@ -123,7 +135,11 @@ mod tests {
     fn relativistic_velocity_addition_limit() {
         // For v ≫ cs transversally nothing exceeds light speed.
         let eos = eos();
-        let p = Prim { rho: 1.0, vel: [0.0, 0.995, 0.0], p: 100.0 };
+        let p = Prim {
+            rho: 1.0,
+            vel: [0.0, 0.995, 0.0],
+            p: 100.0,
+        };
         let (lm, lp) = signal_speeds(&eos, &p, Dir::X);
         assert!(lp < 1.0 && lm > -1.0);
         // Aberration shrinks the transverse sound cone.
@@ -134,7 +150,11 @@ mod tests {
     #[test]
     fn max_signal_speed_dominates_each_direction() {
         let eos = eos();
-        let p = Prim { rho: 0.8, vel: [0.3, -0.6, 0.2], p: 1.7 };
+        let p = Prim {
+            rho: 0.8,
+            vel: [0.3, -0.6, 0.2],
+            p: 1.7,
+        };
         let m = max_signal_speed(&eos, &p);
         for dir in Dir::ALL {
             let (lm, lp) = signal_speeds(&eos, &p, dir);

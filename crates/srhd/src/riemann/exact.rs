@@ -150,7 +150,11 @@ fn shock_behind(gamma: f64, p: f64, a: &SideState, s: f64) -> Behind {
         return Behind {
             v: a.v,
             rho: a.rho,
-            wave: Wave { kind: WaveKind::Shock, head: v_s, tail: v_s },
+            wave: Wave {
+                kind: WaveKind::Shock,
+                head: v_s,
+                tail: v_s,
+            },
         };
     }
     let h_b = taub_enthalpy(gamma, p, a);
@@ -161,8 +165,8 @@ fn shock_behind(gamma: f64, p: f64, a: &SideState, s: f64) -> Behind {
     let j = ((p - a.p) / denom).max(0.0).sqrt();
     // Shock velocity.
     let rw2 = a.rho * a.rho * a.w * a.w;
-    let v_s = (rw2 * a.v + s * j * j * (1.0 + rw2 * (1.0 - a.v * a.v) / (j * j)).sqrt())
-        / (rw2 + j * j);
+    let v_s =
+        (rw2 * a.v + s * j * j * (1.0 + rw2 * (1.0 - a.v * a.v) / (j * j)).sqrt()) / (rw2 + j * j);
     let v_s = v_s.clamp(-1.0 + 1e-15, 1.0 - 1e-15);
     let w_s = 1.0 / (1.0 - v_s * v_s).sqrt();
     // Post-shock flow velocity (signed mass flux j_s = s·j).
@@ -173,7 +177,11 @@ fn shock_behind(gamma: f64, p: f64, a: &SideState, s: f64) -> Behind {
     Behind {
         v: v_b,
         rho: rho_b,
-        wave: Wave { kind: WaveKind::Shock, head: v_s, tail: v_s },
+        wave: Wave {
+            kind: WaveKind::Shock,
+            head: v_s,
+            tail: v_s,
+        },
     }
 }
 
@@ -210,7 +218,11 @@ fn raref_behind(gamma: f64, p: f64, a: &SideState, s: f64) -> Behind {
     Behind {
         v: v_b,
         rho: rho_b,
-        wave: Wave { kind: WaveKind::Rarefaction, head, tail },
+        wave: Wave {
+            kind: WaveKind::Rarefaction,
+            head,
+            tail,
+        },
     }
 }
 
@@ -375,13 +387,26 @@ mod tests {
             let vt = to_frame(v, v_s);
             let w = 1.0 / (1.0 - vt * vt).sqrt();
             let h = eos.enthalpy(rho, p);
-            (rho * w * vt, rho * h * w * w * vt * vt + p, rho * h * w * w * vt)
+            (
+                rho * w * vt,
+                rho * h * w * w * vt * vt + p,
+                rho * h * w * w * vt,
+            )
         };
         let (m1, p1, e1) = flux3(ahead);
         let (m2, p2, e2) = flux3(behind_);
-        assert!((m1 - m2).abs() < 1e-7 * m1.abs().max(1.0), "mass: {m1} vs {m2}");
-        assert!((p1 - p2).abs() < 1e-7 * p1.abs().max(1.0), "mom: {p1} vs {p2}");
-        assert!((e1 - e2).abs() < 1e-7 * e1.abs().max(1.0), "en: {e1} vs {e2}");
+        assert!(
+            (m1 - m2).abs() < 1e-7 * m1.abs().max(1.0),
+            "mass: {m1} vs {m2}"
+        );
+        assert!(
+            (p1 - p2).abs() < 1e-7 * p1.abs().max(1.0),
+            "mom: {p1} vs {p2}"
+        );
+        assert!(
+            (e1 - e2).abs() < 1e-7 * e1.abs().max(1.0),
+            "en: {e1} vs {e2}"
+        );
     }
 
     #[test]
@@ -436,7 +461,11 @@ mod tests {
             "v* = {} (expected ≈0.960)",
             sol.v_star
         );
-        assert!(sol.rho_star_r > 10.0, "relativistic compression, got {}", sol.rho_star_r);
+        assert!(
+            sol.rho_star_r > 10.0,
+            "relativistic compression, got {}",
+            sol.rho_star_r
+        );
         assert_eq!(sol.right_wave.kind, WaveKind::Shock);
         // Shock moves near light speed.
         assert!(sol.right_wave.head > 0.98, "V_s = {}", sol.right_wave.head);
@@ -468,8 +497,18 @@ mod tests {
         assert!(sol.p_star > 1.0);
         // Symmetric problem: contact is stationary.
         assert!(sol.v_star.abs() < 1e-9, "v* = {}", sol.v_star);
-        check_rh(g, (1.0, 0.9, 1.0), (sol.rho_star_l, sol.v_star, sol.p_star), sol.left_wave.head);
-        check_rh(g, (1.0, -0.9, 1.0), (sol.rho_star_r, sol.v_star, sol.p_star), sol.right_wave.head);
+        check_rh(
+            g,
+            (1.0, 0.9, 1.0),
+            (sol.rho_star_l, sol.v_star, sol.p_star),
+            sol.left_wave.head,
+        );
+        check_rh(
+            g,
+            (1.0, -0.9, 1.0),
+            (sol.rho_star_r, sol.v_star, sol.p_star),
+            sol.right_wave.head,
+        );
     }
 
     #[test]
@@ -574,7 +613,11 @@ mod tests {
 
     #[test]
     fn rejects_tangential_velocity() {
-        let l = Prim { rho: 1.0, vel: [0.0, 0.1, 0.0], p: 1.0 };
+        let l = Prim {
+            rho: 1.0,
+            vel: [0.0, 0.1, 0.0],
+            p: 1.0,
+        };
         let r = Prim::new_1d(0.125, 0.0, 0.1);
         assert!(matches!(
             ExactRiemann::solve(&l, &r, 5.0 / 3.0),

@@ -88,7 +88,11 @@ pub fn hllc_flux(eos: &Eos, left: &Prim, right: &Prim, dir: Dir) -> Cons {
     let d_star = u.d * k;
     let mut s_star = [u.s[0] * k, u.s[1] * k, u.s[2] * k];
     s_star[n] = m_star;
-    let u_star = Cons { d: d_star, s: s_star, tau: e_star - d_star };
+    let u_star = Cons {
+        d: d_star,
+        s: s_star,
+        tau: e_star - d_star,
+    };
 
     // F* = F + λ (U* − U).
     *f + (u_star - *u) * lam
@@ -131,8 +135,16 @@ mod tests {
         // tangential jumps the MB05 HLLC is exact only when the tangential
         // momentum scales with D, which holds per-side here).
         let eos = eos();
-        let l = Prim { rho: 1.0, vel: [0.0, 0.3, 0.0], p: 1.0 };
-        let r = Prim { rho: 1.0, vel: [0.0, -0.7, 0.0], p: 1.0 };
+        let l = Prim {
+            rho: 1.0,
+            vel: [0.0, 0.3, 0.0],
+            p: 1.0,
+        };
+        let r = Prim {
+            rho: 1.0,
+            vel: [0.0, -0.7, 0.0],
+            p: 1.0,
+        };
         let f = hllc_flux(&eos, &l, &r, Dir::X);
         // Stationary contact: no mass or energy flux through the interface.
         assert!(f.d.abs() < 1e-12, "D flux {}", f.d);
@@ -171,8 +183,16 @@ mod tests {
             let mut vr = [0.0; 3];
             vl[dir.axis()] = 0.4;
             vr[dir.axis()] = -0.1;
-            let l = Prim { rho: 1.0, vel: vl, p: 1.0 };
-            let r = Prim { rho: 0.3, vel: vr, p: 0.2 };
+            let l = Prim {
+                rho: 1.0,
+                vel: vl,
+                p: 1.0,
+            };
+            let r = Prim {
+                rho: 0.3,
+                vel: vr,
+                p: 0.2,
+            };
             let f = RiemannSolver::Hllc.flux(&eos, &l, &r, dir);
             assert!(f.is_finite(), "{dir:?}");
             // Mirror of the X test: tangential momentum fluxes vanish when

@@ -36,8 +36,11 @@ pub enum RiemannSolver {
 
 impl RiemannSolver {
     /// All solvers, for comparison sweeps.
-    pub const ALL: [RiemannSolver; 3] =
-        [RiemannSolver::Rusanov, RiemannSolver::Hll, RiemannSolver::Hllc];
+    pub const ALL: [RiemannSolver; 3] = [
+        RiemannSolver::Rusanov,
+        RiemannSolver::Hll,
+        RiemannSolver::Hllc,
+    ];
 
     /// Short display name (used in benchmark tables).
     pub fn name(&self) -> &'static str {
@@ -84,8 +87,16 @@ mod tests {
             (Prim::new_1d(10.0, 0.0, 13.33), Prim::new_1d(1.0, 0.0, 1e-7)),
             (Prim::new_1d(1.0, 0.9, 1.0), Prim::new_1d(1.0, -0.9, 1.0)),
             (
-                Prim { rho: 1.0, vel: [0.5, 0.3, -0.1], p: 0.4 },
-                Prim { rho: 2.0, vel: [-0.2, 0.6, 0.0], p: 5.0 },
+                Prim {
+                    rho: 1.0,
+                    vel: [0.5, 0.3, -0.1],
+                    p: 0.4,
+                },
+                Prim {
+                    rho: 2.0,
+                    vel: [-0.2, 0.6, 0.0],
+                    p: 5.0,
+                },
             ),
         ]
     }
@@ -142,7 +153,11 @@ mod tests {
         let f_hllc = hllc_flux(&eos, &l, &r, Dir::X);
         assert!(f_hllc.d.abs() < 1e-12, "HLLC D-flux {}", f_hllc.d);
         assert!(f_hllc.tau.abs() < 1e-12, "HLLC tau-flux {}", f_hllc.tau);
-        assert!((f_hllc.s[0] - 1.0).abs() < 1e-12, "HLLC Sx-flux {}", f_hllc.s[0]);
+        assert!(
+            (f_hllc.s[0] - 1.0).abs() < 1e-12,
+            "HLLC Sx-flux {}",
+            f_hllc.s[0]
+        );
         let f_hll = hll_flux(&eos, &l, &r, Dir::X);
         assert!(f_hll.d.abs() > 1e-3, "HLL should diffuse the contact");
     }
@@ -159,7 +174,10 @@ mod tests {
         let e_hllc = (hllc_flux(&eos, &l, &r, Dir::X).d - exact_fd).abs();
         assert!(e_rus >= e_hll * 0.99, "rusanov {e_rus} vs hll {e_hll}");
         assert!(e_hll >= e_hllc * 0.99, "hll {e_hll} vs hllc {e_hllc}");
-        assert!(e_hllc < 1e-10, "hllc should be (near-)exact on contacts: {e_hllc}");
+        assert!(
+            e_hllc < 1e-10,
+            "hllc should be (near-)exact on contacts: {e_hllc}"
+        );
     }
 
     #[test]
@@ -168,7 +186,11 @@ mod tests {
         // and preserve the normal-momentum flux.
         let eos = eos();
         for (l, r) in states() {
-            let mirror = |p: &Prim| Prim { rho: p.rho, vel: [-p.vel[0], p.vel[1], p.vel[2]], p: p.p };
+            let mirror = |p: &Prim| Prim {
+                rho: p.rho,
+                vel: [-p.vel[0], p.vel[1], p.vel[2]],
+                p: p.p,
+            };
             for rs in RiemannSolver::ALL {
                 let f = rs.flux(&eos, &l, &r, Dir::X);
                 let fm = rs.flux(&eos, &mirror(&r), &mirror(&l), Dir::X);

@@ -31,7 +31,11 @@ mod tests {
     #[test]
     fn dissipation_vanishes_for_equal_states() {
         let eos = Eos::ideal(1.4);
-        let p = Prim { rho: 1.0, vel: [0.2, -0.3, 0.4], p: 2.0 };
+        let p = Prim {
+            rho: 1.0,
+            vel: [0.2, -0.3, 0.4],
+            p: 2.0,
+        };
         let f = rusanov_flux(&eos, &p, &p, Dir::Y);
         let expected = crate::flux::physical_flux(&eos, &p, Dir::Y);
         assert!((f - expected).max_norm() < 1e-14);

@@ -44,13 +44,21 @@ impl Prim {
     /// A state at rest with the given density and pressure.
     #[inline]
     pub fn at_rest(rho: f64, p: f64) -> Self {
-        Prim { rho, vel: [0.0; 3], p }
+        Prim {
+            rho,
+            vel: [0.0; 3],
+            p,
+        }
     }
 
     /// A state with purely x-directed velocity (1D problems).
     #[inline]
     pub fn new_1d(rho: f64, vx: f64, p: f64) -> Self {
-        Prim { rho, vel: [vx, 0.0, 0.0], p }
+        Prim {
+            rho,
+            vel: [vx, 0.0, 0.0],
+            p,
+        }
     }
 
     /// Squared three-velocity `v² = v_i v^i`.
@@ -129,7 +137,11 @@ impl Prim {
                 self.vel[i] / (wb * denom)
             };
         }
-        Prim { rho: self.rho, vel, p: self.p }
+        Prim {
+            rho: self.rho,
+            vel,
+            p: self.p,
+        }
     }
 }
 
@@ -147,12 +159,20 @@ pub struct Cons {
 
 impl Cons {
     /// The zero vector.
-    pub const ZERO: Cons = Cons { d: 0.0, s: [0.0; 3], tau: 0.0 };
+    pub const ZERO: Cons = Cons {
+        d: 0.0,
+        s: [0.0; 3],
+        tau: 0.0,
+    };
 
     /// Build from a component array `[D, Sx, Sy, Sz, τ]`.
     #[inline]
     pub fn from_array(a: [f64; NCOMP]) -> Self {
-        Cons { d: a[0], s: [a[1], a[2], a[3]], tau: a[4] }
+        Cons {
+            d: a[0],
+            s: [a[1], a[2], a[3]],
+            tau: a[4],
+        }
     }
 
     /// View as a component array `[D, Sx, Sy, Sz, τ]`.
@@ -288,7 +308,11 @@ mod tests {
 
     #[test]
     fn boost_transverse_velocity() {
-        let p = Prim { rho: 1.0, vel: [0.0, 0.6, 0.0], p: 1.0 };
+        let p = Prim {
+            rho: 1.0,
+            vel: [0.0, 0.6, 0.0],
+            p: 1.0,
+        };
         let b = p.boosted(0.8, Dir::X);
         let wb = 1.0 / (1.0 - 0.64f64).sqrt();
         assert!((b.vel[0] - 0.8).abs() < 1e-14);
@@ -316,7 +340,11 @@ mod tests {
         assert_eq!(Dir::X.axis(), 0);
         assert_eq!(Dir::Y.axis(), 1);
         assert_eq!(Dir::Z.axis(), 2);
-        let p = Prim { rho: 1.0, vel: [0.1, 0.2, 0.3], p: 1.0 };
+        let p = Prim {
+            rho: 1.0,
+            vel: [0.1, 0.2, 0.3],
+            p: 1.0,
+        };
         assert_eq!(p.vn(Dir::Y), 0.2);
         let u = p.to_cons(&Eos::ideal(1.4));
         assert_eq!(u.sn(Dir::Z), u.s[2]);

@@ -11,11 +11,11 @@
 //! ```
 
 use rhrsc::grid::PatchGeom;
+use rhrsc::runtime::WorkStealingPool;
 use rhrsc::solver::diag::{conservation_drift, conserved_totals, max_lorentz};
 use rhrsc::solver::problems::Problem;
 use rhrsc::solver::scheme::{init_cons, recover_prims, Scheme};
 use rhrsc::solver::{PatchSolver, RkOrder};
-use rhrsc::runtime::WorkStealingPool;
 use std::io::Write;
 
 fn main() {
@@ -35,11 +35,18 @@ fn main() {
     };
     let geom = PatchGeom::rect([n, n], [0.0, 0.0], [1.0, 1.0], scheme.required_ghosts());
 
-    println!("# 2D relativistic Riemann problem, {n}x{n}, t_end = {}", prob.t_end);
+    println!(
+        "# 2D relativistic Riemann problem, {n}x{n}, t_end = {}",
+        prob.t_end
+    );
 
     let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
     let before = conserved_totals(&u);
-    let pool = WorkStealingPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let pool = WorkStealingPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    );
     let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
 
     let t0 = std::time::Instant::now();
@@ -63,7 +70,8 @@ fn main() {
     );
 
     std::fs::create_dir_all("results").unwrap();
-    let mut f = std::io::BufWriter::new(std::fs::File::create("results/blast_wave_2d.csv").unwrap());
+    let mut f =
+        std::io::BufWriter::new(std::fs::File::create("results/blast_wave_2d.csv").unwrap());
     writeln!(f, "x,y,rho,p,w").unwrap();
     for (i, j, k) in geom.interior_iter() {
         let c = geom.center(i, j, k);
@@ -73,8 +81,12 @@ fn main() {
     println!("# wrote results/blast_wave_2d.csv");
 
     // Quick-look images and a ParaView-loadable VTK file.
-    rhrsc::io::image::write_ppm(std::path::Path::new("results/blast_wave_2d_rho.ppm"), &prim, 0)
-        .unwrap();
+    rhrsc::io::image::write_ppm(
+        std::path::Path::new("results/blast_wave_2d_rho.ppm"),
+        &prim,
+        0,
+    )
+    .unwrap();
     rhrsc::io::vtk::write_vtk(
         std::path::Path::new("results/blast_wave_2d.vtk"),
         "2D relativistic Riemann problem",

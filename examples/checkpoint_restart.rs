@@ -30,7 +30,9 @@ fn main() {
     let mut u_ref = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
     let mut s_ref = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
     s_ref.advance_to(&mut u_ref, 0.0, t_mid, 0.4, None).unwrap();
-    s_ref.advance_to(&mut u_ref, t_mid, prob.t_end, 0.4, None).unwrap();
+    s_ref
+        .advance_to(&mut u_ref, t_mid, prob.t_end, 0.4, None)
+        .unwrap();
 
     // Run to the midpoint, checkpoint, drop everything.
     let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
@@ -40,7 +42,11 @@ fn main() {
     let path = std::path::Path::new("results/blast1_mid.ckp");
     save_checkpoint(
         path,
-        &Checkpoint { time: t_mid, step: steps_a as u64, field: u },
+        &Checkpoint {
+            time: t_mid,
+            step: steps_a as u64,
+            field: u,
+        },
     )
     .unwrap();
     drop(solver);

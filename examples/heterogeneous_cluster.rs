@@ -60,7 +60,7 @@ fn main() {
         let stats = run(4, model, |rank| {
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
             let st = solver.advance_to(rank, &mut u, 0.0, t_end).unwrap();
-            let _ = gather_global(rank, &cfg, &u);
+            let _ = gather_global(rank, &cfg, &u).unwrap();
             st
         });
         let max_t = stats.iter().map(|s| s.elapsed).max().unwrap();

@@ -30,7 +30,9 @@ fn main() {
 
     let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
     let pool = WorkStealingPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
 
@@ -77,6 +79,9 @@ fn main() {
 
     let final_rms = series.last().unwrap().1;
     let initial_rms = series.first().unwrap().1;
-    println!("# amplification: {:.1}x", final_rms / initial_rms.max(1e-300));
+    println!(
+        "# amplification: {:.1}x",
+        final_rms / initial_rms.max(1e-300)
+    );
     println!("# OK");
 }

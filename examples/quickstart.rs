@@ -21,7 +21,10 @@ fn main() {
     let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
 
     println!("# Relativistic Sod shock tube");
-    println!("# N = {n}, scheme = ppm + hllc + ssp-rk3, t_end = {}", prob.t_end);
+    println!(
+        "# N = {n}, scheme = ppm + hllc + ssp-rk3, t_end = {}",
+        prob.t_end
+    );
 
     let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
     let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
@@ -36,7 +39,10 @@ fn main() {
 
     println!("# steps = {steps}, wall = {elapsed:.2?}, L1(rho) vs exact = {l1:.4e}");
     println!("#");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}", "x", "rho", "vx", "p", "rho_exact", "vx_exact", "p_exact");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "x", "rho", "vx", "p", "rho_exact", "vx_exact", "p_exact"
+    );
     for (i, j, k) in geom.interior_iter().step_by(8) {
         let x = geom.center(i, j, k);
         let w = prim_at(&prim, i, j, k);

@@ -36,9 +36,9 @@
 //! ```
 
 pub use rhrsc_comm as comm;
-pub use rhrsc_io as io;
 pub use rhrsc_eos as eos;
 pub use rhrsc_grid as grid;
+pub use rhrsc_io as io;
 pub use rhrsc_runtime as runtime;
 pub use rhrsc_solver as solver;
 pub use rhrsc_srhd as srhd;

@@ -6,9 +6,7 @@ use rhrsc::comm::{run, NetworkModel};
 use rhrsc::grid::{bc, Bc, CartDecomp, Field, PatchGeom};
 use rhrsc::runtime::{AcceleratorConfig, WorkStealingPool};
 use rhrsc::solver::device_backend::DevicePatchSolver;
-use rhrsc::solver::diag::{
-    conservation_drift, conserved_totals, l1_density_error, observed_order,
-};
+use rhrsc::solver::diag::{conservation_drift, conserved_totals, l1_density_error, observed_order};
 use rhrsc::solver::driver::{gather_global, BlockSolver, DistConfig, ExchangeMode};
 use rhrsc::solver::problems::Problem;
 use rhrsc::solver::scheme::init_cons;
@@ -33,12 +31,17 @@ fn sod_converges_to_exact_solution() {
         let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
         let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
         let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
-        solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
+        solver
+            .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+            .unwrap();
         let exact = prob.exact.clone().unwrap();
         let (l1, _) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
         errors.push((n, l1));
     }
-    assert!(errors[2].1 < errors[1].1 && errors[1].1 < errors[0].1, "{errors:?}");
+    assert!(
+        errors[2].1 < errors[1].1 && errors[1].1 < errors[0].1,
+        "{errors:?}"
+    );
     assert!(errors[2].1 < 5e-3, "N=400 error {}", errors[2].1);
     let order = observed_order(&errors);
     assert!(order > 0.6, "shock-limited order {order} (expected ~0.8-1)");
@@ -54,8 +57,11 @@ fn blast_wave_1_shock_position() {
     let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
     let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
     let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
-    solver.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
-    let (_, prim) = l1_density_error(&scheme, &u, &prob.exact.clone().unwrap(), prob.t_end).unwrap();
+    solver
+        .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+        .unwrap();
+    let (_, prim) =
+        l1_density_error(&scheme, &u, &prob.exact.clone().unwrap(), prob.t_end).unwrap();
     // Find the computed shock: rightmost cell with rho > 2 (shell density
     // far exceeds the ambient 1.0).
     let g = *prim.geom();
@@ -169,7 +175,7 @@ fn distributed_heterogeneous_pipeline_end_to_end() {
         |rank| {
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
             solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
-            gather_global(rank, &cfg, &u)
+            gather_global(rank, &cfg, &u).unwrap()
         },
     );
     let global = outs.into_iter().next().unwrap().unwrap();
@@ -257,8 +263,8 @@ fn three_dimensional_blast_is_spherically_symmetric() {
             for i in 0..n {
                 let v = at(i, j, k);
                 max_asym = max_asym
-                    .max((v - at(j, i, k)).abs())       // swap xy
-                    .max((v - at(k, j, i)).abs())       // swap xz
+                    .max((v - at(j, i, k)).abs()) // swap xy
+                    .max((v - at(k, j, i)).abs()) // swap xz
                     .max((v - at(n - 1 - i, j, k)).abs()); // reflect x
             }
         }
@@ -290,7 +296,7 @@ fn reflecting_wall_bounces_flow() {
 #[test]
 fn virtual_cluster_reports_consistent_stats() {
     let scheme = sod_scheme();
-    let ic = |x: [f64; 3]| Prim::new_1d(1.0 + 0.3 * (6.28 * x[0]).sin(), 0.4, 1.0);
+    let ic = |x: [f64; 3]| Prim::new_1d(1.0 + 0.3 * (std::f64::consts::TAU * x[0]).sin(), 0.4, 1.0);
     let cfg = DistConfig {
         scheme,
         rk: RkOrder::Rk2,
@@ -349,7 +355,11 @@ fn checkpoint_restart_is_bit_identical() {
         .advance_to(&mut u_restart, loaded.time, 0.4, 0.4, None)
         .unwrap();
 
-    assert_eq!(u_full.raw(), u_restart.raw(), "restart must be bit-identical");
+    assert_eq!(
+        u_full.raw(),
+        u_restart.raw(),
+        "restart must be bit-identical"
+    );
 }
 
 #[test]
@@ -386,7 +396,12 @@ fn spherical_1d_blast_matches_3d_cartesian_shock_radius() {
     // --- 3D Cartesian run (coarse) ----------------------------------------
     let scheme_3d = sod_scheme();
     let n3 = 40;
-    let geom3 = PatchGeom::cube([n3, n3, n3], [-0.5; 3], [0.5; 3], scheme_3d.required_ghosts());
+    let geom3 = PatchGeom::cube(
+        [n3, n3, n3],
+        [-0.5; 3],
+        [0.5; 3],
+        scheme_3d.required_ghosts(),
+    );
     let ic3 = |x: [f64; 3]| {
         let r = (x[0] * x[0] + x[1] * x[1] + x[2] * x[2]).sqrt();
         if r < r0 {
@@ -420,5 +435,8 @@ fn spherical_1d_blast_matches_3d_cartesian_shock_radius() {
         "1D spherical shock at r={r_shock_1d:.4}, 3D at r={r_shock_3d:.4} (tol {tol:.4})"
     );
     // Both runs see a compressed shell.
-    assert!(rho_max_1d > 1.3 && rho_max_3d > 1.3, "{rho_max_1d} {rho_max_3d}");
+    assert!(
+        rho_max_1d > 1.3 && rho_max_3d > 1.3,
+        "{rho_max_1d} {rho_max_3d}"
+    );
 }

@@ -15,11 +15,11 @@ use rhrsc::srhd::{cons_to_prim, Con2PrimParams, Dir, Prim};
 /// decades, |v| up to Lorentz factors of ~700.
 fn arb_prim() -> impl Strategy<Value = Prim> {
     (
-        -5.0f64..5.0,          // log10 rho
-        -6.0f64..6.0,          // log10 p
-        0.0f64..0.999999,      // |v|
+        -5.0f64..5.0,     // log10 rho
+        -6.0f64..6.0,     // log10 p
+        0.0f64..0.999999, // |v|
         0.0f64..std::f64::consts::TAU,
-        -1.0f64..1.0,          // cos(polar)
+        -1.0f64..1.0, // cos(polar)
     )
         .prop_map(|(lr, lp, v, phi, mu)| {
             let s = (1.0 - mu * mu).sqrt();
@@ -246,7 +246,6 @@ proptest! {
     }
 }
 
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -273,7 +272,7 @@ proptest! {
     #[test]
     fn tm_gamma_eff_between_limits(prim in arb_prim()) {
         let g = Eos::TaubMathews.gamma_eff(prim.rho, prim.p);
-        prop_assert!(g >= 4.0 / 3.0 - 1e-9 && g <= 5.0 / 3.0 + 1e-9, "gamma_eff {g}");
+        prop_assert!((4.0 / 3.0 - 1e-9..=5.0 / 3.0 + 1e-9).contains(&g), "gamma_eff {g}");
     }
 
     #[test]

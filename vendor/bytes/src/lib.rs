@@ -1,0 +1,141 @@
+//! Offline shim for the `bytes` crate: the little-endian get/put surface
+//! used by `rhrsc-io`, backed by `Vec<u8>` / `&[u8]`.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer (shim for `bytes::BytesMut`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+/// Write side: append fixed-width little-endian values.
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+/// Read side: consume fixed-width little-endian values from the front.
+///
+/// # Panics
+/// Like the real crate, the getters panic when fewer than the required
+/// bytes remain; callers bound-check with [`Buf::remaining`] first.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    fn get_u8(&mut self) -> u8 {
+        self.copy_to_array::<1>()[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_to_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_to_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_to_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"hdr");
+        b.put_u32_le(0xdeadbeef);
+        b.put_u64_le(42);
+        b.put_f64_le(-1.5);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.remaining(), 3 + 4 + 8 + 8);
+        r.advance(3);
+        assert_eq!(r.get_u32_le(), 0xdeadbeef);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline shim for `parking_lot`: `Mutex`/`Condvar` with parking_lot's
+//! ergonomics (non-poisoning `lock()`, `&mut guard` condvar waits),
+//! delegating to `std::sync`. Poisoned std locks are transparently
+//! recovered, matching parking_lot's no-poisoning semantics.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
+
+/// Shim for `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so condvar waits can temporarily hand the std guard back.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard absent during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard absent during wait")
+    }
+}
+
+/// Result of a timed condvar wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Shim for `parking_lot::Condvar`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard absent during wait");
+        guard.inner = Some(self.0.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard absent during wait");
+        let (g, res) = match self.0.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        if now >= deadline {
+            return WaitTimeoutResult(true);
+        }
+        self.wait_for(guard, deadline - now)
+    }
+
+    /// Wake one waiter. Returns whether a thread may have been woken
+    /// (std cannot report this; `true` keeps callers conservative).
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake all waiters. std cannot count them; returns 0.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+/// Shim for `parking_lot::RwLock` (same non-poisoning treatment).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            *done = true;
+            cv.notify_one();
+            drop(done);
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        drop(done);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+}

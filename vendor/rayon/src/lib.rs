@@ -1,0 +1,181 @@
+//! Offline shim for `rayon`: the `ThreadPool` + `into_par_iter().for_each`
+//! subset used by the executor backend. Parallelism is real (scoped OS
+//! threads with an atomic work cursor), but pools are lightweight
+//! descriptors rather than persistent worker threads: `install` scopes a
+//! thread-count for parallel calls made inside it.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread count installed by the innermost enclosing `ThreadPool::install`.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error from building a thread pool (the shim cannot fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim spawns threads per call
+    /// and does not name them.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Shim for `rayon::ThreadPool`.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count installed for parallel
+    /// iterators invoked inside it.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(usize) + Sync + Send,
+    {
+        let installed = CURRENT_THREADS.with(Cell::get);
+        let nthreads = if installed == 0 {
+            default_threads()
+        } else {
+            installed
+        };
+        let len = self.range.len();
+        if len == 0 {
+            return;
+        }
+        if nthreads <= 1 || len == 1 {
+            for i in self.range {
+                op(i);
+            }
+            return;
+        }
+        let start = self.range.start;
+        let end = self.range.end;
+        let cursor = AtomicUsize::new(start);
+        let chunk = (len / (4 * nthreads)).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..nthreads.min(len) {
+                s.spawn(|| loop {
+                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= end {
+                        break;
+                    }
+                    for i in lo..(lo + chunk).min(end) {
+                        op(i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (shim for rayon's trait).
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            use crate::prelude::*;
+            (0..1000).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        use crate::prelude::*;
+        (0..0).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+}
