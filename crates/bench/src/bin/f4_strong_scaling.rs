@@ -12,13 +12,19 @@
 //! (Ranks time-share the host physically; the virtual-time machinery
 //! serializes compute sections on a CPU token so the makespan is honest —
 //! see DESIGN.md "virtual cluster".)
+//!
+//! Flags: `--toy` shrinks the sweep for smoke tests/CI, `--profile`
+//! prints the phase breakdown. A machine-readable report is always
+//! written to `results/BENCH_f4_strong_scaling.json`.
 
-use rhrsc_bench::{f3, Table};
+use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::Registry;
 use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
 use rhrsc_solver::{RkOrder, Scheme};
 use rhrsc_srhd::Prim;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn ic(x: [f64; 3]) -> Prim {
@@ -27,20 +33,27 @@ fn ic(x: [f64; 3]) -> Prim {
 }
 
 fn main() {
-    println!("# F4: strong scaling, 256x256, 10 RK2 steps, virtual cluster (10us, 10GB/s)");
+    let opts = BenchOpts::from_args();
+    let (n, nsteps, ranks): (usize, usize, &[usize]) = if opts.toy {
+        (64, 4, &[1, 2, 4])
+    } else {
+        (256, 10, &[1, 2, 4, 8, 16])
+    };
+    println!("# F4: strong scaling, {n}x{n}, {nsteps} RK2 steps, virtual cluster (10us, 10GB/s)");
     let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
-    let nsteps = 10;
-    let ranks = [1usize, 2, 4, 8, 16];
+    let reg = Arc::new(Registry::new());
+    let mut wall_total = 0.0;
+    let mut zu_total = 0.0;
 
     let mut table = Table::new(&["ranks", "makespan_s", "speedup", "efficiency"]);
     let mut base = None;
-    for &p in &ranks {
+    for &p in ranks {
         let cfg = DistConfig {
             scheme: Scheme::default_with_gamma(5.0 / 3.0),
             rk: RkOrder::Rk2,
-            global_n: [256, 256, 1],
+            global_n: [n, n, 1],
             domain: ([0.0; 3], [1.0, 1.0, 1.0]),
-            decomp: CartDecomp::auto(p, [256, 256, 1], [true, true, false]),
+            decomp: CartDecomp::auto(p, [n, n, 1], [true, true, false]),
             bcs: bc::uniform(Bc::Periodic),
             cfl: 0.4,
             mode: ExchangeMode::BulkSynchronous,
@@ -48,10 +61,14 @@ fn main() {
             dt_refresh_interval: 1,
         };
         let stats = run(p, model, |rank| {
+            rank.set_metrics(reg.clone());
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.set_metrics(reg.clone());
             solver.advance_steps(rank, &mut u, nsteps).unwrap()
         });
         let makespan = stats.iter().map(|s| s.vtime).fold(0.0, f64::max);
+        wall_total += makespan;
+        zu_total += stats.iter().map(|s| s.zone_updates as f64).sum::<f64>();
         let base_t = *base.get_or_insert(makespan);
         let speedup = base_t / makespan;
         table.row(&[
@@ -63,4 +80,21 @@ fn main() {
     }
     table.print();
     table.save_csv("f4_strong_scaling");
+
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("f4_strong_scaling (all rank counts pooled)", &snap);
+    }
+    let max_ranks = *ranks.last().unwrap();
+    RunReport::new("f4_strong_scaling")
+        .config_str("model", "virtual_cluster(10us, 10GB/s)")
+        .config_num("global_n", n as f64)
+        .config_num("nsteps", nsteps as f64)
+        .config_num("max_ranks", max_ranks as f64)
+        .config_str("mode", "bulk-sync")
+        .config_str("clock", "virtual")
+        .wall_time(wall_total)
+        .parallelism(max_ranks as f64)
+        .zone_updates(zu_total)
+        .write(&snap);
 }

@@ -7,13 +7,19 @@
 //! Expected shape: near-flat makespan (efficiency ≳ 0.8) — per-rank work
 //! is constant and only halo exchange plus the Δt reduction grow — the
 //! classic weak-scaling figure every CLUSTER-style paper reports.
+//!
+//! Flags: `--toy` shrinks the sweep for smoke tests/CI, `--profile`
+//! prints the phase breakdown. A machine-readable report is always
+//! written to `results/BENCH_f5_weak_scaling.json`.
 
-use rhrsc_bench::{f3, Table};
+use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::Registry;
 use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
 use rhrsc_solver::{RkOrder, Scheme};
 use rhrsc_srhd::Prim;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn ic(x: [f64; 3]) -> Prim {
@@ -28,17 +34,26 @@ fn ic(x: [f64; 3]) -> Prim {
 }
 
 fn main() {
-    println!("# F5: weak scaling, 128x128 per rank, 10 RK2 steps, virtual cluster (10us, 10GB/s)");
+    let opts = BenchOpts::from_args();
+    let (block, nsteps, ranks): (usize, usize, &[usize]) = if opts.toy {
+        (32, 4, &[1, 2, 4])
+    } else {
+        (128, 10, &[1, 2, 4, 8, 16])
+    };
+    println!(
+        "# F5: weak scaling, {block}x{block} per rank, {nsteps} RK2 steps, virtual cluster (10us, 10GB/s)"
+    );
     let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
-    let nsteps = 10;
-    let ranks = [1usize, 2, 4, 8, 16];
+    let reg = Arc::new(Registry::new());
+    let mut wall_total = 0.0;
+    let mut zu_total = 0.0;
 
     let mut table = Table::new(&["ranks", "global_grid", "makespan_s", "efficiency"]);
     let mut base = None;
-    for &p in &ranks {
-        let decomp = CartDecomp::auto(p, [128 * p, 128, 1], [true, true, false]);
+    for &p in ranks {
+        let decomp = CartDecomp::auto(p, [block * p, block, 1], [true, true, false]);
         // Grow the grid to match the chosen process grid exactly.
-        let global_n = [128 * decomp.dims[0], 128 * decomp.dims[1], 1];
+        let global_n = [block * decomp.dims[0], block * decomp.dims[1], 1];
         let cfg = DistConfig {
             scheme: Scheme::default_with_gamma(5.0 / 3.0),
             rk: RkOrder::Rk2,
@@ -55,10 +70,14 @@ fn main() {
             dt_refresh_interval: 1,
         };
         let stats = run(p, model, |rank| {
+            rank.set_metrics(reg.clone());
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.set_metrics(reg.clone());
             solver.advance_steps(rank, &mut u, nsteps).unwrap()
         });
         let makespan = stats.iter().map(|s| s.vtime).fold(0.0, f64::max);
+        wall_total += makespan;
+        zu_total += stats.iter().map(|s| s.zone_updates as f64).sum::<f64>();
         let base_t = *base.get_or_insert(makespan);
         table.row(&[
             p.to_string(),
@@ -69,4 +88,21 @@ fn main() {
     }
     table.print();
     table.save_csv("f5_weak_scaling");
+
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("f5_weak_scaling (all rank counts pooled)", &snap);
+    }
+    let max_ranks = *ranks.last().unwrap();
+    RunReport::new("f5_weak_scaling")
+        .config_str("model", "virtual_cluster(10us, 10GB/s)")
+        .config_num("block_n", block as f64)
+        .config_num("nsteps", nsteps as f64)
+        .config_num("max_ranks", max_ranks as f64)
+        .config_str("mode", "bulk-sync")
+        .config_str("clock", "virtual")
+        .wall_time(wall_total)
+        .parallelism(max_ranks as f64)
+        .zone_updates(zu_total)
+        .write(&snap);
 }

@@ -1,0 +1,50 @@
+//! Validate every `BENCH_*.json` report in the results directory against
+//! the schema (see [`rhrsc_bench::validate_report`]). Exits non-zero if
+//! any report is missing required fields, has non-positive phase totals,
+//! or claims more phase time than `wall_time × parallelism` allows.
+//!
+//! Usage: `validate_reports [dir]` — defaults to the workspace
+//! `results/` directory (or `RHRSC_RESULTS_DIR`).
+
+use rhrsc_bench::{results_dir, validate_report, Json};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(results_dir);
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    entries.sort();
+    for path in &entries {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let verdict = Json::parse(&text).and_then(|doc| validate_report(&doc));
+        checked += 1;
+        match verdict {
+            Ok(()) => println!("ok    {}", path.display()),
+            Err(msg) => {
+                failed += 1;
+                eprintln!("FAIL  {}: {msg}", path.display());
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("no BENCH_*.json reports found in {}", dir.display());
+        std::process::exit(2);
+    }
+    println!("{checked} report(s) checked, {failed} failed");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -7,9 +7,25 @@
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod json;
+pub mod report;
+
+pub use json::Json;
+pub use report::{print_phase_table, validate_report, BenchOpts, RunReport};
+
 /// The `results/` directory at the workspace root (created on demand).
+///
+/// `RHRSC_RESULTS_DIR` overrides the location outright (CI redirects
+/// reports this way). Otherwise walk up from the current dir to the
+/// Cargo workspace root; if none is found, fall back to the current
+/// directory *with a warning* — a silent fallback used to scatter
+/// CSV/JSON output into arbitrary cwds.
 pub fn results_dir() -> PathBuf {
-    // Walk up from the current dir until a Cargo workspace root is found.
+    if let Some(dir) = std::env::var_os("RHRSC_RESULTS_DIR") {
+        let out = PathBuf::from(dir);
+        std::fs::create_dir_all(&out).expect("cannot create RHRSC_RESULTS_DIR");
+        return out;
+    }
     let mut dir = std::env::current_dir().expect("no cwd");
     loop {
         if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
@@ -17,6 +33,11 @@ pub fn results_dir() -> PathBuf {
         }
         if !dir.pop() {
             dir = std::env::current_dir().unwrap();
+            eprintln!(
+                "warning: no Cargo workspace root above {}; writing results to {}",
+                dir.display(),
+                dir.join("results").display()
+            );
             break;
         }
     }

@@ -1,0 +1,433 @@
+//! Structured BENCH run reports and the `--profile` phase table.
+//!
+//! Every headline experiment binary (F4/F5/F7/F9/T3) emits a
+//! machine-readable `results/BENCH_<id>.json` run report alongside its
+//! CSV — the benchmark trajectory later performance PRs are judged
+//! against. Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "id": "f7_overlap",
+//!   "build": {"package_version": "...", "debug": false,
+//!             "os": "linux", "arch": "x86_64"},
+//!   "timestamp_unix": 1754438400,
+//!   "config": {"...": "bench-specific key/values"},
+//!   "wall_time_s": 1.25,
+//!   "parallelism": 4,
+//!   "zone_updates": 2621440,          // optional
+//!   "zone_updates_per_sec": 2.1e6,    // derived, optional
+//!   "phases":   [{"name": "phase.halo.wait", "total_s": 0.5,
+//!                 "count": 240, "mean_s": 0.002}],
+//!   "counters": {"comm.msgs.halo": 960},
+//!   "values":   [{"name": "c2p.newton_iters", "count": 655360,
+//!                 "sum": 2621440, "mean": 4.0}]
+//! }
+//! ```
+//!
+//! `phases` holds every duration histogram (names prefixed `phase.` for
+//! disjoint top-level step phases, `sub.` for nested sections — see
+//! DESIGN.md "Observability"); `values` holds the remaining, unit-less
+//! histograms. Totals are summed across ranks, so a consistency check
+//! must compare against `wall_time_s × parallelism`, not wall time
+//! alone.
+
+use crate::json::{obj, Json};
+use crate::{f3, results_dir, Table};
+use rhrsc_runtime::metrics::Snapshot;
+use std::path::{Path, PathBuf};
+
+/// Command-line options shared by the bench binaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchOpts {
+    /// Print the phase-breakdown table (`--profile`).
+    pub profile: bool,
+    /// Shrink the problem for CI smoke runs (`--toy`).
+    pub toy: bool,
+}
+
+impl BenchOpts {
+    /// Parse `--profile` / `--toy` from `std::env::args`, warning on
+    /// anything else.
+    pub fn from_args() -> Self {
+        let mut o = BenchOpts::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--profile" => o.profile = true,
+                "--toy" => o.toy = true,
+                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+            }
+        }
+        o
+    }
+}
+
+/// Builder for a `BENCH_<id>.json` run report.
+pub struct RunReport {
+    id: String,
+    config: Vec<(String, Json)>,
+    wall_time_s: f64,
+    parallelism: f64,
+    zone_updates: Option<f64>,
+}
+
+impl RunReport {
+    /// Start a report for experiment `id` (e.g. `f4_strong_scaling`).
+    pub fn new(id: &str) -> Self {
+        RunReport {
+            id: id.to_string(),
+            config: Vec::new(),
+            wall_time_s: 0.0,
+            parallelism: 1.0,
+            zone_updates: None,
+        }
+    }
+
+    /// Record a bench-specific config entry (string value).
+    pub fn config_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.config.push((key.to_string(), Json::Str(value.into())));
+        self
+    }
+
+    /// Record a bench-specific config entry (numeric value).
+    pub fn config_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.config.push((key.to_string(), Json::Num(value)));
+        self
+    }
+
+    /// Total wall-clock time of the measured section, seconds.
+    pub fn wall_time(&mut self, secs: f64) -> &mut Self {
+        self.wall_time_s = secs;
+        self
+    }
+
+    /// Number of concurrent workers contributing to the phase totals
+    /// (simulated ranks): phase sums may legitimately reach
+    /// `wall_time × parallelism`.
+    pub fn parallelism(&mut self, p: f64) -> &mut Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// Total zone updates performed (cells × RK stages × steps); derives
+    /// `zone_updates_per_sec`.
+    pub fn zone_updates(&mut self, z: f64) -> &mut Self {
+        self.zone_updates = Some(z);
+        self
+    }
+
+    /// Render the report document from a metrics snapshot.
+    pub fn to_json(&self, snap: &Snapshot) -> Json {
+        let mut phases = Vec::new();
+        let mut values = Vec::new();
+        for (name, h) in &snap.histograms {
+            if name.starts_with("phase.") || name.starts_with("sub.") {
+                let total_s = h.sum as f64 * 1e-9;
+                phases.push(obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("total_s", Json::Num(total_s)),
+                    ("count", Json::Num(h.count as f64)),
+                    (
+                        "mean_s",
+                        Json::Num(if h.count > 0 {
+                            total_s / h.count as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]));
+            } else {
+                values.push(obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("count", Json::Num(h.count as f64)),
+                    ("sum", Json::Num(h.sum as f64)),
+                    ("mean", Json::Num(h.mean())),
+                ]));
+            }
+        }
+        let counters = Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let timestamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut members = vec![
+            ("schema_version", Json::Num(1.0)),
+            ("id", Json::Str(self.id.clone())),
+            (
+                "build",
+                obj(vec![
+                    (
+                        "package_version",
+                        Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+                    ),
+                    ("debug", Json::Bool(cfg!(debug_assertions))),
+                    ("os", Json::Str(std::env::consts::OS.to_string())),
+                    ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+                ]),
+            ),
+            ("timestamp_unix", Json::Num(timestamp as f64)),
+            ("config", Json::Obj(self.config.clone())),
+            ("wall_time_s", Json::Num(self.wall_time_s)),
+            ("parallelism", Json::Num(self.parallelism)),
+        ];
+        if let Some(z) = self.zone_updates {
+            members.push(("zone_updates", Json::Num(z)));
+            if self.wall_time_s > 0.0 {
+                members.push(("zone_updates_per_sec", Json::Num(z / self.wall_time_s)));
+            }
+        }
+        members.push(("phases", Json::Arr(phases)));
+        members.push(("counters", counters));
+        members.push(("values", Json::Arr(values)));
+        obj(members)
+    }
+
+    /// Write `BENCH_<id>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path, snap: &Snapshot) -> PathBuf {
+        let path = dir.join(format!("BENCH_{}.json", self.id));
+        std::fs::write(&path, self.to_json(snap).pretty()).expect("write BENCH report");
+        path
+    }
+
+    /// Write `results/BENCH_<id>.json`, returning the path.
+    pub fn write(&self, snap: &Snapshot) -> PathBuf {
+        let path = self.write_to(&results_dir(), snap);
+        println!("  -> wrote {}", path.display());
+        path
+    }
+}
+
+/// Validate a parsed `BENCH_*.json` document against schema version 1.
+/// Returns a description of the first violation.
+// Negated comparison forms deliberately reject NaN values.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let need = |key: &str| doc.get(key).ok_or(format!("missing key `{key}`"));
+    if need("schema_version")?.as_f64() != Some(1.0) {
+        return Err("schema_version != 1".to_string());
+    }
+    if need("id")?.as_str().is_none_or(str::is_empty) {
+        return Err("id must be a non-empty string".to_string());
+    }
+    let build = need("build")?;
+    for key in ["package_version", "os", "arch"] {
+        if build.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("build.{key} must be a string"));
+        }
+    }
+    need("config")?
+        .as_obj()
+        .ok_or("config must be an object".to_string())?;
+    let wall = need("wall_time_s")?
+        .as_f64()
+        .ok_or("wall_time_s must be a number".to_string())?;
+    if !(wall > 0.0) {
+        return Err(format!("wall_time_s must be positive, got {wall}"));
+    }
+    let parallelism = need("parallelism")?.as_f64().unwrap_or(1.0).max(1.0);
+    let phases = need("phases")?
+        .as_arr()
+        .ok_or("phases must be an array".to_string())?;
+    if phases.is_empty() {
+        return Err("phases must be non-empty".to_string());
+    }
+    let mut phase_sum = 0.0;
+    for p in phases {
+        let name = p
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("phase missing name".to_string())?;
+        let total = p
+            .get("total_s")
+            .and_then(Json::as_f64)
+            .ok_or(format!("phase `{name}` missing total_s"))?;
+        if total < 0.0 {
+            return Err(format!("phase `{name}` has negative total_s"));
+        }
+        if p.get("count").and_then(Json::as_f64).is_none() {
+            return Err(format!("phase `{name}` missing count"));
+        }
+        // `sub.*` sections nest inside `phase.*` sections; only count the
+        // disjoint top-level phases toward the wall-time consistency sum.
+        if name.starts_with("phase.") {
+            phase_sum += total;
+        }
+    }
+    if !(phase_sum > 0.0) {
+        return Err("sum of phase totals must be positive".to_string());
+    }
+    let budget = wall * parallelism * 1.1;
+    if phase_sum > budget {
+        return Err(format!(
+            "phase totals ({phase_sum:.3} s) exceed wall_time × parallelism ({budget:.3} s)"
+        ));
+    }
+    if let Some(rate) = doc.get("zone_updates_per_sec").and_then(Json::as_f64) {
+        if !(rate > 0.0) {
+            return Err(format!("zone_updates_per_sec must be positive, got {rate}"));
+        }
+    }
+    Ok(())
+}
+
+/// Print the human-readable phase-breakdown table for `--profile`.
+///
+/// Top-level `phase.*` rows share a common denominator (their summed
+/// time); nested `sub.*` rows and counters are listed below without
+/// shares (they overlap the phases above).
+pub fn print_phase_table(title: &str, snap: &Snapshot) {
+    println!("\n## Phase breakdown: {title}");
+    let phase_total: f64 = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("phase."))
+        .map(|(_, h)| h.sum as f64 * 1e-9)
+        .sum();
+    let mut t = Table::new(&["phase", "total_s", "count", "mean_us", "share"]);
+    for (name, h) in &snap.histograms {
+        if !name.starts_with("phase.") {
+            continue;
+        }
+        let total_s = h.sum as f64 * 1e-9;
+        t.row(&[
+            name.clone(),
+            format!("{total_s:.4}"),
+            h.count.to_string(),
+            f3(if h.count > 0 {
+                h.sum as f64 * 1e-3 / h.count as f64
+            } else {
+                0.0
+            }),
+            format!("{:.1}%", 100.0 * total_s / phase_total.max(1e-30)),
+        ]);
+    }
+    t.print();
+
+    let subs: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("sub."))
+        .collect();
+    if !subs.is_empty() {
+        println!("  nested sections (overlap the phases above):");
+        let mut t = Table::new(&["section", "total_s", "count", "mean_us"]);
+        for (name, h) in subs {
+            t.row(&[
+                name.clone(),
+                format!("{:.4}", h.sum as f64 * 1e-9),
+                h.count.to_string(),
+                f3(if h.count > 0 {
+                    h.sum as f64 * 1e-3 / h.count as f64
+                } else {
+                    0.0
+                }),
+            ]);
+        }
+        t.print();
+    }
+
+    let values: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| !k.starts_with("phase.") && !k.starts_with("sub."))
+        .collect();
+    if !values.is_empty() {
+        let mut t = Table::new(&["value", "count", "mean"]);
+        for (name, h) in values {
+            t.row(&[name.clone(), h.count.to_string(), f3(h.mean())]);
+        }
+        t.print();
+    }
+
+    if !snap.counters.is_empty() {
+        let mut t = Table::new(&["counter", "value"]);
+        for (name, v) in &snap.counters {
+            t.row(&[name.clone(), v.to_string()]);
+        }
+        t.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhrsc_runtime::metrics::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.histogram("phase.rhs.deep").record(40_000_000);
+        r.histogram("phase.halo.wait").record(10_000_000);
+        r.histogram("sub.c2p").record(5_000_000);
+        r.histogram("c2p.newton_iters").record_batch(100, 400, 4);
+        r.counter("comm.msgs.halo").add(8);
+        r.snapshot()
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let snap = sample_snapshot();
+        let mut rep = RunReport::new("unit_test");
+        rep.config_str("grid", "8x8")
+            .config_num("ranks", 4.0)
+            .wall_time(0.06)
+            .parallelism(1.0)
+            .zone_updates(1280.0);
+        let doc = Json::parse(&rep.to_json(&snap).pretty()).unwrap();
+        validate_report(&doc).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("unit_test"));
+        assert!(doc.get("zone_updates_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        // sub.* appears in phases but not in the consistency sum.
+        let names: Vec<_> = doc
+            .get("phases")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|p| p.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"sub.c2p".to_string()));
+        // c2p.newton_iters lands in values, not phases.
+        assert!(!names.contains(&"c2p.newton_iters".to_string()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_reports() {
+        let snap = sample_snapshot();
+        let mut rep = RunReport::new("unit_test");
+        rep.wall_time(0.06);
+        let good = rep.to_json(&snap);
+
+        // Phase totals exceeding wall × parallelism are rejected.
+        rep.wall_time(1e-6);
+        assert!(validate_report(&rep.to_json(&snap)).is_err());
+
+        // Empty phases are rejected.
+        let empty = RunReport::new("x");
+        let mut no_phases = empty.to_json(&Snapshot::default());
+        if let Json::Obj(members) = &mut no_phases {
+            for (k, v) in members.iter_mut() {
+                if k == "wall_time_s" {
+                    *v = Json::Num(1.0);
+                }
+            }
+        }
+        assert!(validate_report(&no_phases).is_err());
+
+        // Missing id is rejected.
+        if let Json::Obj(members) = &good {
+            let stripped = Json::Obj(members.iter().filter(|(k, _)| k != "id").cloned().collect());
+            assert!(validate_report(&stripped).is_err());
+        }
+    }
+
+    #[test]
+    fn phase_table_prints_without_panicking() {
+        print_phase_table("unit test", &sample_snapshot());
+        print_phase_table("empty", &Snapshot::default());
+    }
+}

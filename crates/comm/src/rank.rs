@@ -2,6 +2,7 @@
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};
+use rhrsc_runtime::metrics::Registry;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -14,6 +15,18 @@ const RESERVED_TAG_BASE: u64 = 1 << 62;
 /// protocol itself depends on, mirroring how real resilience layers run
 /// their control plane over a reliable transport.
 const FAULT_TAG_LIMIT: u64 = 64;
+
+/// Classify a tag for metrics: halo traffic, point-to-point data (gathers,
+/// restarts), or collectives (the reserved tag space).
+fn tag_class(tag: u64) -> &'static str {
+    if tag >= RESERVED_TAG_BASE {
+        "collective"
+    } else if tag < FAULT_TAG_LIMIT {
+        "halo"
+    } else {
+        "data"
+    }
+}
 
 /// Cost model of the simulated interconnect.
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +153,9 @@ pub struct Rank {
     /// Optional fault injector for halo-tag traffic (see
     /// [`run_with_faults`]).
     injector: Option<Arc<FaultInjector>>,
+    /// Optional metrics registry: per-tag-class message/byte counters and
+    /// receive-wait histograms (see [`Rank::set_metrics`]).
+    metrics: Option<Arc<Registry>>,
 }
 
 impl Rank {
@@ -166,6 +182,15 @@ impl Rank {
     /// `true` when the universe runs in virtual-time mode.
     pub fn is_virtual(&self) -> bool {
         self.model.virtual_time
+    }
+
+    /// Attach a metrics registry. Sends then bump `comm.msgs.<class>` /
+    /// `comm.bytes.<class>` counters and receives record their blocking
+    /// time into `sub.comm.wait.<class>` histograms, where `<class>` is
+    /// `halo`, `data` or `collective` by tag range. In virtual-time mode
+    /// the wait is the virtual-clock jump; otherwise wall-clock time.
+    pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
+        self.metrics = Some(metrics);
     }
 
     /// Execute a compute section and charge its cost to this rank's
@@ -235,6 +260,12 @@ impl Rank {
         assert!(to < self.size, "send to invalid rank {to}");
         assert_ne!(to, self.rank, "self-send is not supported");
         self.bytes_sent += std::mem::size_of_val(data) as u64;
+        if let Some(m) = &self.metrics {
+            let class = tag_class(tag);
+            m.counter(&format!("comm.msgs.{class}")).inc();
+            m.counter(&format!("comm.bytes.{class}"))
+                .add(std::mem::size_of_val(data) as u64);
+        }
         let env = Envelope {
             from: self.rank,
             tag,
@@ -260,6 +291,22 @@ impl Rank {
     }
 
     fn recv_raw(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        // Only pay for clock reads when a registry is attached.
+        let wait_start = self.metrics.as_ref().map(|_| (Instant::now(), self.vtime));
+        let data = self.recv_raw_inner(from, tag);
+        if let (Some(m), Some((t0, v0))) = (&self.metrics, wait_start) {
+            let ns = if self.model.virtual_time {
+                ((self.vtime - v0).max(0.0) * 1e9) as u64
+            } else {
+                t0.elapsed().as_nanos() as u64
+            };
+            m.histogram(&format!("sub.comm.wait.{}", tag_class(tag)))
+                .record(ns);
+        }
+        data
+    }
+
+    fn recv_raw_inner(&mut self, from: usize, tag: u64) -> Vec<f64> {
         // Check the stash first.
         if let Some(pos) = self
             .stash
@@ -477,6 +524,7 @@ where
             injector: plan
                 .as_ref()
                 .map(|p| Arc::new(FaultInjector::new(p.clone(), i as u64))),
+            metrics: None,
         })
         .collect();
     drop(txs);
@@ -904,6 +952,37 @@ mod tests {
         assert_eq!(a[1], b[1], "same plan, same fault pattern");
         assert!(a[1].contains(&4), "some messages truncated");
         assert!(a[1].contains(&8), "some messages intact");
+    }
+
+    #[test]
+    fn metrics_count_messages_and_waits() {
+        let model = NetworkModel::virtual_cluster(Duration::from_millis(5), f64::INFINITY);
+        let reg = Arc::new(Registry::new());
+        let reg2 = reg.clone();
+        run(2, model, move |r| {
+            r.set_metrics(reg2.clone());
+            if r.rank() == 0 {
+                r.send(1, 1, &[1.0; 10]); // halo class
+                r.send(1, 100, &[2.0; 4]); // data class
+            } else {
+                r.recv(0, 1);
+                r.recv(0, 100);
+            }
+            r.allreduce_sum(1.0);
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["comm.msgs.halo"], 1);
+        assert_eq!(snap.counters["comm.bytes.halo"], 80);
+        assert_eq!(snap.counters["comm.msgs.data"], 1);
+        assert_eq!(snap.counters["comm.bytes.data"], 32);
+        assert!(
+            snap.counters["comm.msgs.collective"] >= 2,
+            "allreduce sends"
+        );
+        // The halo recv blocked for the 5 ms virtual latency.
+        let wait = &snap.histograms["sub.comm.wait.halo"];
+        assert_eq!(wait.count, 1);
+        assert!(wait.sum >= 4_000_000, "halo wait {} ns", wait.sum);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::fault::FaultInjector;
 use crate::future::{promise, Future, Promise};
+use crate::metrics::Registry;
 use crate::pool::WorkStealingPool;
 use crate::spin_for;
 use crossbeam_channel::{unbounded, Sender};
@@ -137,6 +138,7 @@ enum Command {
     /// instead of through the throughput multiplier.
     Launch(Kernel, Promise<()>, bool),
     Fence(Promise<()>),
+    SetMetrics(Arc<Registry>),
     Shutdown,
 }
 
@@ -165,6 +167,14 @@ impl Accelerator {
             .spawn(move || {
                 let gang = WorkStealingPool::new(dev_cfg.compute_threads.max(1));
                 let mut buffers: HashMap<u64, Vec<f64>> = HashMap::new();
+                let mut metrics: Option<Arc<Registry>> = None;
+                // Record a *modeled* duration (what the virtual clock was
+                // charged) into a phase histogram.
+                let record = |metrics: &Option<Arc<Registry>>, name: &str, secs: f64| {
+                    if let Some(m) = metrics {
+                        m.histogram(name).record((secs * 1e9) as u64);
+                    }
+                };
                 for cmd in rx {
                     match cmd {
                         Command::Alloc(id, len) => {
@@ -182,6 +192,11 @@ impl Accelerator {
                                 secs *= 2.0;
                             }
                             charge_vclock(&vclock, secs);
+                            record(&metrics, "phase.dev.h2d", secs);
+                            if let Some(m) = &metrics {
+                                m.counter("dev.h2d.bytes")
+                                    .add(std::mem::size_of_val(&data[..]) as u64);
+                            }
                             let buf = buffers.get_mut(&id).expect("H2D into unallocated buffer");
                             assert_eq!(buf.len(), data.len(), "H2D size mismatch");
                             buf.copy_from_slice(&data);
@@ -190,7 +205,13 @@ impl Accelerator {
                         Command::D2H(id, done) => {
                             let buf = buffers.get(&id).expect("D2H from unallocated buffer");
                             charge_copy(&dev_cfg, buf.len());
-                            charge_vclock(&vclock, copy_secs(&dev_cfg, buf.len()));
+                            let secs = copy_secs(&dev_cfg, buf.len());
+                            charge_vclock(&vclock, secs);
+                            record(&metrics, "phase.dev.d2h", secs);
+                            if let Some(m) = &metrics {
+                                m.counter("dev.d2h.bytes")
+                                    .add(std::mem::size_of_val(&buf[..]) as u64);
+                            }
                             done.set(buf.clone());
                         }
                         Command::Launch(kernel, done, host_fallback) => {
@@ -212,9 +233,11 @@ impl Accelerator {
                             let secs = dev_cfg.launch_overhead.as_secs_f64()
                                 + t0.elapsed().as_secs_f64() / multiplier;
                             charge_vclock(&vclock, secs);
+                            record(&metrics, "phase.dev.launch", secs);
                             done.set(());
                         }
                         Command::Fence(done) => done.set(()),
+                        Command::SetMetrics(m) => metrics = Some(m),
                         Command::Shutdown => break,
                     }
                 }
@@ -241,6 +264,17 @@ impl Accelerator {
     /// The attached fault injector's counters, if any.
     pub fn fault_stats(&self) -> Option<crate::fault::FaultStats> {
         self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// Attach a metrics registry. Subsequent queue commands record their
+    /// *modeled* durations — the same values charged to the virtual
+    /// clock — into `phase.dev.h2d` / `phase.dev.d2h` / `phase.dev.launch`
+    /// histograms, and staging volume into `dev.{h2d,d2h}.bytes`
+    /// counters. Takes effect in queue order, like every other command.
+    pub fn set_metrics(&self, metrics: Arc<Registry>) {
+        self.tx
+            .send(Command::SetMetrics(metrics))
+            .expect("device queue closed");
     }
 
     /// Modeled device time consumed so far (launch overheads + kernel
@@ -486,6 +520,38 @@ mod tests {
         let dev = Accelerator::new(fast_cfg());
         let b = dev.alloc(8);
         assert_eq!(dev.copy_to_host(b).get(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn metrics_record_staging_and_launch() {
+        let mut cfg = fast_cfg();
+        cfg.copy_bandwidth = 8e9;
+        cfg.launch_overhead = Duration::from_micros(100);
+        let dev = Accelerator::new(cfg);
+        let reg = Arc::new(Registry::new());
+        dev.set_metrics(reg.clone());
+        let buf = dev.alloc(1000);
+        dev.copy_to_device(buf, &vec![1.0; 1000]).get();
+        dev.launch(move |ctx| {
+            for v in ctx.buf_mut(buf) {
+                *v += 1.0;
+            }
+        })
+        .get();
+        let back = dev.copy_to_host(buf).get();
+        assert!(back.iter().all(|&v| v == 2.0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["dev.h2d.bytes"], 8000);
+        assert_eq!(snap.counters["dev.d2h.bytes"], 8000);
+        assert_eq!(snap.histograms["phase.dev.h2d"].count, 1);
+        assert_eq!(snap.histograms["phase.dev.d2h"].count, 1);
+        // 8000 B at 8 GB/s = 1 µs modeled copy time.
+        assert!(snap.histograms["phase.dev.h2d"].sum >= 900);
+        // The launch charge includes the 100 µs overhead.
+        assert!(snap.histograms["phase.dev.launch"].sum >= 100_000);
+        // Modeled staging time matches the virtual clock's copy charges.
+        let copies = snap.phase_secs("phase.dev.h2d") + snap.phase_secs("phase.dev.d2h");
+        assert!(copies <= dev.virtual_time().as_secs_f64());
     }
 
     #[test]

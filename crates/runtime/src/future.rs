@@ -6,6 +6,12 @@
 //! runtime is a blocking work-stealing pool, not an async executor, which
 //! matches the HPX-style model where lightweight tasks block on futures
 //! and the scheduler runs other work.
+//!
+//! A promise that cannot deliver — its producer panicked, or it was
+//! dropped unfulfilled — *poisons* the cell instead of leaving waiters
+//! blocked forever: `get` re-raises the producer's panic message on the
+//! waiting thread, turning a silent distributed hang into a local,
+//! attributable panic.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -16,8 +22,10 @@ enum State<T> {
     Empty,
     /// Value arrived, no consumer yet.
     Value(T),
-    /// Continuation attached, waiting for the value.
-    Continuation(Box<dyn FnOnce(T) + Send>),
+    /// Producer failed; the message re-raises in the consumer.
+    Poisoned(String),
+    /// Continuation attached, waiting for the value (or the poison).
+    Continuation(Box<dyn FnOnce(Result<T, String>) + Send>),
     /// Value consumed or continuation fired.
     Done,
 }
@@ -28,8 +36,11 @@ struct Shared<T> {
 }
 
 /// Write end of a single-assignment cell.
+///
+/// Dropping a promise without fulfilling it poisons the cell, so waiters
+/// fail loudly rather than hang.
 pub struct Promise<T> {
-    shared: Arc<Shared<T>>,
+    shared: Option<Arc<Shared<T>>>,
 }
 
 /// Read end of a single-assignment cell.
@@ -53,10 +64,29 @@ pub fn promise<T>() -> (Promise<T>, Future<T>) {
     });
     (
         Promise {
-            shared: shared.clone(),
+            shared: Some(shared.clone()),
         },
         Future { shared },
     )
+}
+
+fn fulfil<T>(shared: &Shared<T>, outcome: Result<T, String>) {
+    let mut slot = shared.slot.lock();
+    match std::mem::replace(&mut *slot, State::Empty) {
+        State::Empty => {
+            *slot = match outcome {
+                Ok(v) => State::Value(v),
+                Err(msg) => State::Poisoned(msg),
+            };
+            shared.cv.notify_all();
+        }
+        State::Continuation(cb) => {
+            *slot = State::Done;
+            drop(slot);
+            cb(outcome);
+        }
+        State::Value(_) | State::Poisoned(_) | State::Done => panic!("promise fulfilled twice"),
+    }
 }
 
 impl<T> Promise<T> {
@@ -65,25 +95,51 @@ impl<T> Promise<T> {
     ///
     /// # Panics
     /// Panics if the promise was already fulfilled.
-    pub fn set(self, value: T) {
-        let mut slot = self.shared.slot.lock();
-        match std::mem::replace(&mut *slot, State::Empty) {
-            State::Empty => {
-                *slot = State::Value(value);
-                self.shared.cv.notify_all();
+    pub fn set(mut self, value: T) {
+        let shared = self.shared.take().expect("promise already consumed");
+        fulfil(&shared, Ok(value));
+    }
+
+    /// Poison the promise: waiters' `get` re-raises `msg` as a panic, and
+    /// `then` continuations propagate the poison downstream. Used by the
+    /// pool to surface a task panic to whoever holds the future.
+    ///
+    /// # Panics
+    /// Panics if the promise was already fulfilled.
+    pub fn poison(mut self, msg: String) {
+        let shared = self.shared.take().expect("promise already consumed");
+        fulfil(&shared, Err(msg));
+    }
+}
+
+impl<T> Drop for Promise<T> {
+    fn drop(&mut self) {
+        // A promise abandoned without set/poison (producer dropped the
+        // write end — e.g. a queued job discarded at pool shutdown)
+        // poisons the cell so waiters don't block forever.
+        if let Some(shared) = self.shared.take() {
+            let mut slot = shared.slot.lock();
+            match std::mem::replace(&mut *slot, State::Empty) {
+                State::Empty => {
+                    *slot = State::Poisoned("promise dropped without a value".to_string());
+                    shared.cv.notify_all();
+                }
+                State::Continuation(cb) => {
+                    *slot = State::Done;
+                    drop(slot);
+                    cb(Err("promise dropped without a value".to_string()));
+                }
+                other => *slot = other,
             }
-            State::Continuation(cb) => {
-                *slot = State::Done;
-                drop(slot);
-                cb(value);
-            }
-            State::Value(_) | State::Done => panic!("promise fulfilled twice"),
         }
     }
 }
 
 impl<T> Future<T> {
     /// Block until the value arrives and take it.
+    ///
+    /// # Panics
+    /// Panics with the producer's message if the promise was poisoned.
     pub fn get(self) -> T {
         let mut slot = self.shared.slot.lock();
         loop {
@@ -91,6 +147,11 @@ impl<T> Future<T> {
                 State::Value(v) => {
                     *slot = State::Done;
                     return v;
+                }
+                State::Poisoned(msg) => {
+                    *slot = State::Done;
+                    drop(slot);
+                    panic!("broken promise: {msg}");
                 }
                 State::Empty => {
                     self.shared.cv.wait(&mut slot);
@@ -102,12 +163,18 @@ impl<T> Future<T> {
         }
     }
 
-    /// Non-blocking poll: `true` once the value has arrived.
+    /// Non-blocking poll: `true` once the value (or poison) has arrived.
     pub fn is_ready(&self) -> bool {
-        matches!(&*self.shared.slot.lock(), State::Value(_))
+        matches!(
+            &*self.shared.slot.lock(),
+            State::Value(_) | State::Poisoned(_)
+        )
     }
 
     /// Block with a timeout; returns the future back on timeout.
+    ///
+    /// # Panics
+    /// Panics with the producer's message if the promise was poisoned.
     pub fn get_timeout(self, d: Duration) -> Result<T, Future<T>> {
         let deadline = std::time::Instant::now() + d;
         {
@@ -117,6 +184,11 @@ impl<T> Future<T> {
                     State::Value(v) => {
                         *slot = State::Done;
                         return Ok(v);
+                    }
+                    State::Poisoned(msg) => {
+                        *slot = State::Done;
+                        drop(slot);
+                        panic!("broken promise: {msg}");
                     }
                     State::Empty => {
                         if self.shared.cv.wait_until(&mut slot, deadline).timed_out() {
@@ -135,7 +207,8 @@ impl<T> Future<T> {
     /// Attach a dataflow continuation: when the value arrives, `f` runs
     /// with it (immediately on this thread if it is already here,
     /// otherwise on the thread that fulfils the promise). Returns the
-    /// future of `f`'s result. This is the "futurization" combinator the
+    /// future of `f`'s result. Poison skips `f` and propagates to the
+    /// returned future. This is the "futurization" combinator the
     /// HPX-style execution model builds dependency graphs from.
     pub fn then<U, F>(self, f: F) -> Future<U>
     where
@@ -151,8 +224,16 @@ impl<T> Future<T> {
                 drop(slot);
                 p.set(f(v));
             }
+            State::Poisoned(msg) => {
+                *slot = State::Done;
+                drop(slot);
+                p.poison(msg);
+            }
             State::Empty => {
-                *slot = State::Continuation(Box::new(move |v| p.set(f(v))));
+                *slot = State::Continuation(Box::new(move |r| match r {
+                    Ok(v) => p.set(f(v)),
+                    Err(msg) => p.poison(msg),
+                }));
             }
             State::Continuation(_) | State::Done => panic!("future already consumed"),
         }
@@ -168,6 +249,7 @@ pub fn wait_all<T>(futures: Vec<Future<T>>) -> Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::thread;
     use std::time::Duration;
 
@@ -269,5 +351,43 @@ mod tests {
         assert!(!probe.join().unwrap());
         p.set(5);
         assert_eq!(f.get(), 5);
+    }
+
+    #[test]
+    fn poisoned_promise_panics_waiter_with_message() {
+        let (p, f) = promise::<i32>();
+        p.poison("producer exploded".to_string());
+        assert!(f.is_ready());
+        let e = catch_unwind(AssertUnwindSafe(move || f.get())).unwrap_err();
+        let msg = e.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("producer exploded"), "{msg}");
+    }
+
+    #[test]
+    fn dropped_promise_poisons_future() {
+        let (p, f) = promise::<u8>();
+        drop(p);
+        let e = catch_unwind(AssertUnwindSafe(move || f.get())).unwrap_err();
+        let msg = e.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("dropped without a value"), "{msg}");
+    }
+
+    #[test]
+    fn poison_propagates_through_then_chain() {
+        let (p, f) = promise::<i32>();
+        let g = f.then(|v| v + 1).then(|v| v * 2);
+        p.poison("upstream failure".to_string());
+        let e = catch_unwind(AssertUnwindSafe(move || g.get())).unwrap_err();
+        let msg = e.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("upstream failure"), "{msg}");
+    }
+
+    #[test]
+    fn poison_on_already_poisoned_then_is_immediate() {
+        let (p, f) = promise::<i32>();
+        p.poison("early".to_string());
+        let e = catch_unwind(AssertUnwindSafe(move || f.then(|v| v).get())).unwrap_err();
+        let msg = e.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("early"), "{msg}");
     }
 }

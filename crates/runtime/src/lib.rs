@@ -15,12 +15,16 @@
 //! * [`executor`] — a uniform tile-parallel execution abstraction over
 //!   serial, pooled-CPU, rayon and device backends,
 //! * [`sched`] — load-balancing policies (static, throughput-weighted,
-//!   dynamic work-stealing) across heterogeneous executors.
+//!   dynamic work-stealing) across heterogeneous executors,
+//! * [`metrics`] — dependency-free counters, log-bucketed histograms and
+//!   RAII phase timers shared across the stack for phase-resolved
+//!   profiling (see DESIGN.md "Observability").
 
 pub mod device;
 pub mod executor;
 pub mod fault;
 pub mod future;
+pub mod metrics;
 pub mod pool;
 pub mod sched;
 
@@ -28,6 +32,7 @@ pub use device::{Accelerator, AcceleratorConfig, BufId};
 pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use future::{promise, Future, Promise};
+pub use metrics::{Counter, HistSnapshot, Histogram, PhaseTimer, Registry, Snapshot};
 pub use pool::WorkStealingPool;
 pub use sched::{plan_static, plan_weighted, Policy};
 

@@ -74,22 +74,18 @@ impl WorkStealingPool {
         self.nthreads
     }
 
-    /// Submit a job, returning a future for its result.
+    /// Submit a job, returning a future for its result. If the job
+    /// panics, the future is poisoned: `get` re-raises the panic message
+    /// on the waiting thread instead of blocking forever.
     pub fn spawn<T, F>(&self, f: F) -> Future<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let (p, fut) = promise();
-        self.inject(Box::new(move || {
-            // A panicking job would leave the future forever pending;
-            // surface the panic to the waiter as a poisoned promise panic
-            // in the worker instead (abort-free: the worker thread
-            // swallows it and the future waiter would hang), so propagate
-            // by fulfilling with the caught payload is impossible for
-            // arbitrary T. We let the panic unwind into the worker's
-            // catch, which counts it; spawn_checked offers Result plumbing.
-            p.set(f());
+        self.inject(Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => p.set(v),
+            Err(e) => p.poison(format!("pool task panicked: {}", panic_msg(e))),
         }));
         fut
     }
@@ -112,9 +108,12 @@ impl WorkStealingPool {
     fn inject(&self, job: Job) {
         self.shared.injector.push(job);
         // Publish-then-notify under the sleep lock so parked workers
-        // cannot miss the wakeup.
+        // cannot miss the wakeup. One job needs one worker: notify_one
+        // avoids the O(threads²) wakeup storm par_for's helper fan-out
+        // would otherwise cause (notify_all remains only for shutdown;
+        // the workers' timed re-check covers any straggler).
         let _g = self.shared.sleep_lock.lock();
-        self.shared.wake.notify_all();
+        self.shared.wake.notify_one();
     }
 
     /// Blocking data-parallel for-loop: run `f(i)` for every `i in 0..n`,
@@ -358,6 +357,28 @@ mod tests {
         }));
         let msg = panic_msg(r.unwrap_err());
         assert!(msg.contains("boom at 7"), "{msg}");
+    }
+
+    #[test]
+    fn spawn_panicking_job_resolves_with_message() {
+        // Regression: spawn used to leave the future pending forever when
+        // the job panicked (the worker's catch_unwind swallowed it before
+        // the promise was set). The future must now resolve promptly by
+        // re-raising the panic message in the waiter.
+        let pool = WorkStealingPool::new(2);
+        let f = pool.spawn(|| -> i32 { panic!("boom-spawn") });
+        match catch_unwind(AssertUnwindSafe(move || {
+            f.get_timeout(Duration::from_secs(5))
+        })) {
+            Ok(Ok(v)) => panic!("panicking job produced a value: {v}"),
+            Ok(Err(_)) => panic!("future still pending after 5 s: spawn hang regression"),
+            Err(e) => {
+                let msg = panic_msg(e);
+                assert!(msg.contains("boom-spawn"), "{msg}");
+            }
+        }
+        // The pool remains usable afterwards.
+        assert_eq!(pool.spawn(|| 5).get(), 5);
     }
 
     #[test]

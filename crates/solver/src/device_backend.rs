@@ -65,6 +65,14 @@ impl DevicePatchSolver {
         self.dev.fault_stats()
     }
 
+    /// Attach a metrics registry to the underlying device queue:
+    /// staging and launch commands record their modeled durations into
+    /// `phase.dev.*` histograms and `dev.*.bytes` counters (see
+    /// [`rhrsc_runtime::Accelerator::set_metrics`]).
+    pub fn set_metrics(&self, metrics: std::sync::Arc<rhrsc_runtime::Registry>) {
+        self.dev.set_metrics(metrics);
+    }
+
     /// Modeled device time consumed so far (see
     /// [`rhrsc_runtime::Accelerator::virtual_time`]).
     pub fn device_time(&self) -> std::time::Duration {

@@ -18,16 +18,19 @@
 
 use crate::integrate::RkOrder;
 use crate::scheme::{
-    init_cons, max_dt, recover_cell, recover_cells_resilient, recover_prims,
-    recover_prims_resilient, RecoveryPolicy, RecoveryStats, Scheme, SolverError,
+    init_cons, max_dt, recover_cell_metered, recover_cells_resilient_metered,
+    recover_prims_metered, recover_prims_resilient_metered, RecoveryPolicy, RecoveryStats, Scheme,
+    SolverError,
 };
 use crate::step::{accumulate_rhs_region, Region};
 use rhrsc_comm::Rank;
 use rhrsc_grid::{fill_face, BcSet, CartDecomp, Field, PatchGeom};
 use rhrsc_io::checkpoint::{load_checkpoint, Checkpoint, CheckpointSlots};
+use rhrsc_runtime::metrics::{Histogram, Registry};
 use rhrsc_runtime::WorkStealingPool;
 use rhrsc_srhd::{Prim, NCOMP};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Halo-exchange strategy.
@@ -179,7 +182,16 @@ pub struct BlockSolver {
     gang: Option<WorkStealingPool>,
     recovery: RecoveryPolicy,
     rec_stats: RecoveryStats,
+    metrics: Option<Arc<Registry>>,
+    /// Cached `c2p.newton_iters` histogram (avoids a registry lookup per
+    /// recovery sweep).
+    c2p_hist: Option<Arc<Histogram>>,
 }
+
+/// Start marker of an instrumented phase: wall clock plus the rank's
+/// virtual clock. `None` when no registry is attached, so the disabled
+/// path costs one `Option` check per phase.
+type PhaseStart = Option<(Instant, f64)>;
 
 impl BlockSolver {
     /// Build the solver for `rank`'s block and initialize the conserved
@@ -199,9 +211,54 @@ impl BlockSolver {
                 gang,
                 recovery: RecoveryPolicy::default(),
                 rec_stats: RecoveryStats::default(),
+                metrics: None,
+                c2p_hist: None,
             },
             u,
         )
+    }
+
+    /// Attach a metrics registry: subsequent steps record per-phase time
+    /// histograms (`phase.*`, in nanoseconds), nested sub-phases
+    /// (`sub.*`), con2prim iteration counts (`c2p.newton_iters`) and
+    /// cascade-tier counters (`c2p.cascade.*`). Phase durations are
+    /// virtual-clock deltas in virtual-time universes (where wall clocks
+    /// are distorted by CPU-token serialization) and wall-clock time
+    /// otherwise. Instrumentation never changes the numbers: the counted
+    /// con2prim produces bit-identical iterates.
+    pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
+        self.c2p_hist = Some(metrics.histogram("c2p.newton_iters"));
+        self.metrics = Some(metrics);
+    }
+
+    fn pstart(&self, rank: &Rank) -> PhaseStart {
+        self.metrics
+            .as_ref()
+            .map(|_| (Instant::now(), rank.vtime()))
+    }
+
+    fn pend(&self, name: &str, rank: &Rank, s: PhaseStart) {
+        if let (Some(m), Some((t0, v0))) = (&self.metrics, s) {
+            let ns = if rank.is_virtual() {
+                ((rank.vtime() - v0).max(0.0) * 1e9) as u64
+            } else {
+                t0.elapsed().as_nanos() as u64
+            };
+            m.histogram(name).record(ns);
+        }
+    }
+
+    /// Credit a cascade sweep's repairs to the per-tier counters.
+    fn note_cascade(&self, stats: &RecoveryStats) {
+        if stats.total() == 0 {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.counter("c2p.cascade.relaxed_tol").add(stats.relaxed_tol);
+            m.counter("c2p.cascade.neighbor_avg")
+                .add(stats.neighbor_avg);
+            m.counter("c2p.cascade.atmosphere").add(stats.atmosphere);
+        }
     }
 
     /// The local patch geometry.
@@ -285,8 +342,12 @@ impl BlockSolver {
                     if nb == self.my_rank {
                         continue; // handled as local periodic wrap
                     }
+                    let s = self.pstart(rank);
                     let buf = rank.work(|| self.pack_face(u, d, side));
+                    self.pend("phase.halo.pack", rank, s);
+                    let s = self.pstart(rank);
                     rank.send(nb, (d * 2 + side) as u64, &buf);
+                    self.pend("phase.halo.send", rank, s);
                 }
             }
         }
@@ -314,15 +375,21 @@ impl BlockSolver {
                     Some(nb) if nb != self.my_rank => {
                         // Neighbor's opposite face arrives tagged with its
                         // (d, 1-side).
+                        let s = self.pstart(rank);
                         let buf = rank.recv(nb, (d * 2 + (1 - side)) as u64);
+                        self.pend("phase.halo.wait", rank, s);
+                        let s = self.pstart(rank);
                         if let Err(e) = rank.work(|| self.unpack_face(u, d, side, &buf)) {
                             first_err.get_or_insert(e);
                         }
+                        self.pend("phase.halo.unpack", rank, s);
                     }
                     _ => {
                         // Physical boundary, or periodic self-wrap when the
                         // rank owns the whole dimension.
+                        let s = self.pstart(rank);
                         rank.work(|| fill_face(u, d, side, self.cfg.bcs[d][side]));
+                        self.pend("phase.halo.unpack", rank, s);
                     }
                 }
             }
@@ -352,8 +419,16 @@ impl BlockSolver {
                 }
             }
             let mut stats = RecoveryStats::default();
-            recover_cells_resilient(&self.cfg.scheme, u, &mut self.prim, cells, &mut stats);
+            recover_cells_resilient_metered(
+                &self.cfg.scheme,
+                u,
+                &mut self.prim,
+                cells,
+                &mut stats,
+                self.c2p_hist.as_deref(),
+            );
             self.rec_stats.merge(&stats);
+            self.note_cascade(&stats);
             return Ok(());
         }
         for d in 0..3 {
@@ -371,7 +446,15 @@ impl BlockSolver {
                             return;
                         }
                         let (i, j, k) = cell_of(d, l, t1, t2);
-                        if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k) {
+                        if let Err(e) = recover_cell_metered(
+                            &self.cfg.scheme,
+                            u,
+                            &mut self.prim,
+                            i,
+                            j,
+                            k,
+                            self.c2p_hist.as_deref(),
+                        ) {
                             err = Some(e);
                         }
                     });
@@ -390,13 +473,29 @@ impl BlockSolver {
         if self.recovery == RecoveryPolicy::Cascade {
             let mut stats = RecoveryStats::default();
             let cells: Vec<_> = geom.interior_iter().collect();
-            recover_cells_resilient(&self.cfg.scheme, u, &mut self.prim, cells, &mut stats);
+            recover_cells_resilient_metered(
+                &self.cfg.scheme,
+                u,
+                &mut self.prim,
+                cells,
+                &mut stats,
+                self.c2p_hist.as_deref(),
+            );
             self.rec_stats.merge(&stats);
+            self.note_cascade(&stats);
             return Ok(());
         }
         let mut err = None;
         for (i, j, k) in geom.interior_iter() {
-            if let Err(e) = recover_cell(&self.cfg.scheme, u, &mut self.prim, i, j, k) {
+            if let Err(e) = recover_cell_metered(
+                &self.cfg.scheme,
+                u,
+                &mut self.prim,
+                i,
+                j,
+                k,
+                self.c2p_hist.as_deref(),
+            ) {
                 err = Some(e);
                 break;
             }
@@ -407,6 +506,10 @@ impl BlockSolver {
     /// One residual evaluation with halo exchange, honoring the mode.
     fn eval_rhs(&mut self, rank: &mut Rank, u: &mut Field) -> Result<(), SolverError> {
         self.rhs.raw_mut().fill(0.0);
+        // Wall time inside a `rank.work` closure equals the virtual-clock
+        // charge (the closure runs while holding the CPU token), so the
+        // nested con2prim sub-phase can use plain `Instant` timing.
+        let sub_c2p = self.metrics.as_ref().map(|m| m.histogram("sub.c2p"));
         match self.cfg.mode {
             ExchangeMode::BulkSynchronous => {
                 self.post_sends(rank, u);
@@ -414,13 +517,30 @@ impl BlockSolver {
                 let scheme = self.cfg.scheme;
                 let geom = self.geom;
                 let policy = self.recovery;
+                let s = self.pstart(rank);
                 rank.work(|| -> Result<(), SolverError> {
+                    let t0 = sub_c2p.as_ref().map(|_| Instant::now());
                     if policy == RecoveryPolicy::Cascade {
                         let mut stats = RecoveryStats::default();
-                        recover_prims_resilient(&scheme, u, &mut self.prim, &mut stats);
+                        recover_prims_resilient_metered(
+                            &scheme,
+                            u,
+                            &mut self.prim,
+                            &mut stats,
+                            self.c2p_hist.as_deref(),
+                        );
                         self.rec_stats.merge(&stats);
+                        self.note_cascade(&stats);
                     } else {
-                        recover_prims(&scheme, u, &mut self.prim)?;
+                        recover_prims_metered(
+                            &scheme,
+                            u,
+                            &mut self.prim,
+                            self.c2p_hist.as_deref(),
+                        )?;
+                    }
+                    if let (Some(h), Some(t0)) = (&sub_c2p, t0) {
+                        h.record(t0.elapsed().as_nanos() as u64);
                     }
                     let region = Region::interior(&geom);
                     accumulate_rhs_region(
@@ -432,14 +552,20 @@ impl BlockSolver {
                     );
                     Ok(())
                 })?;
+                self.pend("phase.rhs.interior", rank, s);
             }
             ExchangeMode::Overlap => {
                 self.post_sends(rank, u);
                 let scheme = self.cfg.scheme;
                 let depth = scheme.required_ghosts();
                 let (deep, shells) = Region::split_deep_shell(&self.geom, depth);
+                let s = self.pstart(rank);
                 rank.work(|| -> Result<(), SolverError> {
+                    let t0 = sub_c2p.as_ref().map(|_| Instant::now());
                     self.recover_interior(u)?;
+                    if let (Some(h), Some(t0)) = (&sub_c2p, t0) {
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
                     accumulate_rhs_region(
                         &scheme,
                         &self.prim,
@@ -449,9 +575,15 @@ impl BlockSolver {
                     );
                     Ok(())
                 })?;
+                self.pend("phase.rhs.deep", rank, s);
                 self.recv_halos(rank, u)?;
+                let s = self.pstart(rank);
                 rank.work(|| -> Result<(), SolverError> {
+                    let t0 = sub_c2p.as_ref().map(|_| Instant::now());
                     self.recover_ghost_faces(u)?;
+                    if let (Some(h), Some(t0)) = (&sub_c2p, t0) {
+                        h.record(t0.elapsed().as_nanos() as u64);
+                    }
                     for sh in &shells {
                         accumulate_rhs_region(
                             &scheme,
@@ -463,9 +595,18 @@ impl BlockSolver {
                     }
                     Ok(())
                 })?;
+                self.pend("phase.rhs.shell", rank, s);
             }
         }
         Ok(())
+    }
+
+    /// RK stage combiner: `u = b*u_stage + a*u + c*rhs`, timed as
+    /// `phase.rk.combine`.
+    fn combine(&self, rank: &mut Rank, u: &mut Field, a: f64, b: Option<f64>, c: f64) {
+        let s = self.pstart(rank);
+        rank.work(|| lincomb(u, a, b.map(|b| (&self.u_stage, b)), &self.rhs, c));
+        self.pend("phase.rk.combine", rank, s);
     }
 
     /// One RK step of size `dt`.
@@ -473,31 +614,23 @@ impl BlockSolver {
         match self.cfg.rk {
             RkOrder::Rk1 => {
                 self.eval_rhs(rank, u)?;
-                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.combine(rank, u, 1.0, None, dt);
             }
             RkOrder::Rk2 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
                 self.eval_rhs(rank, u)?;
-                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.combine(rank, u, 1.0, None, dt);
                 self.eval_rhs(rank, u)?;
-                rank.work(|| lincomb(u, 0.5, Some((&self.u_stage, 0.5)), &self.rhs, 0.5 * dt));
+                self.combine(rank, u, 0.5, Some(0.5), 0.5 * dt);
             }
             RkOrder::Rk3 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
                 self.eval_rhs(rank, u)?;
-                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.combine(rank, u, 1.0, None, dt);
                 self.eval_rhs(rank, u)?;
-                rank.work(|| lincomb(u, 0.25, Some((&self.u_stage, 0.75)), &self.rhs, 0.25 * dt));
+                self.combine(rank, u, 0.25, Some(0.75), 0.25 * dt);
                 self.eval_rhs(rank, u)?;
-                rank.work(|| {
-                    lincomb(
-                        u,
-                        2.0 / 3.0,
-                        Some((&self.u_stage, 1.0 / 3.0)),
-                        &self.rhs,
-                        2.0 / 3.0 * dt,
-                    )
-                });
+                self.combine(rank, u, 2.0 / 3.0, Some(1.0 / 3.0), 2.0 / 3.0 * dt);
             }
         }
         Ok(())
@@ -525,31 +658,23 @@ impl BlockSolver {
         match self.cfg.rk {
             RkOrder::Rk1 => {
                 note(&mut first, self.eval_rhs(rank, u));
-                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.combine(rank, u, 1.0, None, dt);
             }
             RkOrder::Rk2 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
                 note(&mut first, self.eval_rhs(rank, u));
-                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.combine(rank, u, 1.0, None, dt);
                 note(&mut first, self.eval_rhs(rank, u));
-                rank.work(|| lincomb(u, 0.5, Some((&self.u_stage, 0.5)), &self.rhs, 0.5 * dt));
+                self.combine(rank, u, 0.5, Some(0.5), 0.5 * dt);
             }
             RkOrder::Rk3 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
                 note(&mut first, self.eval_rhs(rank, u));
-                rank.work(|| lincomb(u, 1.0, None, &self.rhs, dt));
+                self.combine(rank, u, 1.0, None, dt);
                 note(&mut first, self.eval_rhs(rank, u));
-                rank.work(|| lincomb(u, 0.25, Some((&self.u_stage, 0.75)), &self.rhs, 0.25 * dt));
+                self.combine(rank, u, 0.25, Some(0.75), 0.25 * dt);
                 note(&mut first, self.eval_rhs(rank, u));
-                rank.work(|| {
-                    lincomb(
-                        u,
-                        2.0 / 3.0,
-                        Some((&self.u_stage, 1.0 / 3.0)),
-                        &self.rhs,
-                        2.0 / 3.0 * dt,
-                    )
-                });
+                self.combine(rank, u, 2.0 / 3.0, Some(1.0 / 3.0), 2.0 / 3.0 * dt);
             }
         }
         first.map_or(Ok(()), Err)
@@ -558,11 +683,16 @@ impl BlockSolver {
     /// Globally stable Δt: local CFL bound reduced with allreduce-min.
     pub fn stable_dt(&mut self, rank: &mut Rank, u: &mut Field) -> Result<f64, SolverError> {
         // Local primitives on the interior suffice for the CFL bound.
+        let s = self.pstart(rank);
         let local = rank.work(|| -> Result<f64, SolverError> {
             self.recover_interior(u)?;
             Ok(max_dt(&self.cfg.scheme, &self.prim, self.cfg.cfl))
         })?;
-        Ok(rank.allreduce_min(local))
+        self.pend("phase.dt.local", rank, s);
+        let s = self.pstart(rank);
+        let global = rank.allreduce_min(local);
+        self.pend("phase.dt.allreduce", rank, s);
+        Ok(global)
     }
 
     /// Advance a fixed number of steps (each at the CFL-stable Δt);
@@ -982,6 +1112,7 @@ mod tests {
     use crate::problems::Problem;
     use rhrsc_comm::{run, NetworkModel};
     use rhrsc_grid::{bc, Bc};
+    use rhrsc_runtime::metrics::Registry;
 
     fn sod_cfg(nranks: usize, mode: ExchangeMode) -> DistConfig {
         DistConfig {
@@ -1348,6 +1479,63 @@ mod tests {
             repaired > 0,
             "expected the cascade to repair poisoned cells"
         );
+    }
+
+    #[test]
+    fn metrics_capture_phases_without_changing_results() {
+        let cfg = sod_cfg(2, ExchangeMode::Overlap);
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
+        let plain = distributed_global(&cfg, ic, 0.05);
+        let reg = Arc::new(Registry::new());
+        let outs = {
+            let (reg, cfg) = (reg.clone(), &cfg);
+            run(
+                2,
+                NetworkModel::virtual_cluster(Duration::from_micros(50), 1e9),
+                move |rank| {
+                    rank.set_metrics(reg.clone());
+                    let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+                    solver.set_metrics(reg.clone());
+                    solver.advance_to(rank, &mut u, 0.0, 0.05).unwrap();
+                    gather_global(rank, cfg, &u).unwrap()
+                },
+            )
+        };
+        let global = outs.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            global.raw(),
+            plain.raw(),
+            "instrumentation must not change the numbers"
+        );
+        let snap = reg.snapshot();
+        for phase in [
+            "phase.dt.local",
+            "phase.dt.allreduce",
+            "phase.halo.pack",
+            "phase.halo.send",
+            "phase.halo.wait",
+            "phase.halo.unpack",
+            "phase.rhs.deep",
+            "phase.rhs.shell",
+            "phase.rk.combine",
+        ] {
+            let h = snap
+                .histograms
+                .get(phase)
+                .unwrap_or_else(|| panic!("missing {phase}: have {:?}", snap.histograms.keys()));
+            assert!(h.count > 0, "{phase} never recorded");
+        }
+        // The 50 µs-latency halo waits dominate the tiny per-rank compute.
+        assert!(snap.phase_secs("phase.halo.wait") > 0.0);
+        let iters = &snap.histograms["c2p.newton_iters"];
+        assert!(iters.count > 0 && iters.sum > 0, "con2prim work uncounted");
+        assert!(snap.counters["comm.msgs.halo"] > 0);
     }
 
     #[test]

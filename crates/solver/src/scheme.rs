@@ -1,9 +1,10 @@
 //! The numerical scheme bundle and field-level primitive recovery.
 
 use rhrsc_grid::{Field, PatchGeom};
+use rhrsc_runtime::metrics::Histogram;
 use rhrsc_srhd::recon::Recon;
 use rhrsc_srhd::riemann::RiemannSolver;
-use rhrsc_srhd::{cons_to_prim, Con2PrimError, Con2PrimParams, Eos, Prim};
+use rhrsc_srhd::{cons_to_prim, cons_to_prim_counted, Con2PrimError, Con2PrimParams, Eos, Prim};
 
 /// Coordinate geometry of the (first) grid dimension.
 ///
@@ -323,9 +324,29 @@ pub fn recover_cell(
     j: usize,
     k: usize,
 ) -> Result<(), SolverError> {
+    recover_cell_metered(scheme, u, prim, i, j, k, None)
+}
+
+/// [`recover_cell`] that also histograms the root-solve iteration count
+/// (`iters`, when profiling is on). The metered path calls the counted
+/// con2prim variant, whose iterates — and therefore whose result — are
+/// bit-identical to the plain one.
+#[inline]
+pub fn recover_cell_metered(
+    scheme: &Scheme,
+    u: &Field,
+    prim: &mut Field,
+    i: usize,
+    j: usize,
+    k: usize,
+    iters: Option<&Histogram>,
+) -> Result<(), SolverError> {
     let cons = u.get_cons(i, j, k);
-    match cons_to_prim(&scheme.eos, &cons, None, &scheme.c2p) {
-        Ok(w) => {
+    match cons_to_prim_counted(&scheme.eos, &cons, None, &scheme.c2p) {
+        Ok((w, n)) => {
+            if let Some(h) = iters {
+                h.record(n as u64);
+            }
             set_prim(prim, i, j, k, &w);
             Ok(())
         }
@@ -348,9 +369,22 @@ pub fn recover_cells_resilient(
     cells: impl IntoIterator<Item = (usize, usize, usize)>,
     stats: &mut RecoveryStats,
 ) {
+    recover_cells_resilient_metered(scheme, u, prim, cells, stats, None)
+}
+
+/// [`recover_cells_resilient`] with optional iteration-count metering of
+/// the strict first pass.
+pub fn recover_cells_resilient_metered(
+    scheme: &Scheme,
+    u: &mut Field,
+    prim: &mut Field,
+    cells: impl IntoIterator<Item = (usize, usize, usize)>,
+    stats: &mut RecoveryStats,
+    iters: Option<&Histogram>,
+) {
     let mut failed = Vec::new();
     for (i, j, k) in cells {
-        if recover_cell(scheme, u, prim, i, j, k).is_err() {
+        if recover_cell_metered(scheme, u, prim, i, j, k, iters).is_err() {
             failed.push((i, j, k));
         }
     }
@@ -371,11 +405,43 @@ pub fn recover_prims_resilient(
     prim: &mut Field,
     stats: &mut RecoveryStats,
 ) {
+    recover_prims_resilient_metered(scheme, u, prim, stats, None)
+}
+
+/// [`recover_prims_resilient`] with optional iteration-count metering.
+pub fn recover_prims_resilient_metered(
+    scheme: &Scheme,
+    u: &mut Field,
+    prim: &mut Field,
+    stats: &mut RecoveryStats,
+    iters: Option<&Histogram>,
+) {
     let geom = *u.geom();
     let (n0, n1, n2) = (geom.ntot(0), geom.ntot(1), geom.ntot(2));
     let cells =
         (0..n2).flat_map(move |k| (0..n1).flat_map(move |j| (0..n0).map(move |i| (i, j, k))));
-    recover_cells_resilient(scheme, u, prim, cells, stats);
+    recover_cells_resilient_metered(scheme, u, prim, cells, stats, iters);
+}
+
+/// Serial [`recover_prims`] with optional iteration-count metering
+/// (the distributed driver's strict path; bit-identical to the plain
+/// recovery).
+pub fn recover_prims_metered(
+    scheme: &Scheme,
+    u: &Field,
+    prim: &mut Field,
+    iters: Option<&Histogram>,
+) -> Result<(), SolverError> {
+    let geom = *u.geom();
+    let (n0, n1, n2) = (geom.ntot(0), geom.ntot(1), geom.ntot(2));
+    for k in 0..n2 {
+        for j in 0..n1 {
+            for i in 0..n0 {
+                recover_cell_metered(scheme, u, prim, i, j, k, iters)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Repair one unrecoverable cell through the cascade tiers.

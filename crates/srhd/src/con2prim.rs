@@ -150,12 +150,26 @@ pub fn cons_to_prim(
     p_guess: Option<f64>,
     params: &Con2PrimParams,
 ) -> Result<Prim, Con2PrimError> {
+    cons_to_prim_counted(eos, u, p_guess, params).map(|(prim, _)| prim)
+}
+
+/// [`cons_to_prim`] that also reports the work done: the number of
+/// pressure-residual evaluations (Newton iterations plus bisection
+/// probes; 0 for the atmosphere short-circuit). The observability layer
+/// histograms this per region to expose recovery-cost hot spots.
+pub fn cons_to_prim_counted(
+    eos: &Eos,
+    u: &Cons,
+    p_guess: Option<f64>,
+    params: &Con2PrimParams,
+) -> Result<(Prim, u32), Con2PrimError> {
+    let mut iters: u32 = 0;
     if !u.is_finite() {
         return Err(Con2PrimError::NonFinite);
     }
     // Atmosphere short-circuit: vacuum-adjacent zones become static fluid.
     if u.d <= params.rho_floor {
-        return Ok(Prim::at_rest(params.rho_floor, params.p_floor));
+        return Ok((Prim::at_rest(params.rho_floor, params.p_floor), 0));
     }
 
     let p_lo = p_min_bound(u);
@@ -168,11 +182,12 @@ pub fn cons_to_prim(
     // --- Newton phase -----------------------------------------------------
     let mut last_res = f64::INFINITY;
     for _ in 0..params.max_newton {
+        iters += 1;
         let (f, prim, _w) = residual(eos, u, p);
         let scale = p.max(params.p_floor);
         last_res = (f / scale).abs();
         if last_res < params.tol {
-            return finish(prim, params);
+            return finish(prim, params).map(|prim| (prim, iters));
         }
         let cs2 = eos.sound_speed_sq(prim.rho.max(params.rho_floor), p.max(params.p_floor));
         let vsq = prim.vsq();
@@ -183,9 +198,10 @@ pub fn cons_to_prim(
             p_next = 0.5 * (p + p_lo.max(params.p_floor));
         }
         if (p_next - p).abs() <= params.tol * p.max(params.p_floor) {
+            iters += 1;
             let (f2, prim2, _) = residual(eos, u, p_next);
             if (f2 / p_next.max(params.p_floor)).abs() < params.tol.sqrt() {
-                return finish(prim2, params);
+                return finish(prim2, params).map(|prim| (prim, iters));
             }
         }
         p = p_next;
@@ -195,16 +211,19 @@ pub fn cons_to_prim(
     // f(p) > 0 for p below the root and f(p) < 0 above it (f' < 0), so
     // expand an upper bracket until the sign flips.
     let mut lo = p_lo.max(params.p_floor * 1e-3);
+    iters += 1;
     let (f_lo, _, _) = residual(eos, u, lo);
     if f_lo < 0.0 {
         // Root below the admissible region: pressure floor is the answer
         // (extremely cold flow).
+        iters += 1;
         let (_, prim, _) = residual(eos, u, lo);
-        return finish(prim, params);
+        return finish(prim, params).map(|prim| (prim, iters));
     }
     let mut hi = (p.max(lo) * 2.0).max(params.p_floor);
     let mut expanded = 0;
     loop {
+        iters += 1;
         let (f_hi, _, _) = residual(eos, u, hi);
         if f_hi <= 0.0 {
             break;
@@ -217,11 +236,12 @@ pub fn cons_to_prim(
     }
     for _ in 0..params.max_bisect {
         let mid = 0.5 * (lo + hi);
+        iters += 1;
         let (f_mid, prim, _) = residual(eos, u, mid);
         if (f_mid / mid.max(params.p_floor)).abs() < params.tol
             || (hi - lo) < params.tol * mid.max(params.p_floor)
         {
-            return finish(prim, params);
+            return finish(prim, params).map(|prim| (prim, iters));
         }
         if f_mid > 0.0 {
             lo = mid;
@@ -406,6 +426,31 @@ mod tests {
             roundtrip(&eos, prim, 1e-6)?;
         }
         Ok(())
+    }
+
+    #[test]
+    fn counted_matches_uncounted_and_reports_work() {
+        let eos = Eos::ideal(5.0 / 3.0);
+        let params = Con2PrimParams::default();
+        // A genuine solve reports at least one residual evaluation and
+        // returns the identical primitive state.
+        let prim = Prim::new_1d(1.0, 0.9, 0.1);
+        let u = prim.to_cons(&eos);
+        let plain = cons_to_prim(&eos, &u, None, &params).unwrap();
+        let (counted, iters) = cons_to_prim_counted(&eos, &u, None, &params).unwrap();
+        assert_eq!(plain, counted);
+        assert!(iters >= 1, "expected work, got {iters} iterations");
+        // A good guess converges in fewer iterations than a cold start.
+        let (_, warm) = cons_to_prim_counted(&eos, &u, Some(prim.p), &params).unwrap();
+        assert!(warm <= iters, "warm {warm} vs cold {iters}");
+        // The atmosphere short-circuit does no root-solve work.
+        let vac = Cons {
+            d: params.rho_floor * 0.5,
+            s: [0.0; 3],
+            tau: 0.0,
+        };
+        let (_, n) = cons_to_prim_counted(&eos, &vac, None, &params).unwrap();
+        assert_eq!(n, 0);
     }
 
     #[test]
