@@ -17,11 +17,15 @@
 //!   kernel launches and device copies; the transparent host-fallback
 //!   must keep results bit-identical to the host while the virtual-time
 //!   cost model records the slowdown.
+//!
+//! Flags: `--toy` shrinks the grid and horizon for smoke tests/CI,
+//! `--profile` prints the pooled phase breakdown. A machine-readable
+//! report is always written to `results/BENCH_f10_fault_tolerance.json`.
 
-use rhrsc_bench::{sci, Table};
+use rhrsc_bench::{print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run_with_faults, FaultPlan, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp, Field, PatchGeom};
-use rhrsc_runtime::{AcceleratorConfig, FaultInjector};
+use rhrsc_runtime::{AcceleratorConfig, FaultInjector, Registry};
 use rhrsc_solver::device_backend::DevicePatchSolver;
 use rhrsc_solver::driver::{
     gather_global, BlockSolver, DistConfig, ExchangeMode, ResilienceConfig, ResilienceStats,
@@ -30,20 +34,18 @@ use rhrsc_solver::scheme::init_cons;
 use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
 use rhrsc_srhd::Prim;
 use std::sync::Arc;
-use std::time::Duration;
-
-const T_END: f64 = 0.1;
+use std::time::{Duration, Instant};
 
 fn ic(x: [f64; 3]) -> Prim {
     let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
     Prim::at_rest(1.0, if r2 < 0.01 { 100.0 } else { 1.0 })
 }
 
-fn dist_cfg() -> DistConfig {
+fn dist_cfg(n: usize) -> DistConfig {
     DistConfig {
         scheme: Scheme::default_with_gamma(5.0 / 3.0),
         rk: RkOrder::Rk3,
-        global_n: [64, 64, 1],
+        global_n: [n, n, 1],
         domain: ([0.0; 3], [1.0, 1.0, 1.0]),
         decomp: CartDecomp {
             dims: [2, 2, 1],
@@ -68,19 +70,26 @@ fn l1_rel_density(a: &Field, b: &Field) -> f64 {
     num / den
 }
 
-fn resilient_run(plan: Option<FaultPlan>, res: &ResilienceConfig) -> (Field, ResilienceStats, u64) {
-    let cfg = dist_cfg();
+fn resilient_run(
+    cfg: &DistConfig,
+    t_end: f64,
+    plan: Option<FaultPlan>,
+    res: &ResilienceConfig,
+    reg: &Arc<Registry>,
+) -> (Field, ResilienceStats, u64) {
     let outs = run_with_faults(4, NetworkModel::ideal(), plan, |rank| {
+        rank.set_metrics(reg.clone());
         let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+        solver.set_metrics(reg.clone());
         let (_, rstats) = solver
-            .advance_to_with_restart(rank, &mut u, 0.0, T_END, res)
+            .advance_to_with_restart(rank, &mut u, 0.0, t_end, res)
             .expect("resilient advance failed");
         let truncated = rank
             .fault_stats()
             .map(|s| s.msgs_truncated + s.msgs_delayed)
             .unwrap_or(0);
         (
-            gather_global(rank, &cfg, &u).expect("gather failed"),
+            gather_global(rank, cfg, &u).expect("gather failed"),
             rstats,
             truncated,
         )
@@ -96,16 +105,22 @@ fn resilient_run(plan: Option<FaultPlan>, res: &ResilienceConfig) -> (Field, Res
 }
 
 fn main() {
-    println!("# F10: fault tolerance, 2D blast 64x64, 2x2 ranks, RK3 overlap, t_end = {T_END}");
-    let cfg = dist_cfg();
+    let opts = BenchOpts::from_args();
+    let (n, t_end) = if opts.toy { (32, 0.05) } else { (64, 0.1) };
+    println!("# F10: fault tolerance, 2D blast {n}x{n}, 2x2 ranks, RK3 overlap, t_end = {t_end}");
+    let cfg = dist_cfg(n);
+    let reg = Arc::new(Registry::new());
+    let bench_t0 = Instant::now();
     let ckp_dir = std::env::temp_dir().join("rhrsc-f10-checkpoints");
     let _ = std::fs::remove_dir_all(&ckp_dir);
 
     // ---- Run A: fault-free reference (plain driver) ----
     let outs = run_with_faults(4, NetworkModel::ideal(), None, |rank| {
+        rank.set_metrics(reg.clone());
         let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+        solver.set_metrics(reg.clone());
         solver
-            .advance_to(rank, &mut u, 0.0, T_END)
+            .advance_to(rank, &mut u, 0.0, t_end)
             .expect("reference advance failed");
         gather_global(rank, &cfg, &u).expect("gather failed")
     });
@@ -122,7 +137,7 @@ fn main() {
         checkpoint_dir: Some(ckp_dir.join("run-b")),
         ..ResilienceConfig::default()
     };
-    let (state_b, rstats_b, _) = resilient_run(None, &res_b);
+    let (state_b, rstats_b, _) = resilient_run(&cfg, t_end, None, &res_b, &reg);
     let bit_identical = state_b.raw() == reference.raw();
     assert!(
         bit_identical,
@@ -140,8 +155,14 @@ fn main() {
     );
 
     // ---- Run C: resilient loop under an active fault schedule ----
+    // `RHRSC_FAULT_SEED` lets CI sweep a small seed matrix; the default
+    // keeps local runs reproducible.
+    let seed: u64 = std::env::var("RHRSC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let plan = FaultPlan {
-        seed: 42,
+        seed,
         msg_truncate_prob: 0.01,
         msg_delay_prob: 0.05,
         msg_delay: Duration::from_micros(200),
@@ -155,7 +176,8 @@ fn main() {
         checkpoint_dir: Some(ckp_dir.join("run-c")),
         ..ResilienceConfig::default()
     };
-    let (state_c, rstats_c, msg_faults) = resilient_run(Some(plan), &res_c);
+    let fault_seed = plan.seed;
+    let (state_c, rstats_c, msg_faults) = resilient_run(&cfg, t_end, Some(plan), &res_c, &reg);
     let l1 = l1_rel_density(&state_c, &reference);
     println!(
         "C  resilient, faults on: {msg_faults} messages truncated/delayed, \
@@ -177,12 +199,12 @@ fn main() {
 
     // ---- Run D: device offload with failing launches and copies ----
     let scheme = cfg.scheme;
-    let geom = PatchGeom::rect([64, 64], [0.0, 0.0], [1.0, 1.0], scheme.required_ghosts());
+    let geom = PatchGeom::rect([n, n], [0.0, 0.0], [1.0, 1.0], scheme.required_ghosts());
     let bcs = bc::uniform(Bc::Outflow);
     let u0 = init_cons(geom, &scheme.eos, &|x| ic(x));
     let mut u_host = u0.clone();
     let mut host = PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom);
-    host.advance_to(&mut u_host, 0.0, T_END, cfg.cfl, None)
+    host.advance_to(&mut u_host, 0.0, t_end, cfg.cfl, None)
         .expect("host advance failed");
     let dev_cfg = AcceleratorConfig {
         throughput_multiplier: 8.0,
@@ -195,9 +217,10 @@ fn main() {
         ..FaultPlan::disabled()
     };
     let mut dev = DevicePatchSolver::new(dev_cfg, scheme, bcs, RkOrder::Rk3, geom);
+    dev.set_metrics(reg.clone());
     dev.set_fault_injector(Arc::new(FaultInjector::new(dev_plan, 0)));
     dev.upload(&u0).get();
-    dev.advance_to(0.0, T_END, cfg.cfl);
+    dev.advance_to(0.0, t_end, cfg.cfl);
     let u_dev = dev.download();
     let dev_stats = dev.fault_stats().expect("injector attached");
     let dev_identical = u_dev.raw() == u_host.raw();
@@ -238,4 +261,22 @@ fn main() {
     table.print();
     table.save_csv("f10_fault_tolerance");
     let _ = std::fs::remove_dir_all(&ckp_dir);
+
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("f10_fault_tolerance (all runs pooled)", &snap);
+    }
+    RunReport::new("f10_fault_tolerance")
+        .config_str("problem", "2D blast, 2x2 ranks, RK3 overlap")
+        .config_num("global_n", n as f64)
+        .config_num("t_end", t_end)
+        .config_num("fault_seed", fault_seed as f64)
+        .config_num("msg_faults", msg_faults as f64)
+        .config_num("cells_repaired", rstats_c.recovery.total() as f64)
+        .config_num("retries", rstats_c.retries as f64)
+        .config_num("restarts", rstats_c.restarts as f64)
+        .config_num("l1_rel_density", l1)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(4.0)
+        .write(&snap);
 }

@@ -14,13 +14,19 @@
 //! Expected shape: static is worst (the accelerator idles while CPUs
 //! finish equal tile counts), weighted recovers most of the gap, dynamic
 //! matches weighted without needing cost estimates.
+//!
+//! Flags: `--toy` shrinks the tile set for smoke tests/CI, `--profile`
+//! prints the phase breakdown (per-tile kernel time). A machine-readable
+//! report is always written to `results/BENCH_f6_load_balance.json`.
 
-use rhrsc_bench::{f3, Table};
+use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_grid::{bc, Bc, PatchGeom};
 use rhrsc_runtime::sched::{plan_static, plan_weighted};
+use rhrsc_runtime::Registry;
 use rhrsc_solver::scheme::init_cons;
 use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
 use rhrsc_srhd::Prim;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn ic(x: [f64; 3]) -> Prim {
@@ -29,26 +35,41 @@ fn ic(x: [f64; 3]) -> Prim {
 }
 
 /// Execute one tile's RK2 step and return its measured cost in seconds.
-fn run_tile(scheme: &Scheme, n: usize) -> f64 {
+fn run_tile(scheme: &Scheme, n: usize, reg: &Arc<Registry>) -> f64 {
     let geom = PatchGeom::rect([n, n], [0.0, 0.0], [1.0, 1.0], scheme.required_ghosts());
     let mut u = init_cons(geom, &scheme.eos, &ic);
     let mut solver = PatchSolver::new(*scheme, bc::uniform(Bc::Periodic), RkOrder::Rk2, geom);
     let t0 = Instant::now();
     solver.step(&mut u, 5e-4, None).unwrap();
-    t0.elapsed().as_secs_f64()
+    let dt = t0.elapsed();
+    reg.histogram("phase.tile.execute")
+        .record(dt.as_nanos() as u64);
+    dt.as_secs_f64()
 }
 
 fn main() {
+    let opts = BenchOpts::from_args();
+    let ntiles = if opts.toy { 12 } else { 48 };
     println!("# F6: load balancing across 2 CPU workers (speed 1) + 1 accel worker (speed 6)");
     let scheme = Scheme::default_with_gamma(5.0 / 3.0);
     let speeds = [1.0f64, 1.0, 6.0];
+    let reg = Arc::new(Registry::new());
+    let bench_t0 = Instant::now();
 
-    // 48 tiles of deterministic, heterogeneous sizes.
-    let tile_sizes: Vec<usize> = (0..48).map(|i| 24 + (i * 7) % 41).collect();
+    // Tiles of deterministic, heterogeneous sizes.
+    let tile_sizes: Vec<usize> = (0..ntiles).map(|i| 24 + (i * 7) % 41).collect();
+    let mut zone_updates = 0.0;
+    let mut count_zu = |n: usize| zone_updates += (n * n * 2) as f64; // cells × RK2 stages
 
     // Pre-measure tile costs (this is also what the weighted planner uses
     // as its cost model).
-    let costs: Vec<f64> = tile_sizes.iter().map(|&n| run_tile(&scheme, n)).collect();
+    let costs: Vec<f64> = tile_sizes
+        .iter()
+        .map(|&n| {
+            count_zu(n);
+            run_tile(&scheme, n, &reg)
+        })
+        .collect();
     let total: f64 = costs.iter().sum();
     println!(
         "  {} tiles, total serial cost {:.3}s, ideal heterogeneous makespan {:.3}s",
@@ -58,35 +79,34 @@ fn main() {
     );
 
     // Execute a plan: each worker really runs its tiles; clock += cost/speed.
-    let execute_plan = |plan: &[Vec<usize>]| -> f64 {
+    let mut execute_plan = |plan: &[Vec<usize>]| -> f64 {
         let mut clocks = vec![0.0f64; speeds.len()];
         for (w, tiles) in plan.iter().enumerate() {
             for &t in tiles {
-                let cost = run_tile(&scheme, tile_sizes[t]);
+                count_zu(tile_sizes[t]);
+                let cost = run_tile(&scheme, tile_sizes[t], &reg);
                 clocks[w] += cost / speeds[w];
             }
         }
         clocks.iter().fold(0.0f64, |m, &c| m.max(c))
     };
 
-    // Dynamic self-scheduling: next tile to the earliest-clock worker.
-    let execute_dynamic = || -> f64 {
-        let mut clocks = vec![0.0f64; speeds.len()];
-        for &n in &tile_sizes {
-            let w = clocks
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
-            clocks[w] += run_tile(&scheme, n) / speeds[w];
-        }
-        clocks.iter().fold(0.0f64, |m, &c| m.max(c))
-    };
-
     let m_static = execute_plan(&plan_static(tile_sizes.len(), speeds.len()));
     let m_weighted = execute_plan(&plan_weighted(&costs, &speeds));
-    let m_dynamic = execute_dynamic();
+
+    // Dynamic self-scheduling: next tile to the earliest-clock worker.
+    let mut clocks = vec![0.0f64; speeds.len()];
+    for &n in &tile_sizes {
+        let w = clocks
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        count_zu(n);
+        clocks[w] += run_tile(&scheme, n, &reg) / speeds[w];
+    }
+    let m_dynamic = clocks.iter().fold(0.0f64, |m, &c| m.max(c));
 
     let mut table = Table::new(&["policy", "makespan_s", "vs_static"]);
     for (name, m) in [
@@ -95,6 +115,8 @@ fn main() {
         ("stealing", m_dynamic),
     ] {
         table.row(&[name.to_string(), format!("{m:.4}"), f3(m_static / m)]);
+        reg.histogram(&format!("sched.makespan_us.{name}"))
+            .record((m * 1e6) as u64);
     }
     table.print();
     table.save_csv("f6_load_balance");
@@ -103,4 +125,19 @@ fn main() {
         m_weighted < m_static,
         "weighted ({m_weighted}) must beat static ({m_static}) under heterogeneity"
     );
+
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("f6_load_balance (all policies pooled)", &snap);
+    }
+    RunReport::new("f6_load_balance")
+        .config_str("workers", "2x cpu (speed 1) + 1x accel (speed 6)")
+        .config_num("ntiles", ntiles as f64)
+        .config_num("makespan_static_s", m_static)
+        .config_num("makespan_weighted_s", m_weighted)
+        .config_num("makespan_stealing_s", m_dynamic)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .zone_updates(zone_updates)
+        .write(&snap);
 }

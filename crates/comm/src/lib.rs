@@ -16,5 +16,5 @@
 
 pub mod rank;
 
-pub use rank::{run, run_with_faults, NetworkModel, Rank};
+pub use rank::{run, run_with_faults, CommError, LivenessStats, NetworkModel, Rank, SUSPECT_FLAG};
 pub use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};

@@ -1,6 +1,22 @@
-//! Ranks, tagged messaging, and collectives.
+//! Ranks, tagged messaging, collectives, and the liveness layer.
+//!
+//! Beyond the basic MPI-like substrate, every rank carries a *liveness
+//! layer* for rank-level failure tolerance:
+//!
+//! * every envelope piggy-backs a heartbeat sequence number, so any
+//!   message from a peer doubles as proof of life;
+//! * [`Rank::recv_deadline`] bounds how long a receive can block and
+//!   returns [`CommError::PeerSuspect`] instead of hanging on a dead
+//!   peer — collectives use the same deadline internally;
+//! * halo payloads carry a CRC-32 trailer; damage is detected at receive
+//!   time (before any unpack) and repaired by a modeled link-level
+//!   retransmit with bounded exponential backoff, escalating to the
+//!   caller after [`NetworkModel::crc_retry_attempts`] attempts;
+//! * [`Rank::suspicion_consensus`] turns per-rank suspicion bitmasks into
+//!   a *confirmed dead set* shared by the responsive ranks, bumping the
+//!   communication epoch so stale traffic from evicted ranks is dropped.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};
 use rhrsc_runtime::metrics::Registry;
 use std::sync::Arc;
@@ -28,6 +44,72 @@ fn tag_class(tag: u64) -> &'static str {
     }
 }
 
+/// Scalar agreement value signaling "a peer is suspected dead" (see
+/// [`Rank::agree_max`]); ordinary success/failure flags use 0.0/1.0.
+pub const SUSPECT_FLAG: f64 = 2.0;
+
+/// Errors from the deadline-aware receive paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer did not produce the expected message within the deadline
+    /// and is now suspected dead (recorded in this rank's suspicion mask).
+    PeerSuspect {
+        /// The silent peer.
+        rank: usize,
+        /// How long this rank waited before giving up.
+        waited: Duration,
+    },
+    /// A halo payload failed its CRC-32 trailer even after the modeled
+    /// link-level retransmits — the damage escalates to the caller.
+    CorruptPayload {
+        /// Sending rank.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A newer communication epoch was observed: the surviving ranks have
+    /// shrunk the universe without this rank, which must now exit.
+    Evicted {
+        /// The epoch the survivors are on.
+        epoch: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerSuspect { rank, waited } => {
+                write!(f, "rank {rank} silent for {waited:?}; suspected dead")
+            }
+            CommError::CorruptPayload { from, tag } => {
+                write!(f, "corrupt payload from rank {from} tag {tag}")
+            }
+            CommError::Evicted { epoch } => {
+                write!(f, "evicted: survivors advanced to epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Counters of the liveness layer, per rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LivenessStats {
+    /// Receive deadlines that expired (peer suspected dead).
+    pub suspicions: u64,
+    /// Suspicions retracted because the peer was heard from again.
+    pub false_positives: u64,
+    /// Modeled link-level retransmits of CRC-damaged halo payloads.
+    pub crc_retries: u64,
+    /// Payloads still damaged after the bounded retransmits (escalated).
+    pub crc_escalations: u64,
+    /// Peers promoted from suspected to confirmed dead by consensus.
+    pub confirmed_dead: u64,
+    /// Messages dropped for carrying a stale (pre-shrink) epoch.
+    pub stale_dropped: u64,
+}
+
 /// Cost model of the simulated interconnect.
 #[derive(Debug, Clone, Copy)]
 pub struct NetworkModel {
@@ -35,6 +117,17 @@ pub struct NetworkModel {
     pub latency: Duration,
     /// Link bandwidth in bytes/second (`f64::INFINITY` = free).
     pub bandwidth: f64,
+    /// How long a deadline-aware receive waits before suspecting the
+    /// peer dead. Wall-clock even in virtual-time mode (a dead rank sends
+    /// nothing physically). Overridable via `RHRSC_SUSPECT_AFTER_MS`.
+    pub suspect_after: Duration,
+    /// Modeled link-level retransmit attempts for a halo payload whose
+    /// CRC-32 trailer fails at receive time (0 disables the retry tier:
+    /// damage escalates to the caller immediately, the pre-liveness
+    /// behavior).
+    pub crc_retry_attempts: u32,
+    /// Base backoff charged per retransmit attempt (doubles each try).
+    pub crc_retry_backoff: Duration,
     /// Virtual-time mode: network costs are charged to the ranks'
     /// *virtual clocks* instead of being physically waited out, and
     /// compute sections measured with [`Rank::work`] are serialized on a
@@ -45,6 +138,17 @@ pub struct NetworkModel {
     pub virtual_time: bool,
 }
 
+/// Default suspicion deadline: `RHRSC_SUSPECT_AFTER_MS` or 2000 ms. Long
+/// enough that an oversubscribed host never starves a healthy peer past
+/// it, short enough that benches detect a dead rank promptly.
+fn default_suspect_after() -> Duration {
+    let ms = std::env::var("RHRSC_SUSPECT_AFTER_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(2000);
+    Duration::from_millis(ms.max(1))
+}
+
 impl NetworkModel {
     /// An ideal (zero-cost) network.
     pub fn ideal() -> Self {
@@ -52,6 +156,9 @@ impl NetworkModel {
             latency: Duration::ZERO,
             bandwidth: f64::INFINITY,
             virtual_time: false,
+            suspect_after: default_suspect_after(),
+            crc_retry_attempts: 0,
+            crc_retry_backoff: Duration::from_micros(50),
         }
     }
 
@@ -59,8 +166,7 @@ impl NetworkModel {
     pub fn with_latency(latency: Duration) -> Self {
         NetworkModel {
             latency,
-            bandwidth: f64::INFINITY,
-            virtual_time: false,
+            ..NetworkModel::ideal()
         }
     }
 
@@ -70,7 +176,22 @@ impl NetworkModel {
             latency,
             bandwidth,
             virtual_time: true,
+            ..NetworkModel::ideal()
         }
+    }
+
+    /// Enable the modeled link-level retransmit tier: CRC-damaged halo
+    /// payloads are retried up to `attempts` times with exponential
+    /// backoff before the damage escalates to the caller.
+    pub fn with_crc_retries(mut self, attempts: u32) -> Self {
+        self.crc_retry_attempts = attempts;
+        self
+    }
+
+    /// Set the receive deadline after which a silent peer is suspected.
+    pub fn with_suspect_after(mut self, d: Duration) -> Self {
+        self.suspect_after = d;
+        self
     }
 
     /// Network cost of a message of `len` doubles, in seconds.
@@ -89,6 +210,40 @@ impl NetworkModel {
     }
 }
 
+/// Table-driven CRC-32 (IEEE polynomial), built at compile time. The
+/// slow bitwise variant in `rhrsc-io` is fine for checkpoint files; this
+/// one runs on every halo payload, so it must be cheap.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 over the little-endian bytes of an `f64` payload.
+fn crc32_f64s(data: &[f64]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for x in data {
+        for b in x.to_le_bytes() {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
 struct Envelope {
     from: usize,
     tag: u64,
@@ -97,6 +252,13 @@ struct Envelope {
     /// Virtual delivery time: sender's virtual clock at send plus the
     /// modeled network cost.
     v_deliver: f64,
+    /// Piggy-backed heartbeat: the sender's running send count. Every
+    /// message doubles as proof of life.
+    seq: u64,
+    /// Sender's communication epoch (bumped by each shrink).
+    epoch: u64,
+    /// CRC-32 trailer over `data`; present on halo-tag payloads.
+    crc: Option<u32>,
 }
 
 /// Binary CPU token shared by a virtual-time universe: compute sections
@@ -156,6 +318,24 @@ pub struct Rank {
     /// Optional metrics registry: per-tag-class message/byte counters and
     /// receive-wait histograms (see [`Rank::set_metrics`]).
     metrics: Option<Arc<Registry>>,
+    /// Heartbeat sequence of this rank's own sends.
+    send_seq: u64,
+    /// Communication epoch: bumped on every shrink. Stale-epoch messages
+    /// are dropped; observing a newer epoch means this rank was evicted.
+    epoch: u64,
+    /// Latest heartbeat sequence seen from each peer.
+    peer_seq: Vec<u64>,
+    /// Bitmask of peers that missed a receive deadline (unconfirmed).
+    suspected: u64,
+    /// Bitmask of peers confirmed dead by [`Rank::suspicion_consensus`].
+    dead: u64,
+    /// Cached live (not confirmed-dead) rank ids, ascending.
+    live: Vec<usize>,
+    /// Liveness-layer counters.
+    lstats: LivenessStats,
+    /// Set when a newer epoch is observed: the survivors shrank the
+    /// universe without this rank, which must stop participating.
+    evicted: Option<u64>,
 }
 
 impl Rank {
@@ -229,34 +409,96 @@ impl Rank {
         self.injector.as_ref().map(|i| i.stats())
     }
 
+    /// Counters of the liveness layer on this rank.
+    pub fn liveness_stats(&self) -> LivenessStats {
+        self.lstats
+    }
+
+    /// Ranks not confirmed dead, ascending. Always contains this rank.
+    pub fn live_ranks(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Bitmask of ranks confirmed dead by consensus.
+    pub fn dead_mask(&self) -> u64 {
+        self.dead
+    }
+
+    /// Bitmask of ranks currently suspected (deadline missed, not yet
+    /// confirmed by consensus).
+    pub fn suspected_mask(&self) -> u64 {
+        self.suspected & !self.dead
+    }
+
+    /// Current communication epoch (number of shrinks survived).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `Some(epoch)` if a newer epoch was observed: the surviving ranks
+    /// shrank the universe without this rank.
+    pub fn evicted(&self) -> Option<u64> {
+        self.evicted
+    }
+
+    /// Latest piggy-backed heartbeat sequence seen from `peer`.
+    pub fn peer_heartbeat(&self, peer: usize) -> u64 {
+        self.peer_seq[peer]
+    }
+
     /// Eagerly send `data` to rank `to` with `tag`. Never blocks; the
     /// network cost is charged to the *receiver* as a delivery timestamp.
-    /// Under an active fault plan, halo-tag messages may be truncated or
-    /// delayed in flight.
+    /// Halo-tag payloads always carry a CRC-32 trailer. Under an active
+    /// fault plan they may additionally be delayed or damaged in flight;
+    /// damage is repaired by a modeled link-level retransmit (bounded
+    /// exponential backoff, [`NetworkModel::crc_retry_attempts`] tries)
+    /// before the truncated payload — still carrying the original CRC, so
+    /// the receiver detects the mismatch — escalates to the caller.
     pub fn send(&mut self, to: usize, tag: u64, data: &[f64]) {
         assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
-        if tag < FAULT_TAG_LIMIT {
-            if let Some(inj) = self.injector.clone() {
-                let extra = inj.should_delay_msg().unwrap_or(Duration::ZERO);
-                if inj.should_truncate_msg() && !data.is_empty() {
-                    // Deterministic truncation: drop the trailing half.
-                    // The receiver detects the short payload by length.
-                    let keep = data.len() / 2;
-                    self.send_with_delay(to, tag, &data[..keep], extra);
-                } else {
-                    self.send_with_delay(to, tag, data, extra);
+        if tag >= FAULT_TAG_LIMIT {
+            self.send_impl(to, tag, data, Duration::ZERO, None);
+            return;
+        }
+        let crc = Some(crc32_f64s(data));
+        let Some(inj) = self.injector.clone() else {
+            self.send_impl(to, tag, data, Duration::ZERO, crc);
+            return;
+        };
+        let mut extra = inj.should_delay_msg().unwrap_or(Duration::ZERO);
+        if inj.should_truncate_msg() && !data.is_empty() {
+            // Modeled link-level retransmit: each attempt pays an
+            // exponentially growing backoff (charged as extra flight
+            // time) and redraws the damage from its own fault site.
+            let mut corrupted = true;
+            let mut attempt = 0u32;
+            while corrupted && attempt < self.model.crc_retry_attempts {
+                extra += self.model.crc_retry_backoff * (1u32 << attempt.min(20));
+                attempt += 1;
+                self.lstats.crc_retries += 1;
+                if let Some(m) = &self.metrics {
+                    m.counter("comm.liveness.crc_retries").inc();
                 }
+                corrupted = inj.should_corrupt_retry();
+            }
+            if corrupted {
+                // Deterministic truncation: drop the trailing half. The
+                // CRC trailer is of the *original* payload, so the
+                // receiver detects the damage before unpacking.
+                let keep = data.len() / 2;
+                let short = data[..keep].to_vec();
+                self.send_impl(to, tag, &short, extra, crc);
                 return;
             }
         }
-        self.send_raw(to, tag, data);
+        self.send_impl(to, tag, data, extra, crc);
     }
 
     fn send_raw(&mut self, to: usize, tag: u64, data: &[f64]) {
-        self.send_with_delay(to, tag, data, Duration::ZERO);
+        self.send_impl(to, tag, data, Duration::ZERO, None);
     }
 
-    fn send_with_delay(&mut self, to: usize, tag: u64, data: &[f64], extra: Duration) {
+    fn send_impl(&mut self, to: usize, tag: u64, data: &[f64], extra: Duration, crc: Option<u32>) {
         assert!(to < self.size, "send to invalid rank {to}");
         assert_ne!(to, self.rank, "self-send is not supported");
         self.bytes_sent += std::mem::size_of_val(data) as u64;
@@ -266,6 +508,7 @@ impl Rank {
             m.counter(&format!("comm.bytes.{class}"))
                 .add(std::mem::size_of_val(data) as u64);
         }
+        self.send_seq += 1;
         let env = Envelope {
             from: self.rank,
             tag,
@@ -277,8 +520,13 @@ impl Rank {
                 self.model.deliverable_at(data.len()) + extra
             },
             v_deliver: self.vtime + self.model.cost_secs(data.len()) + extra.as_secs_f64(),
+            seq: self.send_seq,
+            epoch: self.epoch,
+            crc,
         };
-        self.senders[to].send(env).expect("rank channel closed");
+        // A crashed rank's mailbox may outlive its closure (or be gone
+        // entirely); sending to it must never bring a survivor down.
+        let _ = self.senders[to].send(env);
     }
 
     /// Blocking receive of the message from `from` with `tag`. Messages
@@ -318,6 +566,7 @@ impl Rank {
         }
         loop {
             let env = self.receiver.recv().expect("rank channel closed");
+            let Some(env) = self.admit(env) else { continue };
             if env.from == from && env.tag == tag {
                 return self.deliver(env);
             }
@@ -325,9 +574,95 @@ impl Rank {
         }
     }
 
+    /// Epoch filter + heartbeat bookkeeping for an arrived envelope.
+    /// Returns `None` if the message must be dropped (stale epoch: the
+    /// sender was evicted before it sent this). A *newer* epoch is
+    /// admitted — it means the sender finished a consensus round first
+    /// and still counts this rank among the living; op tags keep the
+    /// cross-epoch messages matched to the right collective. Eviction is
+    /// only ever decided by [`Rank::suspicion_consensus`] itself.
+    fn admit(&mut self, env: Envelope) -> Option<Envelope> {
+        if env.epoch < self.epoch {
+            self.lstats.stale_dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("comm.liveness.stale_dropped").inc();
+            }
+            return None;
+        }
+        self.note_arrival(env.from, env.seq);
+        Some(env)
+    }
+
+    /// Any message is proof of life: update the peer's heartbeat and
+    /// retract a standing suspicion (counted as a false positive).
+    fn note_arrival(&mut self, from: usize, seq: u64) {
+        if seq > self.peer_seq[from] {
+            self.peer_seq[from] = seq;
+        }
+        let bit = 1u64 << from;
+        if self.suspected & bit != 0 {
+            self.suspected &= !bit;
+            self.lstats.false_positives += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("comm.liveness.false_positives").inc();
+            }
+        }
+    }
+
+    /// Record a missed deadline for `peer` and build the matching error.
+    /// In virtual-time mode the (wall-clock) detection latency is charged
+    /// to the virtual clock, so suspicion is never free.
+    fn mark_suspect(&mut self, peer: usize, waited: Duration) -> CommError {
+        let bit = 1u64 << peer;
+        if self.dead & bit == 0 && self.suspected & bit == 0 {
+            self.suspected |= bit;
+            self.lstats.suspicions += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("comm.liveness.suspicions").inc();
+            }
+        }
+        if self.model.virtual_time {
+            self.vtime += waited.as_secs_f64();
+        }
+        CommError::PeerSuspect { rank: peer, waited }
+    }
+
+    /// Verify the CRC-32 trailer, counting an escalation on mismatch.
+    fn payload_intact(&mut self, env: &Envelope) -> bool {
+        let ok = env.crc.is_none_or(|c| crc32_f64s(&env.data) == c);
+        if !ok {
+            self.lstats.crc_escalations += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("comm.liveness.crc_escalations").inc();
+            }
+        }
+        ok
+    }
+
     /// Charge the message's arrival to the appropriate clock and hand the
-    /// payload over.
+    /// payload over. Damage is counted ([`LivenessStats::crc_escalations`])
+    /// but still delivered — the legacy path detects truncation by length.
     fn deliver(&mut self, env: Envelope) -> Vec<f64> {
+        self.payload_intact(&env);
+        self.settle(&env);
+        env.data
+    }
+
+    /// Like [`Rank::deliver`], but damage becomes a typed error.
+    fn deliver_checked(&mut self, env: Envelope) -> Result<Vec<f64>, CommError> {
+        let intact = self.payload_intact(&env);
+        self.settle(&env);
+        if intact {
+            Ok(env.data)
+        } else {
+            Err(CommError::CorruptPayload {
+                from: env.from,
+                tag: env.tag,
+            })
+        }
+    }
+
+    fn settle(&mut self, env: &Envelope) {
         if self.model.virtual_time {
             // A receive completes no earlier than the message's virtual
             // delivery time; waiting is free (the rank was blocked).
@@ -335,14 +670,92 @@ impl Rank {
         } else {
             wait_until(env.deliverable_at);
         }
-        env.data
+    }
+
+    /// Deadline-aware receive: like [`Rank::recv`], but gives up after
+    /// [`NetworkModel::suspect_after`] and returns
+    /// [`CommError::PeerSuspect`] instead of blocking forever on a dead
+    /// peer. A CRC-damaged payload returns [`CommError::CorruptPayload`];
+    /// observing a newer epoch returns [`CommError::Evicted`]. Receives
+    /// from a *confirmed-dead* peer fail fast; merely-suspected peers
+    /// still get the full deadline — deliberately, so every live rank
+    /// pays the same wait for a given silent peer and deadline-induced
+    /// skew cannot cascade into false suspicions of healthy ranks.
+    pub fn recv_deadline(&mut self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        let wait_start = self.metrics.as_ref().map(|_| (Instant::now(), self.vtime));
+        let out = self.recv_deadline_any(from, tag, self.model.suspect_after);
+        if let (Some(m), Some((t0, v0))) = (&self.metrics, wait_start) {
+            let ns = if self.model.virtual_time {
+                ((self.vtime - v0).max(0.0) * 1e9) as u64
+            } else {
+                t0.elapsed().as_nanos() as u64
+            };
+            m.histogram(&format!("sub.comm.wait.{}", tag_class(tag)))
+                .record(ns);
+        }
+        out
+    }
+
+    /// Deadline receive without the reserved-tag assert (collectives use
+    /// it on their own tag space).
+    fn recv_deadline_any(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        // Drain arrivals first: this refreshes heartbeats (possibly
+        // retracting a suspicion of `from`) before any fast-fail below.
+        while let Ok(env) = self.receiver.try_recv() {
+            if let Some(env) = self.admit(env) {
+                self.stash.push(env);
+            }
+        }
+        if let Some(e) = self.evicted {
+            return Err(CommError::Evicted { epoch: e });
+        }
+        if let Some(pos) = self
+            .stash
+            .iter()
+            .position(|e| e.from == from && e.tag == tag)
+        {
+            let env = self.stash.remove(pos);
+            return self.deliver_checked(env);
+        }
+        if self.dead & (1u64 << from) != 0 {
+            return Err(self.mark_suspect(from, Duration::ZERO));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.mark_suspect(from, timeout));
+            }
+            match self.receiver.recv_timeout(deadline - now) {
+                Ok(env) => {
+                    let Some(env) = self.admit(env) else { continue };
+                    if env.from == from && env.tag == tag {
+                        return self.deliver_checked(env);
+                    }
+                    self.stash.push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // The universe is tearing down; treat as a dead peer.
+                    return Err(self.mark_suspect(from, timeout));
+                }
+            }
+        }
     }
 
     /// Non-blocking probe: `true` if a matching message has *arrived*
     /// (it may still be in its modeled flight time).
     pub fn probe(&mut self, from: usize, tag: u64) -> bool {
         while let Ok(env) = self.receiver.try_recv() {
-            self.stash.push(env);
+            if let Some(env) = self.admit(env) {
+                self.stash.push(env);
+            }
         }
         self.stash.iter().any(|e| e.from == from && e.tag == tag)
     }
@@ -353,54 +766,286 @@ impl Rank {
         t
     }
 
+    /// Position of this rank in the live set (its "virtual rank" for
+    /// collective trees). Panics if called after eviction/confirmed-dead
+    /// bookkeeping removed this rank from its own live set (cannot happen
+    /// through the public API).
+    fn live_pos(&self) -> usize {
+        self.live
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank absent from its own live set")
+    }
+
+    /// Depth-scaled patience for collective-internal receives. A peer that
+    /// itself timed out on a dead rank lags by a full deadline, so a recv
+    /// `mult` levels downstream must wait `mult` deadlines before calling
+    /// the sender dead — otherwise one real failure cascades into false
+    /// suspicions of every healthy rank on the lagged path.
+    fn patience(&self, mult: u32) -> Duration {
+        self.model.suspect_after * mult.max(1)
+    }
+
     /// Allreduce with a binary reduction; all ranks receive the reduced
     /// value of their `contributions`. Implemented as a binomial-tree
-    /// reduce to rank 0 followed by a binomial-tree broadcast, so the
-    /// critical path is `2 ⌈log₂ P⌉` message latencies — the collective
-    /// cost structure the scaling experiments assume.
+    /// reduce followed by a binomial-tree broadcast over the *live* ranks,
+    /// so the critical path is `2 ⌈log₂ P⌉` message latencies — the
+    /// collective cost structure the scaling experiments assume. Every
+    /// internal receive carries the suspicion deadline: a silent peer is
+    /// skipped (its subtree's contribution is lost) instead of deadlocking
+    /// the collective, and ends up in the suspicion mask for
+    /// [`Rank::suspicion_consensus`] to rule on. With no dead or silent
+    /// peers the result is bit-identical to the pre-liveness collective.
     pub fn allreduce(&mut self, contribution: &[f64], op: impl Fn(f64, f64) -> f64) -> Vec<f64> {
         let tag = self.next_op_tag();
+        let live = self.live.clone();
+        let p = live.len();
+        let me = self.live_pos();
+        let depth = ceil_log2(p);
         let mut acc = contribution.to_vec();
-        // --- binomial reduce toward rank 0 ------------------------------
+        // --- binomial reduce toward live rank 0 --------------------------
         let mut mask = 1usize;
-        while mask < self.size {
-            if self.rank & mask != 0 {
+        let mut round = 0u32;
+        while mask < p {
+            if me & mask != 0 {
                 // My bit for this round is set: hand my partial upward.
-                let partner = self.rank & !mask;
-                self.send_raw(partner, tag, &acc);
+                self.send_raw(live[me & !mask], tag, &acc);
                 break;
             }
-            let partner = self.rank | mask;
-            if partner < self.size {
-                let part = self.recv_raw(partner, tag);
-                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
-                for (a, &b) in acc.iter_mut().zip(&part) {
-                    *a = op(*a, b);
+            let child = me | mask;
+            if child < p {
+                let patience = self.patience(round + 2);
+                match self.recv_deadline_any(live[child], tag, patience) {
+                    Ok(part) => {
+                        assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                        for (a, &b) in acc.iter_mut().zip(&part) {
+                            *a = op(*a, b);
+                        }
+                    }
+                    Err(_) => {
+                        // Silent subtree: its contribution is lost this
+                        // round; the suspicion is recorded for consensus.
+                    }
                 }
             }
             mask <<= 1;
+            round += 1;
         }
-        // --- binomial broadcast from rank 0 -----------------------------
+        // --- binomial broadcast from live rank 0 -------------------------
+        let bcast_patience = self.patience(2 * depth + 2);
         let mut top = 1usize;
-        while top < self.size {
+        while top < p {
             top <<= 1;
         }
         let mut mask = top >> 1;
         while mask > 0 {
-            if self.rank & (mask - 1) == 0 {
-                if self.rank & mask == 0 {
-                    let partner = self.rank | mask;
-                    if partner < self.size && partner != self.rank {
-                        self.send_raw(partner, tag, &acc);
+            if me & (mask - 1) == 0 {
+                if me & mask == 0 {
+                    let partner = me | mask;
+                    if partner < p && partner != me {
+                        self.send_raw(live[partner], tag, &acc);
+                    }
+                } else if let Ok(d) = self.recv_deadline_any(live[me & !mask], tag, bcast_patience)
+                {
+                    acc = d;
+                }
+                // On timeout: keep the local partial and still forward it
+                // below, so our own subtree is not starved.
+            }
+            mask >>= 1;
+        }
+        acc
+    }
+
+    /// Failure-armored scalar agreement: an allreduce-max where any missed
+    /// deadline *poisons the result upward* to [`SUSPECT_FLAG`]. If some
+    /// rank is dead, every live rank is guaranteed to return a value
+    /// `>= SUSPECT_FLAG` (the dead rank's reduce parent injects the flag
+    /// on a live path to the root; its broadcast children self-substitute
+    /// it), so survivors agree that a consensus round is needed even
+    /// though they cannot yet agree on a value. This is the primitive the
+    /// resilient driver uses for its per-step error/liveness agreement.
+    pub fn agree_max(&mut self, x: f64) -> f64 {
+        if self.evicted.is_some() {
+            return SUSPECT_FLAG;
+        }
+        let tag = self.next_op_tag();
+        let live = self.live.clone();
+        let p = live.len();
+        let me = self.live_pos();
+        let depth = ceil_log2(p);
+        let mut acc = x;
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            if me & mask != 0 {
+                self.send_raw(live[me & !mask], tag, &[acc]);
+                break;
+            }
+            let child = me | mask;
+            if child < p {
+                let patience = self.patience(round + 2);
+                match self.recv_deadline_any(live[child], tag, patience) {
+                    Ok(part) => acc = acc.max(part[0]),
+                    Err(_) => acc = acc.max(SUSPECT_FLAG),
+                }
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        let bcast_patience = self.patience(2 * depth + 2);
+        let mut top = 1usize;
+        while top < p {
+            top <<= 1;
+        }
+        let mut mask = top >> 1;
+        while mask > 0 {
+            if me & (mask - 1) == 0 {
+                if me & mask == 0 {
+                    let partner = me | mask;
+                    if partner < p && partner != me {
+                        self.send_raw(live[partner], tag, &[acc]);
                     }
                 } else {
-                    let partner = self.rank & !mask;
-                    acc = self.recv_raw(partner, tag);
+                    acc = match self.recv_deadline_any(live[me & !mask], tag, bcast_patience) {
+                        Ok(d) => d[0],
+                        // The root's decision is unreachable: assume the
+                        // worst so this rank also enters consensus.
+                        Err(_) => SUSPECT_FLAG,
+                    };
                 }
             }
             mask >>= 1;
         }
         acc
+    }
+
+    /// Two-round suspicion consensus among the live ranks, promoting
+    /// suspects to the confirmed dead set.
+    ///
+    /// Round 1 exchanges suspicion bitmasks all-to-all; any rank heard
+    /// from is alive (stale suspicions of it are retracted), so the
+    /// candidate set is the union of everyone's suspicions plus this
+    /// round's timeouts, minus everyone heard. Round 2 repeats the
+    /// exchange with the candidate masks: a candidate that speaks up
+    /// defends itself, one that stays silent is confirmed dead. On
+    /// confirmation the epoch is bumped (stale traffic from the dead rank
+    /// is dropped from now on) and the live set shrinks.
+    ///
+    /// Returns the newly confirmed dead set as a bitmask (0 = false
+    /// alarm). Errors with [`CommError::Evicted`] if this rank would be on
+    /// the wrong side of the shrink: either a newer epoch was observed, or
+    /// the surviving side would be a minority of the previous live set
+    /// (the split-brain guard — a lone straggler that outlived its
+    /// suspicion deadline sees "everyone else dead" and must evict
+    /// *itself* rather than carry on solo).
+    pub fn suspicion_consensus(&mut self) -> Result<u64, CommError> {
+        if let Some(e) = self.evicted {
+            return Err(CommError::Evicted { epoch: e });
+        }
+        let live = self.live.clone();
+        let before = live.len();
+        // One absolute deadline covers the whole round: silence from
+        // several peers costs one wait, not one per peer, and every live
+        // rank exits the round at (entry + patience), which resynchronizes
+        // the survivors for whatever collective follows.
+        let patience = self.patience(2 * ceil_log2(before) + 4);
+        let myself = 1u64 << self.rank;
+        let want: u64 = live
+            .iter()
+            .filter(|&&r| r != self.rank)
+            .fold(0u64, |m, &r| m | (1u64 << r));
+
+        let round = |rk: &mut Self, mask: u64| -> Result<(u64, u64, u64), CommError> {
+            let tag = rk.next_op_tag();
+            for &r in &live {
+                if r != rk.rank {
+                    rk.send_raw(r, tag, &[f64::from_bits(mask)]);
+                }
+            }
+            let (mut union, mut heard) = (mask, myself);
+            let deadline = Instant::now() + patience;
+            loop {
+                // Sweep the stash for this round's masks.
+                let mut i = 0;
+                while i < rk.stash.len() {
+                    if rk.stash[i].tag == tag && heard & (1u64 << rk.stash[i].from) == 0 {
+                        let env = rk.stash.remove(i);
+                        let from = env.from;
+                        if let Ok(d) = rk.deliver_checked(env) {
+                            union |= d[0].to_bits();
+                            heard |= 1u64 << from;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                if heard & want == want {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rk.receiver.recv_timeout(deadline - now) {
+                    Ok(env) => {
+                        if let Some(env) = rk.admit(env) {
+                            rk.stash.push(env);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            let silent = want & !heard;
+            if silent != 0 {
+                for r in 0..rk.size {
+                    if silent & (1u64 << r) != 0 {
+                        let _ = rk.mark_suspect(r, Duration::ZERO);
+                    }
+                }
+                if rk.model.virtual_time {
+                    rk.vtime += patience.as_secs_f64();
+                }
+            }
+            Ok((union, heard, silent))
+        };
+
+        let (union, heard, silent) = round(self, self.suspected & !self.dead)?;
+        let candidates = (union | silent) & !heard;
+        let (union2, heard2, silent2) = round(self, candidates)?;
+        let newly_dead = (union2 | silent2) & !heard2 & !self.dead;
+
+        if newly_dead == 0 {
+            return Ok(0);
+        }
+        if newly_dead & myself != 0 {
+            // The responsive majority believes this rank is dead.
+            self.evicted = Some(self.epoch + 1);
+            return Err(CommError::Evicted {
+                epoch: self.epoch + 1,
+            });
+        }
+        let ndead = newly_dead.count_ones() as usize;
+        if (before - ndead) * 2 < before {
+            // Split-brain guard: the side keeping less than half of the
+            // previous live set yields instead of forking the run.
+            self.evicted = Some(self.epoch + 1);
+            return Err(CommError::Evicted {
+                epoch: self.epoch + 1,
+            });
+        }
+        self.dead |= newly_dead;
+        self.suspected &= !newly_dead;
+        self.epoch += 1;
+        self.live = (0..self.size)
+            .filter(|&i| self.dead & (1u64 << i) == 0)
+            .collect();
+        self.lstats.confirmed_dead += ndead as u64;
+        if let Some(m) = &self.metrics {
+            m.counter("comm.liveness.confirmed_dead").add(ndead as u64);
+        }
+        Ok(newly_dead)
     }
 
     /// Scalar allreduce-min (the Δt reduction).
@@ -424,21 +1069,29 @@ impl Rank {
         self.allreduce(&[0.0], |a, _| a);
     }
 
-    /// Broadcast `data` from `root` to all ranks via a binomial tree
-    /// (`⌈log₂ P⌉` latency depth); returns the payload.
+    /// Broadcast `data` from `root` to all live ranks via a binomial tree
+    /// (`⌈log₂ P⌉` latency depth); returns the payload. `root` must be
+    /// live. A silent parent leaves the receiver with an empty payload
+    /// (and a recorded suspicion) rather than a deadlock.
     pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Vec<f64> {
         let tag = self.next_op_tag();
-        // Work in root-relative ("virtual") rank space.
-        let size = self.size;
-        let vrank = (self.rank + size - root) % size;
-        let to_real = move |v: usize| (v + root) % size;
+        let live = self.live.clone();
+        let p = live.len();
+        let timeout = self.patience(2 * ceil_log2(p) + 2);
+        // Work in root-relative ("virtual") positions of the live set.
+        let rootv = live
+            .iter()
+            .position(|&r| r == root)
+            .expect("broadcast root is dead");
+        let vrank = (self.live_pos() + p - rootv) % p;
+        let to_real = |v: usize| live[(v + rootv) % p];
         let mut payload = if vrank == 0 {
             data.to_vec()
         } else {
             Vec::new()
         };
         let mut top = 1usize;
-        while top < self.size {
+        while top < p {
             top <<= 1;
         }
         let mut mask = top >> 1;
@@ -446,18 +1099,22 @@ impl Rank {
             if vrank & (mask - 1) == 0 {
                 if vrank & mask == 0 {
                     let partner = vrank | mask;
-                    if partner < self.size && partner != vrank {
+                    if partner < p && partner != vrank {
                         self.send_raw(to_real(partner), tag, &payload);
                     }
-                } else {
-                    let partner = vrank & !mask;
-                    payload = self.recv_raw(to_real(partner), tag);
+                } else if let Ok(d) = self.recv_deadline_any(to_real(vrank & !mask), tag, timeout) {
+                    payload = d;
                 }
             }
             mask >>= 1;
         }
         payload
     }
+}
+
+/// ⌈log₂ p⌉ for `p >= 1` (0 for `p == 1`).
+fn ceil_log2(p: usize) -> u32 {
+    usize::BITS - p.saturating_sub(1).leading_zeros()
 }
 
 /// Sleep/spin until `t`, choosing the mechanism by remaining duration.
@@ -498,6 +1155,7 @@ where
     F: Fn(&mut Rank) -> T + Send + Sync,
 {
     assert!(n > 0);
+    assert!(n <= 64, "liveness bitmasks support at most 64 ranks");
     let plan = plan.filter(|p| p.is_active());
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
@@ -525,6 +1183,14 @@ where
                 .as_ref()
                 .map(|p| Arc::new(FaultInjector::new(p.clone(), i as u64))),
             metrics: None,
+            send_seq: 0,
+            epoch: 0,
+            peer_seq: vec![0; n],
+            suspected: 0,
+            dead: 0,
+            live: (0..n).collect(),
+            lstats: LivenessStats::default(),
+            evicted: None,
         })
         .collect();
     drop(txs);
@@ -670,9 +1336,8 @@ mod tests {
     fn bandwidth_charged_proportionally() {
         // 1e6 doubles at 8e8 B/s = 10 ms.
         let model = NetworkModel {
-            latency: Duration::ZERO,
             bandwidth: 8e8,
-            virtual_time: false,
+            ..NetworkModel::ideal()
         };
         let out = run(2, model, |r| {
             if r.rank() == 0 {
@@ -955,6 +1620,80 @@ mod tests {
     }
 
     #[test]
+    fn fault_schedule_is_invariant_to_interleaving() {
+        // Property: every fault decision is a function of (seed, rank
+        // salt, site, draw index) alone — never of wall-clock timing or
+        // cross-rank interleaving. Re-running the same ring workload
+        // with aggressive per-rank scheduling jitter must reproduce the
+        // exact per-rank fault event sequence, for every rank count in
+        // 2..=8, including the scheduled crash/stall sites.
+        let plan = || FaultPlan {
+            seed: 77,
+            msg_truncate_prob: 0.3,
+            msg_delay_prob: 0.25,
+            msg_delay: Duration::from_micros(50),
+            crash_rank: Some(1),
+            crash_step: 9,
+            stall_rank: Some(0),
+            stall_factor: 2.0,
+            ..FaultPlan::disabled()
+        };
+        let rounds = 24usize;
+        let trace = |jitter: bool, n: usize| {
+            run_with_faults(n, NetworkModel::ideal(), Some(plan()), move |r| {
+                let next = (r.rank() + 1) % n;
+                let prev = (r.rank() + n - 1) % n;
+                let mut corrupt = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    if jitter {
+                        let us = ((r.rank() * 13 + round * 7) % 5) as u64 * 250;
+                        std::thread::sleep(Duration::from_micros(us));
+                    }
+                    r.send(next, 1, &[round as f64; 6]);
+                    let got = r.recv_deadline(prev, 1);
+                    corrupt.push(matches!(got, Err(CommError::CorruptPayload { .. })));
+                }
+                // The scheduled rank-level sites are pure functions of
+                // the plan, so a fresh injector replays them without
+                // perturbing the rank's own draw streams.
+                let probe = FaultInjector::new(plan(), r.rank() as u64);
+                let sites: Vec<(bool, bool)> = (0..rounds as u64)
+                    .map(|s| {
+                        (
+                            probe.should_crash_rank(r.rank(), s),
+                            probe.should_stall_rank(r.rank()).is_some(),
+                        )
+                    })
+                    .collect();
+                let st = r.fault_stats().unwrap();
+                (corrupt, sites, st.msgs_truncated, st.msgs_delayed)
+            })
+        };
+        for n in [2usize, 3, 5, 8] {
+            let a = trace(false, n);
+            let b = trace(true, n);
+            assert_eq!(a, b, "fault schedule changed under jitter at n = {n}");
+            assert!(
+                a.iter().any(|(c, ..)| c.contains(&true)),
+                "no message fault ever fired at n = {n}"
+            );
+            assert!(
+                a.iter().any(|(c, ..)| c.contains(&false)),
+                "every message faulted at n = {n}"
+            );
+            let crash_hits = a
+                .iter()
+                .map(|(_, s, ..)| s.iter().filter(|(c, _)| *c).count())
+                .sum::<usize>();
+            assert_eq!(
+                crash_hits,
+                rounds - plan().crash_step as usize,
+                "crash site must fire exactly from its scheduled step on"
+            );
+        }
+    }
+
+    #[test]
     fn metrics_count_messages_and_waits() {
         let model = NetworkModel::virtual_cluster(Duration::from_millis(5), f64::INFINITY);
         let reg = Arc::new(Registry::new());
@@ -983,6 +1722,210 @@ mod tests {
         let wait = &snap.histograms["sub.comm.wait.halo"];
         assert_eq!(wait.count, 1);
         assert!(wait.sum >= 4_000_000, "halo wait {} ns", wait.sum);
+    }
+
+    #[test]
+    fn crc_detects_truncation_before_unpack() {
+        // With the retry tier disabled, a truncated halo payload reaches
+        // the receiver, whose CRC check turns it into a typed error.
+        let plan = FaultPlan {
+            seed: 11,
+            msg_truncate_prob: 1.0,
+            ..FaultPlan::disabled()
+        };
+        let out = run_with_faults(2, NetworkModel::ideal(), Some(plan), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, &[1.0, 2.0, 3.0, 4.0]);
+                (true, 0)
+            } else {
+                let got = r.recv_deadline(0, 1);
+                let ok = got == Err(CommError::CorruptPayload { from: 0, tag: 1 });
+                (ok, r.liveness_stats().crc_escalations)
+            }
+        });
+        assert!(out[1].0, "damage must surface as CorruptPayload");
+        assert_eq!(out[1].1, 1, "escalation counted");
+    }
+
+    #[test]
+    fn crc_retransmit_repairs_damage() {
+        // With retries enabled, the modeled link-level retransmit repairs
+        // the payload: the receiver sees the full message. Seeded so the
+        // retry draws eventually come up clean (deterministic).
+        let plan = FaultPlan {
+            seed: 12,
+            msg_truncate_prob: 0.6,
+            ..FaultPlan::disabled()
+        };
+        let model = NetworkModel::ideal().with_crc_retries(16);
+        let out = run_with_faults(2, model, Some(plan), |r| {
+            if r.rank() == 0 {
+                for _ in 0..8 {
+                    r.send(1, 1, &[1.0, 2.0, 3.0, 4.0]);
+                }
+                let st = r.liveness_stats();
+                (st.crc_retries, 0usize)
+            } else {
+                let mut full = 0usize;
+                for _ in 0..8 {
+                    if let Ok(d) = r.recv_deadline(0, 1) {
+                        assert_eq!(d, vec![1.0, 2.0, 3.0, 4.0]);
+                        full += 1;
+                    }
+                }
+                (r.liveness_stats().crc_escalations, full)
+            }
+        });
+        assert!(out[0].0 > 0, "retransmits were modeled");
+        assert_eq!(out[1].0, 0, "no damage escaped the retry tier");
+        assert_eq!(out[1].1, 8, "all payloads arrived intact");
+    }
+
+    #[test]
+    fn recv_deadline_suspects_silent_peer() {
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(40));
+        let out = run(2, model, |r| {
+            if r.rank() == 0 {
+                match r.recv_deadline(1, 3) {
+                    Err(CommError::PeerSuspect { rank, waited }) => {
+                        assert_eq!(rank, 1);
+                        assert!(waited >= Duration::from_millis(40));
+                    }
+                    other => panic!("expected PeerSuspect, got {other:?}"),
+                }
+                // A merely-suspected peer still gets the full deadline
+                // (uniform waits prevent skew cascades); the suspicion is
+                // not double counted.
+                assert!(r.recv_deadline(1, 4).is_err());
+                let st = r.liveness_stats();
+                assert_eq!(st.suspicions, 1);
+                assert_eq!(r.suspected_mask(), 1 << 1);
+                true
+            } else {
+                // Send nothing on those tags; just exit.
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn heartbeat_retracts_suspicion() {
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(40));
+        let out = run(2, model, |r| {
+            if r.rank() == 0 {
+                assert!(r.recv_deadline(1, 3).is_err(), "first deadline expires");
+                // The slow peer eventually sends: the arrival is proof of
+                // life and the suspicion is retracted.
+                let got = loop {
+                    match r.recv_deadline(1, 3) {
+                        Ok(d) => break d,
+                        Err(_) => continue,
+                    }
+                };
+                assert_eq!(got, vec![7.0]);
+                let st = r.liveness_stats();
+                assert!(st.false_positives >= 1, "retraction counted");
+                assert_eq!(r.suspected_mask(), 0);
+                true
+            } else {
+                std::thread::sleep(Duration::from_millis(120));
+                r.send(0, 3, &[7.0]);
+                true
+            }
+        });
+        assert!(out.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn agree_max_flags_dead_rank_on_all_survivors() {
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(40));
+        let out = run(4, model, |r| {
+            if r.rank() == 3 {
+                return f64::NAN; // dies immediately: participates in nothing
+            }
+            r.agree_max(0.0)
+        });
+        for (i, &v) in out.iter().enumerate().take(3) {
+            assert!(v >= SUSPECT_FLAG, "rank {i} must see the flag, got {v}");
+        }
+    }
+
+    #[test]
+    fn consensus_confirms_dead_rank_and_shrinks() {
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(40));
+        let out = run(4, model, |r| {
+            if r.rank() == 3 {
+                return (0, 0, 0.0); // dead from the start
+            }
+            let flag = r.agree_max(0.0);
+            assert!(flag >= SUSPECT_FLAG);
+            let newly_dead = r.suspicion_consensus().expect("survivor side");
+            assert_eq!(r.live_ranks(), &[0, 1, 2]);
+            assert_eq!(r.epoch(), 1);
+            assert_eq!(r.liveness_stats().confirmed_dead, 1);
+            // Collectives keep working over the shrunken universe.
+            let s = r.allreduce_sum(r.rank() as f64);
+            (newly_dead, r.epoch(), s)
+        });
+        for (i, &(mask, epoch, s)) in out.iter().enumerate().take(3) {
+            assert_eq!(mask, 1 << 3, "rank {i} confirmed rank 3 dead");
+            assert_eq!(epoch, 1);
+            assert_eq!(s, 3.0, "post-shrink allreduce over ranks 0..3");
+        }
+    }
+
+    #[test]
+    fn consensus_without_suspicions_is_a_no_op() {
+        let out = run(3, NetworkModel::ideal(), |r| {
+            let newly_dead = r.suspicion_consensus().expect("all alive");
+            (newly_dead, r.epoch(), r.live_ranks().len())
+        });
+        for &(mask, epoch, nlive) in &out {
+            assert_eq!(mask, 0);
+            assert_eq!(epoch, 0);
+            assert_eq!(nlive, 3);
+        }
+    }
+
+    #[test]
+    fn lone_straggler_evicts_itself() {
+        // Rank 1 sleeps through the survivors' whole consensus window
+        // (a straggler that wakes *inside* the window defends itself and
+        // rejoins — that tolerance is tested implicitly by the sleep
+        // length needed here); ranks 0, 2, 3 shrink without it. When the
+        // straggler wakes it finds only silence and stale traffic and
+        // must self-evict rather than fork the run (split-brain guard).
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(40));
+        let out = run(4, model, |r| {
+            if r.rank() == 1 {
+                std::thread::sleep(Duration::from_millis(1200));
+                // The wake-up may still find the survivors' queued
+                // pre-shrink traffic; like the driver, keep cycling the
+                // agreement protocol until the silence is conclusive.
+                for _ in 0..4 {
+                    let flag = r.agree_max(0.0);
+                    if r.evicted().is_some() {
+                        return true;
+                    }
+                    if flag >= SUSPECT_FLAG
+                        && matches!(r.suspicion_consensus(), Err(CommError::Evicted { .. }))
+                    {
+                        return true;
+                    }
+                }
+                return false;
+            }
+            let flag = r.agree_max(0.0);
+            assert!(flag >= SUSPECT_FLAG);
+            let newly_dead = r.suspicion_consensus().expect("majority side");
+            assert_eq!(newly_dead, 1 << 1);
+            // Survivors continue on the new epoch.
+            let s = r.allreduce_sum(1.0);
+            assert_eq!(s, 3.0);
+            true
+        });
+        assert!(out.iter().all(|&b| b), "straggler self-evicted: {out:?}");
     }
 
     #[test]

@@ -27,6 +27,9 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"RHRSCCKP";
 const VERSION: u32 = 2;
+/// Version tag of the rank-count-independent global format (see
+/// [`GlobalCheckpoint`]).
+const GLOBAL_VERSION: u32 = 3;
 
 /// A restartable solver state.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +197,229 @@ pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     })
 }
 
+/// One block of a [`GlobalCheckpoint`]: an axis-aligned box of the global
+/// interior index space, keyed by the writing decomposition's block id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockRecord {
+    /// Block id in the decomposition that wrote the checkpoint.
+    pub id: u64,
+    /// Global index of the block's first interior cell, per axis.
+    pub offset: [usize; 3],
+    /// Interior extent of the block, per axis.
+    pub size: [usize; 3],
+    /// Interior cell data, component-major within the block
+    /// (`((c*nz + z)*ny + y)*nx + x`).
+    pub data: Vec<f64>,
+}
+
+/// Rank-count-independent checkpoint (format version 3): global interior
+/// state stored as blocks keyed by block id, each with its global offset
+/// and extent. Because every value is addressed in *global* index space,
+/// the state can be restored onto any decomposition — in particular onto
+/// fewer ranks after a shrinking recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalCheckpoint {
+    /// Simulation time.
+    pub time: f64,
+    /// Step counter.
+    pub step: u64,
+    /// Global interior extent.
+    pub global_n: [usize; 3],
+    /// Components per cell.
+    pub ncomp: usize,
+    /// The blocks, in writing-decomposition order.
+    pub blocks: Vec<BlockRecord>,
+}
+
+impl GlobalCheckpoint {
+    /// Extract the component-major data of the global interior span
+    /// `[lo, lo + size)` by intersecting whatever blocks cover it —
+    /// regardless of how the writing decomposition tiled the domain.
+    /// Returns `None` if any cell of the span is uncovered.
+    pub fn extract_span(&self, lo: [usize; 3], size: [usize; 3]) -> Option<Vec<f64>> {
+        let cells = size[0] * size[1] * size[2];
+        let mut out = vec![0.0f64; self.ncomp * cells];
+        let mut covered = vec![false; cells];
+        for b in &self.blocks {
+            let mut ilo = [0usize; 3];
+            let mut ihi = [0usize; 3];
+            let mut empty = false;
+            for d in 0..3 {
+                ilo[d] = lo[d].max(b.offset[d]);
+                ihi[d] = (lo[d] + size[d]).min(b.offset[d] + b.size[d]);
+                empty |= ilo[d] >= ihi[d];
+            }
+            if empty {
+                continue;
+            }
+            let bcells = b.size[0] * b.size[1] * b.size[2];
+            for c in 0..self.ncomp {
+                for z in ilo[2]..ihi[2] {
+                    for y in ilo[1]..ihi[1] {
+                        for x in ilo[0]..ihi[0] {
+                            let src = ((c * b.size[2] + (z - b.offset[2])) * b.size[1]
+                                + (y - b.offset[1]))
+                                * b.size[0]
+                                + (x - b.offset[0]);
+                            let dst = ((c * size[2] + (z - lo[2])) * size[1] + (y - lo[1]))
+                                * size[0]
+                                + (x - lo[0]);
+                            debug_assert!(
+                                src < b.data.len() && b.data.len() == self.ncomp * bcells
+                            );
+                            out[dst] = b.data[src];
+                            if c == 0 {
+                                covered[dst] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        covered.iter().all(|&c| c).then_some(out)
+    }
+}
+
+/// Serialize a global checkpoint to bytes (format version 3; same
+/// magic/FNV/CRC armor as the per-rank format).
+pub fn encode_global(ckp: &GlobalCheckpoint) -> Vec<u8> {
+    let payload: usize = ckp.blocks.iter().map(|b| 56 + b.data.len() * 8).sum();
+    let mut buf = BytesMut::with_capacity(80 + payload);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(GLOBAL_VERSION);
+    buf.put_f64_le(ckp.time);
+    buf.put_u64_le(ckp.step);
+    for d in 0..3 {
+        buf.put_u64_le(ckp.global_n[d] as u64);
+    }
+    buf.put_u64_le(ckp.ncomp as u64);
+    buf.put_u64_le(ckp.blocks.len() as u64);
+    let data_start = buf.len();
+    for b in &ckp.blocks {
+        buf.put_u64_le(b.id);
+        for d in 0..3 {
+            buf.put_u64_le(b.offset[d] as u64);
+        }
+        for d in 0..3 {
+            buf.put_u64_le(b.size[d] as u64);
+        }
+        for &v in &b.data {
+            buf.put_f64_le(v);
+        }
+    }
+    let fnv = fnv1a(&buf[data_start..]);
+    buf.put_u64_le(fnv);
+    let footer = crc32(&buf[..]);
+    buf.put_u32_le(footer);
+    buf.to_vec()
+}
+
+/// Deserialize a global checkpoint from bytes.
+pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> {
+    let orig = bytes;
+    let mut bytes = bytes;
+    if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
+        return Err(CheckpointError::Format("missing magic".into()));
+    }
+    bytes.advance(8);
+    let version = bytes.get_u32_le();
+    if version != GLOBAL_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported global version {version}"
+        )));
+    }
+    if bytes.remaining() < 12 + 3 * 8 + 2 * 8 + 12 {
+        return Err(CheckpointError::Format("truncated header".into()));
+    }
+    // Whole-file CRC first: a bit flip anywhere is fatal to a restart.
+    let footer_off = orig.len() - 4;
+    let stored = u32::from_le_bytes([
+        orig[footer_off],
+        orig[footer_off + 1],
+        orig[footer_off + 2],
+        orig[footer_off + 3],
+    ]);
+    if crc32(&orig[..footer_off]) != stored {
+        return Err(CheckpointError::Corrupt);
+    }
+    let time = bytes.get_f64_le();
+    let step = bytes.get_u64_le();
+    let mut global_n = [0usize; 3];
+    for d in &mut global_n {
+        *d = bytes.get_u64_le() as usize;
+    }
+    let ncomp = bytes.get_u64_le() as usize;
+    let nblocks = bytes.get_u64_le() as usize;
+    let data_len = bytes.remaining().saturating_sub(8 + 4);
+    let fnv_expected = fnv1a(&bytes[..data_len]);
+    let mut blocks = Vec::with_capacity(nblocks.min(4096));
+    for _ in 0..nblocks {
+        if bytes.remaining() < 56 + 8 + 4 {
+            return Err(CheckpointError::Format("truncated block header".into()));
+        }
+        let id = bytes.get_u64_le();
+        let mut offset = [0usize; 3];
+        for d in &mut offset {
+            *d = bytes.get_u64_le() as usize;
+        }
+        let mut size = [0usize; 3];
+        for d in &mut size {
+            *d = bytes.get_u64_le() as usize;
+        }
+        let len = ncomp
+            .checked_mul(size[0])
+            .and_then(|v| v.checked_mul(size[1]))
+            .and_then(|v| v.checked_mul(size[2]))
+            .ok_or_else(|| CheckpointError::Format("block size overflow".into()))?;
+        if bytes.remaining() < len * 8 + 8 + 4 {
+            return Err(CheckpointError::Format("truncated block data".into()));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(bytes.get_f64_le());
+        }
+        blocks.push(BlockRecord {
+            id,
+            offset,
+            size,
+            data,
+        });
+    }
+    if bytes.remaining() != 8 + 4 {
+        return Err(CheckpointError::Format("trailing bytes".into()));
+    }
+    if fnv_expected != bytes.get_u64_le() {
+        return Err(CheckpointError::Corrupt);
+    }
+    Ok(GlobalCheckpoint {
+        time,
+        step,
+        global_n,
+        ncomp,
+        blocks,
+    })
+}
+
+/// Write a global checkpoint file atomically (tmp + fsync + rename).
+pub fn save_global_checkpoint(path: &Path, ckp: &GlobalCheckpoint) -> Result<(), CheckpointError> {
+    let bytes = encode_global(ckp);
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a global checkpoint file.
+pub fn load_global_checkpoint(path: &Path) -> Result<GlobalCheckpoint, CheckpointError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode_global(&bytes)
+}
+
 /// Sibling temp path used for atomic writes (`state.ckp` → `state.ckp.tmp`).
 fn tmp_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
@@ -266,9 +492,58 @@ impl CheckpointSlots {
     /// otherwise `prev`. Returns the last error if both slots are missing
     /// or corrupt.
     pub fn load_newest(&self) -> Result<Checkpoint, CheckpointError> {
+        self.load_newest_with_fallback().map(|(ckp, _)| ckp)
+    }
+
+    /// Like [`load_newest`](Self::load_newest), but also reports whether
+    /// the `prev` slot had to be used because `latest` was missing, torn,
+    /// or corrupt — so callers can count the event in their metrics.
+    pub fn load_newest_with_fallback(&self) -> Result<(Checkpoint, bool), CheckpointError> {
         match load_checkpoint(&self.latest_path()) {
-            Ok(ckp) => Ok(ckp),
-            Err(_) => load_checkpoint(&self.prev_path()),
+            Ok(ckp) => Ok((ckp, false)),
+            Err(err) => {
+                let ckp = load_checkpoint(&self.prev_path())?;
+                eprintln!(
+                    "checkpoint: latest slot unusable ({err}), fell back to {}",
+                    self.prev_path().display()
+                );
+                Ok((ckp, true))
+            }
+        }
+    }
+
+    /// Path of the most recent *global* (rank-count-independent) slot.
+    pub fn global_latest_path(&self) -> PathBuf {
+        self.dir.join("latest.gckp")
+    }
+
+    /// Path of the previous-generation global slot.
+    pub fn global_prev_path(&self) -> PathBuf {
+        self.dir.join("prev.gckp")
+    }
+
+    /// Save a global checkpoint, rotating `latest.gckp` → `prev.gckp`.
+    pub fn save_global(&self, ckp: &GlobalCheckpoint) -> Result<(), CheckpointError> {
+        let latest = self.global_latest_path();
+        if latest.exists() {
+            std::fs::rename(&latest, self.global_prev_path())?;
+        }
+        save_global_checkpoint(&latest, ckp)
+    }
+
+    /// Load the newest valid global checkpoint, reporting whether the
+    /// `prev` slot was used.
+    pub fn load_newest_global(&self) -> Result<(GlobalCheckpoint, bool), CheckpointError> {
+        match load_global_checkpoint(&self.global_latest_path()) {
+            Ok(ckp) => Ok((ckp, false)),
+            Err(err) => {
+                let ckp = load_global_checkpoint(&self.global_prev_path())?;
+                eprintln!(
+                    "checkpoint: global latest slot unusable ({err}), fell back to {}",
+                    self.global_prev_path().display()
+                );
+                Ok((ckp, true))
+            }
         }
     }
 }
@@ -422,5 +697,168 @@ mod tests {
         let out = decode(&encode(&ckp)).unwrap();
         assert_eq!(out.field.raw(), ckp.field.raw());
         assert!(out.field.raw()[1].is_sign_negative());
+    }
+
+    #[test]
+    fn torn_write_mid_footer_falls_back_to_prev() {
+        // Simulate a crash that tore the write mid-footer: `latest` ends
+        // up truncated inside its CRC trailer. The fallback loader must
+        // recover `prev` and report that it did so.
+        let dir = std::env::temp_dir().join("rhrsc-ckp-torn-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let slots = CheckpointSlots::new(&dir).unwrap();
+        let mut a = sample();
+        a.step = 10;
+        slots.save(&a).unwrap();
+        let mut b = sample();
+        b.step = 11;
+        slots.save(&b).unwrap();
+
+        let bytes = std::fs::read(slots.latest_path()).unwrap();
+        std::fs::write(slots.latest_path(), &bytes[..bytes.len() - 2]).unwrap();
+
+        let (ckp, fell_back) = slots.load_newest_with_fallback().unwrap();
+        assert!(fell_back, "truncated latest must trigger prev fallback");
+        assert_eq!(ckp.step, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_corruption_falls_back_to_prev() {
+        // Distinct failure mode from truncation: the file has the right
+        // length but a flipped bit in the payload, caught by the CRC.
+        let dir = std::env::temp_dir().join("rhrsc-ckp-crcfall-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let slots = CheckpointSlots::new(&dir).unwrap();
+        let mut a = sample();
+        a.step = 20;
+        slots.save(&a).unwrap();
+        let mut b = sample();
+        b.step = 21;
+        slots.save(&b).unwrap();
+
+        let mut bytes = std::fs::read(slots.latest_path()).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x40;
+        std::fs::write(slots.latest_path(), &bytes).unwrap();
+
+        let (ckp, fell_back) = slots.load_newest_with_fallback().unwrap();
+        assert!(fell_back, "corrupt latest must trigger prev fallback");
+        assert_eq!(ckp.step, 20);
+        // The intact path must NOT report a fallback.
+        slots.save(&b).unwrap(); // rotates the corrupt file away
+        let (_, fell_back) = slots.load_newest_with_fallback().unwrap();
+        assert!(!fell_back);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A 2x2-block global checkpoint over a 6x4 interior, 3 components,
+    /// with data encoding the global cell coordinate so any re-tiling can
+    /// be verified cell by cell.
+    fn sample_global() -> GlobalCheckpoint {
+        let global_n = [6usize, 4, 1];
+        let ncomp = 3usize;
+        let val = |c: usize, x: usize, y: usize| (c * 1000 + y * 10 + x) as f64;
+        let mut blocks = Vec::new();
+        let xs = [(0usize, 3usize), (3, 3)];
+        let ys = [(0usize, 2usize), (2, 2)];
+        let mut id = 0u64;
+        for &(y0, ny) in &ys {
+            for &(x0, nx) in &xs {
+                let mut data = Vec::with_capacity(ncomp * nx * ny);
+                for c in 0..ncomp {
+                    for y in y0..y0 + ny {
+                        for x in x0..x0 + nx {
+                            data.push(val(c, x, y));
+                        }
+                    }
+                }
+                blocks.push(BlockRecord {
+                    id,
+                    offset: [x0, y0, 0],
+                    size: [nx, ny, 1],
+                    data,
+                });
+                id += 1;
+            }
+        }
+        GlobalCheckpoint {
+            time: 0.375,
+            step: 42,
+            global_n,
+            ncomp,
+            blocks,
+        }
+    }
+
+    #[test]
+    fn global_roundtrip_is_exact() {
+        let ckp = sample_global();
+        let out = decode_global(&encode_global(&ckp)).unwrap();
+        assert_eq!(out, ckp);
+    }
+
+    #[test]
+    fn global_detects_corruption_and_truncation() {
+        let ckp = sample_global();
+        let bytes = encode_global(&ckp);
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0xff;
+        assert!(matches!(decode_global(&bad), Err(CheckpointError::Corrupt)));
+        assert!(decode_global(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn four_block_checkpoint_restores_onto_three_ranks() {
+        // Written by a 4-rank (2x2) decomposition; restored onto a 3-rank
+        // (3x1) decomposition whose spans cut straight across the old
+        // block boundaries. Every cell must land where the global
+        // coordinate says it belongs.
+        let ckp = sample_global();
+        let ckp = decode_global(&encode_global(&ckp)).unwrap();
+        let val = |c: usize, x: usize, y: usize| (c * 1000 + y * 10 + x) as f64;
+        let spans = [
+            ([0usize, 0, 0], [2usize, 4, 1]),
+            ([2, 0, 0], [2, 4, 1]),
+            ([4, 0, 0], [2, 4, 1]),
+        ];
+        for (lo, size) in spans {
+            let data = ckp.extract_span(lo, size).expect("span must be covered");
+            assert_eq!(data.len(), ckp.ncomp * size[0] * size[1] * size[2]);
+            for c in 0..ckp.ncomp {
+                for y in 0..size[1] {
+                    for x in 0..size[0] {
+                        let got = data[(c * size[1] + y) * size[0] + x];
+                        assert_eq!(got, val(c, lo[0] + x, lo[1] + y));
+                    }
+                }
+            }
+        }
+        // A span poking outside the covered region must report a gap.
+        assert!(ckp.extract_span([4, 0, 0], [3, 4, 1]).is_none());
+    }
+
+    #[test]
+    fn global_slots_rotate_and_fall_back() {
+        let dir = std::env::temp_dir().join("rhrsc-gckp-slots-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let slots = CheckpointSlots::new(&dir).unwrap();
+        assert!(slots.load_newest_global().is_err());
+
+        let mut a = sample_global();
+        a.step = 1;
+        slots.save_global(&a).unwrap();
+        let mut b = sample_global();
+        b.step = 2;
+        slots.save_global(&b).unwrap();
+        let (got, fell_back) = slots.load_newest_global().unwrap();
+        assert_eq!((got.step, fell_back), (2, false));
+
+        // Torn latest → prev generation with a fallback report.
+        let bytes = std::fs::read(slots.global_latest_path()).unwrap();
+        std::fs::write(slots.global_latest_path(), &bytes[..bytes.len() - 1]).unwrap();
+        let (got, fell_back) = slots.load_newest_global().unwrap();
+        assert_eq!((got.step, fell_back), (1, true));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

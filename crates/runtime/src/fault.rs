@@ -31,6 +31,14 @@ pub struct FaultPlan {
     /// Probability per step that one cell of the evolved state is
     /// corrupted (models recovery breakdown; exercised by the cascade).
     pub cell_poison_prob: f64,
+    /// Rank that crashes (stops sending and never answers again), if any.
+    pub crash_rank: Option<usize>,
+    /// Step at which [`FaultPlan::crash_rank`] dies.
+    pub crash_step: u64,
+    /// Straggler rank whose modeled work/comm time is multiplied, if any.
+    pub stall_rank: Option<usize>,
+    /// Slowdown multiplier applied to the straggler (`> 1.0` slows it).
+    pub stall_factor: f64,
 }
 
 impl FaultPlan {
@@ -44,6 +52,10 @@ impl FaultPlan {
             launch_fail_prob: 0.0,
             copy_fail_prob: 0.0,
             cell_poison_prob: 0.0,
+            crash_rank: None,
+            crash_step: 0,
+            stall_rank: None,
+            stall_factor: 1.0,
         }
     }
 
@@ -54,6 +66,8 @@ impl FaultPlan {
             || self.launch_fail_prob > 0.0
             || self.copy_fail_prob > 0.0
             || self.cell_poison_prob > 0.0
+            || self.crash_rank.is_some()
+            || (self.stall_rank.is_some() && self.stall_factor != 1.0)
     }
 }
 
@@ -70,6 +84,10 @@ pub struct FaultStats {
     pub copies_failed: u64,
     /// Cells poisoned.
     pub cells_poisoned: u64,
+    /// Rank crashes fired (at most one per injector).
+    pub ranks_crashed: u64,
+    /// Stall multipliers applied to straggler work/comm sections.
+    pub stall_events: u64,
 }
 
 /// Independent draw sites, so adding one fault class never perturbs the
@@ -81,9 +99,10 @@ enum Site {
     Launch = 2,
     Copy = 3,
     Poison = 4,
+    Retry = 5,
 }
 
-const NSITES: usize = 5;
+const NSITES: usize = 6;
 
 /// Thread-safe deterministic fault source. Each holder (rank, device)
 /// gets its own injector salted by its identity; draws advance a per-site
@@ -99,6 +118,8 @@ pub struct FaultInjector {
     launches: AtomicU64,
     copies: AtomicU64,
     poisoned: AtomicU64,
+    crashed: AtomicU64,
+    stalled: AtomicU64,
 }
 
 /// splitmix64: cheap, high-quality 64-bit mixing.
@@ -122,6 +143,8 @@ impl FaultInjector {
             launches: AtomicU64::new(0),
             copies: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
+            stalled: AtomicU64::new(0),
         }
     }
 
@@ -182,6 +205,15 @@ impl FaultInjector {
         hit
     }
 
+    /// Is a modeled link-level *retransmit* of a damaged halo payload
+    /// damaged again? Draws from its own site (so enabling the retry tier
+    /// never shifts the original truncation stream) against the same
+    /// per-message damage probability, and does **not** bump the
+    /// truncation counter — retransmits are accounted by the comm layer.
+    pub fn should_corrupt_retry(&self) -> bool {
+        self.draw(Site::Retry) < self.plan.msg_truncate_prob
+    }
+
     /// Should a cell be poisoned this step? Returns a deterministic index
     /// selector in `[0, 2^32)` for the caller to pick the victim cell.
     pub fn should_poison_cell(&self) -> Option<u64> {
@@ -196,6 +228,32 @@ impl FaultInjector {
         }
     }
 
+    /// Should `rank` crash at `step`? Rank-level faults are *scheduled*
+    /// rather than probabilistic — "rank r dies at step s" — so the
+    /// predicate is a pure function of the plan and consumes no draws
+    /// (the existing per-site streams are untouched). Fires on every call
+    /// at or past the crash step; the first hit is counted.
+    pub fn should_crash_rank(&self, rank: usize, step: u64) -> bool {
+        let hit = self.plan.crash_rank == Some(rank) && step >= self.plan.crash_step;
+        if hit && step == self.plan.crash_step {
+            self.crashed.store(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Work/comm-time multiplier for `rank` if it is the configured
+    /// straggler (`None` for healthy ranks). Like
+    /// [`FaultInjector::should_crash_rank`] this is scheduled, not drawn,
+    /// so it cannot perturb the probabilistic streams.
+    pub fn should_stall_rank(&self, rank: usize) -> Option<f64> {
+        if self.plan.stall_rank == Some(rank) && self.plan.stall_factor != 1.0 {
+            self.stalled.fetch_add(1, Ordering::Relaxed);
+            Some(self.plan.stall_factor)
+        } else {
+            None
+        }
+    }
+
     /// Snapshot of the injected-fault counters.
     pub fn stats(&self) -> FaultStats {
         FaultStats {
@@ -204,6 +262,8 @@ impl FaultInjector {
             launches_failed: self.launches.load(Ordering::Relaxed),
             copies_failed: self.copies.load(Ordering::Relaxed),
             cells_poisoned: self.poisoned.load(Ordering::Relaxed),
+            ranks_crashed: self.crashed.load(Ordering::Relaxed),
+            stall_events: self.stalled.load(Ordering::Relaxed),
         }
     }
 }
@@ -221,6 +281,7 @@ mod tests {
             launch_fail_prob: 0.25,
             copy_fail_prob: 0.25,
             cell_poison_prob: 0.25,
+            ..FaultPlan::disabled()
         }
     }
 
@@ -280,6 +341,63 @@ mod tests {
         }
         assert_eq!(inj.stats(), FaultStats::default());
         assert!(!FaultPlan::disabled().is_active());
+    }
+
+    #[test]
+    fn rank_crash_fires_at_chosen_step_only_for_victim() {
+        let p = FaultPlan {
+            crash_rank: Some(2),
+            crash_step: 5,
+            ..FaultPlan::disabled()
+        };
+        assert!(p.is_active());
+        let inj = FaultInjector::new(p, 2);
+        assert!(!inj.should_crash_rank(2, 4));
+        assert!(!inj.should_crash_rank(0, 5));
+        assert!(inj.should_crash_rank(2, 5));
+        assert!(
+            inj.should_crash_rank(2, 9),
+            "stays dead after the crash step"
+        );
+        assert_eq!(inj.stats().ranks_crashed, 1);
+    }
+
+    #[test]
+    fn stall_applies_only_to_straggler() {
+        let p = FaultPlan {
+            stall_rank: Some(1),
+            stall_factor: 3.0,
+            ..FaultPlan::disabled()
+        };
+        assert!(p.is_active());
+        let inj = FaultInjector::new(p, 1);
+        assert_eq!(inj.should_stall_rank(0), None);
+        assert_eq!(inj.should_stall_rank(1), Some(3.0));
+        assert_eq!(inj.should_stall_rank(1), Some(3.0));
+        assert_eq!(inj.stats().stall_events, 2);
+        // A unit factor is a no-op and keeps the plan inactive.
+        let noop = FaultPlan {
+            stall_rank: Some(1),
+            ..FaultPlan::disabled()
+        };
+        assert!(!noop.is_active());
+    }
+
+    #[test]
+    fn rank_level_sites_do_not_perturb_draw_streams() {
+        let mut with_rank_faults = plan(7);
+        with_rank_faults.crash_rank = Some(3);
+        with_rank_faults.crash_step = 2;
+        with_rank_faults.stall_rank = Some(1);
+        with_rank_faults.stall_factor = 4.0;
+        let a = FaultInjector::new(plan(7), 0);
+        let b = FaultInjector::new(with_rank_faults, 0);
+        for step in 0..64 {
+            let _ = b.should_crash_rank(3, step);
+            let _ = b.should_stall_rank(1);
+            assert_eq!(a.should_truncate_msg(), b.should_truncate_msg());
+            assert_eq!(a.should_fail_launch(), b.should_fail_launch());
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
 pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use future::{promise, Future, Promise};
 pub use metrics::{Counter, HistSnapshot, Histogram, PhaseTimer, Registry, Snapshot};
-pub use pool::WorkStealingPool;
+pub use pool::{await_job, await_job_for, pool_timeout, WorkStealingPool};
 pub use sched::{plan_static, plan_weighted, Policy};
 
 use std::time::{Duration, Instant};

@@ -19,6 +19,37 @@ use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Deadline for waiting on pool futures in tests and drivers. Defaults to
+/// 5 s; override with `RHRSC_POOL_TIMEOUT_MS` (e.g. on loaded CI machines
+/// or under heavy sanitizer slowdowns).
+pub fn pool_timeout() -> Duration {
+    let ms = std::env::var("RHRSC_POOL_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(5_000);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Wait for a pool future up to [`pool_timeout`].
+///
+/// # Panics
+/// Panics with a message naming the stuck `job` if the deadline expires —
+/// a hung worker should fail loudly and identifiably, not block forever.
+pub fn await_job<T>(fut: Future<T>, job: &str) -> T {
+    await_job_for(fut, job, pool_timeout())
+}
+
+/// [`await_job`] with an explicit deadline.
+pub fn await_job_for<T>(fut: Future<T>, job: &str, d: Duration) -> T {
+    match fut.get_timeout(d) {
+        Ok(v) => v,
+        Err(_) => panic!(
+            "pool job '{job}' produced no result within {d:?} \
+             (tune with RHRSC_POOL_TIMEOUT_MS): worker hung or deadlocked"
+        ),
+    }
+}
+
 struct Shared {
     injector: Injector<Job>,
     stealers: Vec<Stealer<Job>>,
@@ -367,13 +398,12 @@ mod tests {
         // re-raising the panic message in the waiter.
         let pool = WorkStealingPool::new(2);
         let f = pool.spawn(|| -> i32 { panic!("boom-spawn") });
-        match catch_unwind(AssertUnwindSafe(move || {
-            f.get_timeout(Duration::from_secs(5))
-        })) {
-            Ok(Ok(v)) => panic!("panicking job produced a value: {v}"),
-            Ok(Err(_)) => panic!("future still pending after 5 s: spawn hang regression"),
+        match catch_unwind(AssertUnwindSafe(move || await_job(f, "panicking-spawn"))) {
+            Ok(v) => panic!("panicking job produced a value: {v}"),
             Err(e) => {
                 let msg = panic_msg(e);
+                // Either the re-raised job panic (expected) or, on a hang
+                // regression, the await_job deadline naming the job.
                 assert!(msg.contains("boom-spawn"), "{msg}");
             }
         }
@@ -438,5 +468,32 @@ mod tests {
             inner.into_iter().map(|f| f.get()).sum::<i32>()
         });
         assert_eq!(f.get(), 36);
+    }
+
+    #[test]
+    fn await_job_names_the_stuck_job() {
+        // A future whose promise is parked and never set: the deadline
+        // must fire with an error that says *which* job hung.
+        let (_p, fut) = promise::<i32>();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            await_job_for(fut, "halo-unpack[rank 3]", Duration::from_millis(20))
+        }));
+        let msg = panic_msg(r.unwrap_err());
+        assert!(msg.contains("halo-unpack[rank 3]"), "{msg}");
+        assert!(msg.contains("RHRSC_POOL_TIMEOUT_MS"), "{msg}");
+    }
+
+    #[test]
+    fn pool_timeout_reads_env_override() {
+        std::env::set_var("RHRSC_POOL_TIMEOUT_MS", "1234");
+        let d = pool_timeout();
+        std::env::remove_var("RHRSC_POOL_TIMEOUT_MS");
+        assert_eq!(d, Duration::from_millis(1234));
+        // Unset (or garbage) falls back to the 5 s default.
+        std::env::set_var("RHRSC_POOL_TIMEOUT_MS", "not-a-number");
+        let d = pool_timeout();
+        std::env::remove_var("RHRSC_POOL_TIMEOUT_MS");
+        assert_eq!(d, Duration::from_secs(5));
+        assert_eq!(pool_timeout(), Duration::from_secs(5));
     }
 }

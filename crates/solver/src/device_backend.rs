@@ -11,8 +11,102 @@
 use crate::integrate::{PatchSolver, RkOrder};
 use crate::scheme::{max_dt, recover_prims, Scheme};
 use rhrsc_grid::{BcSet, Field, PatchGeom};
-use rhrsc_runtime::{Accelerator, AcceleratorConfig, BufId, Future};
+use rhrsc_runtime::{Accelerator, AcceleratorConfig, BufId, Future, Registry};
 use rhrsc_srhd::NCOMP;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Thresholds of the device circuit breaker (see
+/// [`DevicePatchSolver::set_breaker`]).
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding window of recent device operations inspected for faults.
+    pub window: usize,
+    /// Faulted operations within the window that trip the breaker open.
+    pub threshold: usize,
+    /// Host-routed steps served while open before a half-open probe
+    /// re-tests the device.
+    pub cooldown: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 8,
+            threshold: 3,
+            cooldown: 4,
+        }
+    }
+}
+
+/// Circuit-breaker state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: work routes to the device, fault outcomes are windowed.
+    Closed,
+    /// Quarantined: work routes to the host pool for `cooldown` steps.
+    Open,
+    /// Probing: the next step runs on the device; success re-admits it,
+    /// a fault re-opens the quarantine.
+    HalfOpen,
+}
+
+/// Counters of the device circuit breaker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BreakerStats {
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Half-open probe steps executed on the device.
+    pub probes: u64,
+    /// Probes that succeeded and closed the breaker again.
+    pub readmissions: u64,
+    /// Steps served by the host fallback while the device was open.
+    pub host_steps: u64,
+    /// Faulted device operations observed (window + probes).
+    pub device_failures: u64,
+}
+
+struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    window: VecDeque<bool>,
+    cooldown_left: usize,
+    stats: BreakerStats,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            cooldown_left: 0,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    /// Window a closed-state operation outcome; returns `true` when this
+    /// outcome trips the breaker open.
+    fn record(&mut self, failed: bool) -> bool {
+        if failed {
+            self.stats.device_failures += 1;
+        }
+        self.window.push_back(failed);
+        if self.window.len() > self.cfg.window.max(1) {
+            self.window.pop_front();
+        }
+        let failures = self.window.iter().filter(|&&f| f).count();
+        if failures >= self.cfg.threshold.max(1) {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cfg.cooldown.max(1);
+            self.window.clear();
+            self.stats.trips += 1;
+            return true;
+        }
+        false
+    }
+}
 
 /// A patch solver that executes on a simulated accelerator.
 pub struct DevicePatchSolver {
@@ -22,6 +116,8 @@ pub struct DevicePatchSolver {
     rk: RkOrder,
     geom: PatchGeom,
     buf_u: BufId,
+    breaker: Option<RefCell<Breaker>>,
+    metrics: RefCell<Option<Arc<Registry>>>,
 }
 
 impl DevicePatchSolver {
@@ -44,6 +140,8 @@ impl DevicePatchSolver {
             rk,
             geom,
             buf_u,
+            breaker: None,
+            metrics: RefCell::new(None),
         }
     }
 
@@ -70,7 +168,34 @@ impl DevicePatchSolver {
     /// `phase.dev.*` histograms and `dev.*.bytes` counters (see
     /// [`rhrsc_runtime::Accelerator::set_metrics`]).
     pub fn set_metrics(&self, metrics: std::sync::Arc<rhrsc_runtime::Registry>) {
-        self.dev.set_metrics(metrics);
+        self.dev.set_metrics(metrics.clone());
+        *self.metrics.borrow_mut() = Some(metrics);
+    }
+
+    /// Arm the device circuit breaker: once `cfg.threshold` of the last
+    /// `cfg.window` device operations fault, [`advance_to`] quarantines the
+    /// device and routes steps through the host pool; after `cfg.cooldown`
+    /// host steps a half-open probe re-tests the device and re-admits it on
+    /// success. Results stay bit-identical either way (the kernels are the
+    /// same host functions) — only routing, cost and counters change.
+    ///
+    /// [`advance_to`]: DevicePatchSolver::advance_to
+    pub fn set_breaker(&mut self, cfg: BreakerConfig) {
+        self.breaker = Some(RefCell::new(Breaker::new(cfg)));
+    }
+
+    /// Current breaker position, if [`set_breaker`] was called.
+    ///
+    /// [`set_breaker`]: DevicePatchSolver::set_breaker
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.borrow().state)
+    }
+
+    /// Breaker counters, if [`set_breaker`] was called.
+    ///
+    /// [`set_breaker`]: DevicePatchSolver::set_breaker
+    pub fn breaker_stats(&self) -> Option<BreakerStats> {
+        self.breaker.as_ref().map(|b| b.borrow().stats)
     }
 
     /// Modeled device time consumed so far (see
@@ -132,21 +257,148 @@ impl DevicePatchSolver {
     /// returns the number of steps. Kernel launches pipeline; only the Δt
     /// reduction synchronizes with the host (as in a real GPU code that
     /// reduces dt on-device and copies one scalar back).
+    ///
+    /// With a breaker armed (see [`set_breaker`]) each step's fault outcome
+    /// is sampled; a tripped breaker downloads the state once and serves
+    /// steps from the host pool until a half-open probe re-admits the
+    /// device. The state is back on the device when this returns.
+    ///
+    /// [`set_breaker`]: DevicePatchSolver::set_breaker
     pub fn advance_to(&self, t: f64, t_end: f64, cfl: f64) -> usize {
         let mut t = t;
         let mut steps = 0;
-        while t < t_end - 1e-14 {
-            let mut dt = self.stable_dt(cfl);
-            assert!(dt > 1e-14, "time step collapsed on device: {dt}");
-            if t + dt > t_end {
-                dt = t_end - t;
+        let Some(breaker) = &self.breaker else {
+            while t < t_end - 1e-14 {
+                let mut dt = self.stable_dt(cfl);
+                assert!(dt > 1e-14, "time step collapsed on device: {dt}");
+                if t + dt > t_end {
+                    dt = t_end - t;
+                }
+                self.enqueue_step(dt);
+                t += dt;
+                steps += 1;
             }
-            self.enqueue_step(dt);
-            t += dt;
-            steps += 1;
+            self.dev.sync();
+            return steps;
+        };
+
+        // Host-side quarantine state: populated on trip, drained on probe.
+        let mut host_u: Option<Field> = None;
+        let mut host_solver: Option<PatchSolver> = None;
+        while t < t_end - 1e-14 {
+            let state = breaker.borrow().state;
+            match state {
+                BreakerState::Open => {
+                    let u = host_u.get_or_insert_with(|| self.download_after_sync());
+                    let solver = host_solver.get_or_insert_with(|| {
+                        PatchSolver::new(self.scheme, self.bcs, self.rk, self.geom)
+                    });
+                    let mut dt = self.host_stable_dt(u, cfl);
+                    assert!(dt > 1e-14, "time step collapsed on host fallback: {dt}");
+                    if t + dt > t_end {
+                        dt = t_end - t;
+                    }
+                    solver.step(u, dt, None).expect("host fallback step failed");
+                    t += dt;
+                    steps += 1;
+                    let mut b = breaker.borrow_mut();
+                    b.stats.host_steps += 1;
+                    if b.cooldown_left > 0 {
+                        b.cooldown_left -= 1;
+                    }
+                    if b.cooldown_left == 0 {
+                        b.state = BreakerState::HalfOpen;
+                    }
+                    drop(b);
+                    self.bump("dev.breaker.host_steps", 1);
+                }
+                BreakerState::HalfOpen => {
+                    if let Some(u) = host_u.take() {
+                        self.upload(&u).get();
+                    }
+                    let before = self.op_failures();
+                    let mut dt = self.stable_dt(cfl);
+                    assert!(dt > 1e-14, "time step collapsed on device: {dt}");
+                    if t + dt > t_end {
+                        dt = t_end - t;
+                    }
+                    self.enqueue_step(dt);
+                    t += dt;
+                    steps += 1;
+                    let failed = self.op_failures() > before;
+                    let mut b = breaker.borrow_mut();
+                    b.stats.probes += 1;
+                    if failed {
+                        b.stats.device_failures += 1;
+                        b.state = BreakerState::Open;
+                        b.cooldown_left = b.cfg.cooldown.max(1);
+                        drop(b);
+                        self.bump("dev.breaker.probe_failures", 1);
+                    } else {
+                        b.state = BreakerState::Closed;
+                        b.window.clear();
+                        b.stats.readmissions += 1;
+                        drop(b);
+                        self.bump("dev.breaker.readmissions", 1);
+                    }
+                }
+                BreakerState::Closed => {
+                    if let Some(u) = host_u.take() {
+                        self.upload(&u).get();
+                    }
+                    let before = self.op_failures();
+                    let mut dt = self.stable_dt(cfl);
+                    assert!(dt > 1e-14, "time step collapsed on device: {dt}");
+                    if t + dt > t_end {
+                        dt = t_end - t;
+                    }
+                    self.enqueue_step(dt);
+                    t += dt;
+                    steps += 1;
+                    let failed = self.op_failures() > before;
+                    if breaker.borrow_mut().record(failed) {
+                        self.bump("dev.breaker.trips", 1);
+                    }
+                }
+            }
+        }
+        // Leave the state device-resident regardless of where the last
+        // step ran, so callers' download() contract is unchanged.
+        if let Some(u) = host_u.take() {
+            self.upload(&u).get();
         }
         self.dev.sync();
         steps
+    }
+
+    /// Drain the queue, then download — used when the breaker trips with
+    /// enqueued work still in flight.
+    fn download_after_sync(&self) -> Field {
+        self.dev.sync();
+        self.download()
+    }
+
+    /// Host replica of the `stable_dt` kernel (ghost fill + primitive
+    /// recovery + CFL reduction), applied to the quarantine copy so the dt
+    /// sequence is identical to the device path.
+    fn host_stable_dt(&self, u: &mut Field, cfl: f64) -> f64 {
+        rhrsc_grid::fill_ghosts(u, &self.bcs);
+        let mut prim = Field::new(self.geom, 5);
+        recover_prims(&self.scheme, u, &mut prim).expect("host recovery failed");
+        max_dt(&self.scheme, &prim, cfl)
+    }
+
+    /// Launch + copy fault count drawn so far (injector deltas around an
+    /// operation reveal whether it faulted — draws happen at enqueue time).
+    fn op_failures(&self) -> u64 {
+        self.fault_stats()
+            .map_or(0, |s| s.launches_failed + s.copies_failed)
+    }
+
+    fn bump(&self, name: &str, n: u64) {
+        if let Some(m) = self.metrics.borrow().as_ref() {
+            m.counter(name).add(n);
+        }
     }
 }
 
@@ -239,6 +491,64 @@ mod tests {
             }
             assert_eq!(dev.download().raw(), u0.raw());
         }
+    }
+
+    #[test]
+    fn breaker_quarantines_faulty_device_and_readmits_after_recovery() {
+        use rhrsc_runtime::{FaultInjector, FaultPlan};
+
+        let prob = Problem::sod();
+        let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+        let geom = PatchGeom::line(48, 0.0, 1.0, 3);
+        let u0 = init_cons(geom, &prob.eos, &|x| (prob.ic)(x));
+
+        // Host reference over the full window.
+        let mut u_ref = u0.clone();
+        let mut host = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk2, geom);
+        host.advance_to(&mut u_ref, 0.0, 0.04, 0.4, None).unwrap();
+        host.advance_to(&mut u_ref, 0.04, 0.08, 0.4, None).unwrap();
+
+        let mut dev = DevicePatchSolver::new(fast_cfg(2), scheme, prob.bcs, RkOrder::Rk2, geom);
+        dev.set_breaker(BreakerConfig {
+            window: 4,
+            threshold: 2,
+            cooldown: 2,
+        });
+        // Every launch faults: the breaker must trip and quarantine the
+        // device behind host-pool routing (probes keep failing, so it
+        // stays quarantined).
+        let plan = FaultPlan {
+            launch_fail_prob: 1.0,
+            ..FaultPlan::disabled()
+        };
+        dev.set_fault_injector(std::sync::Arc::new(FaultInjector::new(plan, 0)));
+        dev.upload(&u0).get();
+        dev.advance_to(0.0, 0.04, 0.4);
+
+        let stats = dev.breaker_stats().unwrap();
+        assert!(stats.trips >= 1, "breaker never tripped: {stats:?}");
+        assert!(stats.host_steps > 0, "no host fallback steps: {stats:?}");
+        assert_eq!(stats.readmissions, 0, "faulty device was re-admitted");
+
+        // Device "repaired": probes now succeed, the breaker half-opens
+        // and re-admits it, and the run stays bit-identical throughout.
+        dev.set_fault_injector(std::sync::Arc::new(FaultInjector::new(
+            FaultPlan::disabled(),
+            0,
+        )));
+        dev.advance_to(0.04, 0.08, 0.4);
+
+        let stats = dev.breaker_stats().unwrap();
+        assert!(
+            stats.readmissions >= 1,
+            "probe never re-admitted: {stats:?}"
+        );
+        assert_eq!(dev.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(
+            dev.download().raw(),
+            u_ref.raw(),
+            "breaker routing must stay bit-identical to the host path"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod scheme;
 pub mod smr;
 pub mod step;
 
+pub use device_backend::{BreakerConfig, BreakerState, BreakerStats, DevicePatchSolver};
 pub use driver::{ResilienceConfig, ResilienceStats};
 pub use integrate::{PatchSolver, RkOrder};
 pub use scheme::{RecoveryPolicy, RecoveryStats, Scheme, SolverError};

@@ -115,6 +115,27 @@ pub enum SolverError {
         /// Human-readable cause.
         msg: String,
     },
+    /// A halo payload failed its CRC check (corrupted in flight beyond
+    /// what sender-side retransmission repaired). Recoverable like
+    /// [`SolverError::HaloMismatch`]: roll back and retry the step.
+    HaloCorrupt {
+        /// Communicator rank the corrupt payload came from.
+        from: usize,
+    },
+    /// A peer rank went silent past the liveness deadline (or sent an
+    /// unrepairable payload). Recoverable: the driver runs a suspicion
+    /// consensus and either retries (false alarm) or shrinks onto the
+    /// survivors.
+    PeerSuspect {
+        /// Communicator rank of the suspected peer.
+        rank: usize,
+    },
+    /// This rank was injected with (or detected) a fatal rank-level fault
+    /// and must stop participating; survivors will evict it.
+    RankFailed {
+        /// The step at which the failure fired.
+        step: u64,
+    },
 }
 
 impl std::fmt::Display for SolverError {
@@ -131,6 +152,15 @@ impl std::fmt::Display for SolverError {
                 )
             }
             SolverError::Checkpoint { msg } => write!(f, "checkpoint failure: {msg}"),
+            SolverError::HaloCorrupt { from } => {
+                write!(f, "halo payload from rank {from} failed its CRC check")
+            }
+            SolverError::PeerSuspect { rank } => {
+                write!(f, "peer rank {rank} suspected dead (liveness deadline)")
+            }
+            SolverError::RankFailed { step } => {
+                write!(f, "rank failed at step {step}")
+            }
         }
     }
 }

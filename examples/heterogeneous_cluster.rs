@@ -39,7 +39,7 @@ fn main() {
     let model = NetworkModel {
         latency: Duration::from_micros(5),
         bandwidth: 10e9,
-        virtual_time: false,
+        ..NetworkModel::ideal()
     };
     for mode in [ExchangeMode::BulkSynchronous, ExchangeMode::Overlap] {
         let cfg = DistConfig {

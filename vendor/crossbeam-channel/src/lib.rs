@@ -3,7 +3,7 @@
 
 use std::sync::mpsc;
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
 /// Sending half (shim for `crossbeam_channel::Sender`).
 pub struct Sender<T>(mpsc::Sender<T>);
@@ -30,6 +30,10 @@ impl<T> Receiver<T> {
 
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         self.0.try_recv()
+    }
+
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
     }
 }
 
