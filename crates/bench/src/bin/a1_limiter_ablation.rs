@@ -9,13 +9,15 @@
 //! MC sharpest of the TVD limiters; PPM/CENO3 better than all PLM
 //! variants on these problems.
 
-use rhrsc_bench::{sci, Table};
+use rhrsc_bench::{print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_grid::PatchGeom;
+use rhrsc_runtime::Registry;
 use rhrsc_solver::diag::l1_density_error;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::init_cons;
 use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
 use rhrsc_srhd::recon::{Limiter, Recon};
+use std::time::Instant;
 
 /// Total-variation overshoot: TV(numerical) − TV(exact), positive when
 /// the scheme rings.
@@ -42,8 +44,11 @@ fn tv_excess(prim: &rhrsc_grid::Field, prob: &Problem) -> f64 {
 }
 
 fn main() {
-    println!("# A1: slope-limiter ablation, N = 400, hllc + rk3");
-    let n = 400;
+    let opts = BenchOpts::from_args();
+    let n = if opts.toy { 100 } else { 400 };
+    println!("# A1: slope-limiter ablation, N = {n}, hllc + rk3");
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
     let recons = [
         Recon::Plm(Limiter::Minmod),
         Recon::Plm(Limiter::VanLeer),
@@ -61,9 +66,12 @@ fn main() {
             let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
             let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
             let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
+            let t0 = Instant::now();
             solver
                 .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
                 .unwrap();
+            reg.histogram("phase.advance")
+                .record(t0.elapsed().as_nanos() as u64);
             let exact = prob.exact.clone().unwrap();
             let (l1, prim) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
             table.row(&[
@@ -76,4 +84,15 @@ fn main() {
     }
     table.print();
     table.save_csv("a1_limiter_ablation");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("a1_limiter_ablation", &snap);
+    }
+    RunReport::new("a1_limiter_ablation")
+        .config_str("problem", "sod + blast1, hllc + rk3")
+        .config_num("n", n as f64)
+        .config_num("configs", (2 * recons.len()) as f64)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .write(&snap);
 }

@@ -9,16 +9,21 @@
 //! nearly the same error (shock-limited), so RK2 is the cost-effective
 //! choice there.
 
-use rhrsc_bench::{sci, Table};
+use rhrsc_bench::{print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_grid::PatchGeom;
+use rhrsc_runtime::Registry;
 use rhrsc_solver::diag::l1_density_error;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::init_cons;
 use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
+use std::time::Instant;
 
 fn main() {
-    println!("# A2: Runge-Kutta order ablation, ppm + hllc, N = 256");
-    let n = 256;
+    let opts = BenchOpts::from_args();
+    let n = if opts.toy { 64 } else { 256 };
+    println!("# A2: Runge-Kutta order ablation, ppm + hllc, N = {n}");
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
     let mut table = Table::new(&["problem", "rk", "cfl", "L1(rho)", "zone_updates"]);
     for (prob, t_end) in [
         (Problem::density_wave(0.5, 0.3), 0.8),
@@ -36,7 +41,11 @@ fn main() {
             let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
             let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
             let mut solver = PatchSolver::new(scheme, prob.bcs, rk, geom);
-            match solver.advance_to(&mut u, 0.0, t_end, cfl, None) {
+            let t0 = Instant::now();
+            let outcome = solver.advance_to(&mut u, 0.0, t_end, cfl, None);
+            reg.histogram("phase.advance")
+                .record(t0.elapsed().as_nanos() as u64);
+            match outcome {
                 Ok(_) => {
                     let exact = prob.exact.clone().unwrap();
                     let (l1, _) = l1_density_error(&scheme, &u, &exact, t_end).unwrap();
@@ -62,4 +71,14 @@ fn main() {
     }
     table.print();
     table.save_csv("a2_rk_ablation");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("a2_rk_ablation", &snap);
+    }
+    RunReport::new("a2_rk_ablation")
+        .config_str("problem", "density-wave + sod, ppm + hllc")
+        .config_num("n", n as f64)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .write(&snap);
 }

@@ -9,13 +9,14 @@
 //! diminishing returns once halo costs dominate; the cached-Δt safety
 //! factor costs ~10% more steps at large k (also reported).
 
-use rhrsc_bench::Table;
+use rhrsc_bench::{print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::Registry;
 use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
 use rhrsc_solver::{RkOrder, Scheme};
 use rhrsc_srhd::Prim;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn ic(x: [f64; 3]) -> Prim {
     let r2 = (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2);
@@ -23,9 +24,19 @@ fn ic(x: [f64; 3]) -> Prim {
 }
 
 fn main() {
-    println!("# A3: dt-allreduce amortization, 8 ranks, 128x128/rank, 1ms latency, 20 steps");
+    let opts = BenchOpts::from_args();
+    let (global_n, nsteps, reps) = if opts.toy {
+        ([128usize, 64, 1], 8usize, 1usize)
+    } else {
+        ([512, 256, 1], 20, 3)
+    };
+    println!(
+        "# A3: dt-allreduce amortization, 8 ranks, {}x{} global, 1ms latency, {nsteps} steps",
+        global_n[0], global_n[1]
+    );
     let model = NetworkModel::virtual_cluster(Duration::from_millis(1), 10e9);
-    let nsteps = 20;
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
 
     let mut table = Table::new(&["refresh_every", "makespan_s", "speedup_vs_1"]);
     let mut base = None;
@@ -37,7 +48,7 @@ fn main() {
         let cfg = DistConfig {
             scheme: Scheme::default_with_gamma(5.0 / 3.0),
             rk: RkOrder::Rk2,
-            global_n: [512, 256, 1],
+            global_n,
             domain: ([0.0; 3], [1.0, 1.0, 1.0]),
             decomp,
             bcs: bc::uniform(Bc::Periodic),
@@ -46,16 +57,21 @@ fn main() {
             gang_threads: 0,
             dt_refresh_interval: refresh,
         };
-        // Best-of-3 against CPU-token measurement noise.
+        // Best-of-N against CPU-token measurement noise.
         let mut makespan = f64::INFINITY;
-        for _ in 0..3 {
+        for _ in 0..reps {
+            let t0 = Instant::now();
             let stats = run(8, model, |rank| {
                 let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
                 solver.advance_steps(rank, &mut u, nsteps).unwrap()
             });
+            reg.histogram("phase.advance")
+                .record(t0.elapsed().as_nanos() as u64);
             makespan = makespan.min(stats.iter().map(|s| s.vtime).fold(0.0, f64::max));
         }
         let b = *base.get_or_insert(makespan);
+        reg.histogram("dt_refresh.makespan_us")
+            .record((makespan * 1e6) as u64);
         table.row(&[
             refresh.to_string(),
             format!("{makespan:.4}"),
@@ -64,4 +80,17 @@ fn main() {
     }
     table.print();
     table.save_csv("a3_dt_refresh");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("a3_dt_refresh", &snap);
+    }
+    RunReport::new("a3_dt_refresh")
+        .config_str("problem", "2D blast, 8 ranks, bulk-sync, 1ms latency")
+        .config_num("global_nx", global_n[0] as f64)
+        .config_num("global_ny", global_n[1] as f64)
+        .config_num("steps", nsteps as f64)
+        .config_num("reps", reps as f64)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .write(&snap);
 }

@@ -7,8 +7,9 @@
 //! Expected shape: cost grows PC < PLM < CENO3 ≈ PPM < WENO5 ≈ MP5; PPM
 //! sits at the best accuracy-per-cost for shock problems.
 
-use rhrsc_bench::{f3, sci, Table};
+use rhrsc_bench::{f3, print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_grid::PatchGeom;
+use rhrsc_runtime::Registry;
 use rhrsc_solver::diag::l1_density_error;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::init_cons;
@@ -17,9 +18,13 @@ use rhrsc_srhd::recon::Recon;
 use std::time::Instant;
 
 fn main() {
-    println!("# A4: reconstruction cost vs accuracy, Sod N = 400, rk3 + hllc");
-    let n = 400;
+    let opts = BenchOpts::from_args();
+    let n = if opts.toy { 100 } else { 400 };
+    println!("# A4: reconstruction cost vs accuracy, Sod N = {n}, rk3 + hllc");
     let prob = Problem::sod();
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
+    let mut total_zones = 0.0f64;
     let mut table = Table::new(&["recon", "Mzones/s", "L1(rho)", "rel_cost"]);
     let mut base_cost = None;
     for recon in Recon::SWEEP {
@@ -35,7 +40,9 @@ fn main() {
             .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
             .unwrap();
         let wall = t0.elapsed().as_secs_f64();
+        reg.histogram("phase.advance").record((wall * 1e9) as u64);
         let zones = solver.stats().zone_updates as f64;
+        total_zones += zones;
         let exact = prob.exact.clone().unwrap();
         let (l1, _) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
         let per_zone = wall / zones;
@@ -49,4 +56,15 @@ fn main() {
     }
     table.print();
     table.save_csv("a4_recon_cost");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("a4_recon_cost", &snap);
+    }
+    RunReport::new("a4_recon_cost")
+        .config_str("problem", "sod, rk3 + hllc, recon sweep")
+        .config_num("n", n as f64)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .zone_updates(total_zones)
+        .write(&snap);
 }

@@ -8,19 +8,27 @@
 //! fraction of the fine zone-updates — the argument for adaptivity that
 //! the authors' production codes are built on.
 
-use rhrsc_bench::{f3, sci, Table};
+use rhrsc_bench::{f3, print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_grid::PatchGeom;
+use rhrsc_runtime::Registry;
 use rhrsc_solver::diag::l1_density_error;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::init_cons;
 use rhrsc_solver::smr::SmrSolver;
 use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
+use std::time::Instant;
 
 fn main() {
+    // A5 is a small fixed 1D problem (N = 100/200), cheap enough that the
+    // full configuration *is* the CI toy run; `--toy` is accepted for
+    // harness uniformity but changes nothing.
+    let opts = BenchOpts::from_args();
     println!("# A5: static mesh refinement efficiency on Sod, ppm + hllc + rk3");
     let prob = Problem::sod();
     let scheme = Scheme::default_with_gamma(5.0 / 3.0);
     let exact = prob.exact.clone().unwrap();
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
 
     let mut table = Table::new(&["grid", "L1(rho)", "zone_updates", "err_vs_fine"]);
 
@@ -28,9 +36,12 @@ fn main() {
         let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
         let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
         let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
+        let t0 = Instant::now();
         solver
             .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
             .unwrap();
+        reg.histogram("phase.advance")
+            .record(t0.elapsed().as_nanos() as u64);
         let (l1, _) = l1_density_error(&scheme, &u, &exact, prob.t_end).unwrap();
         (l1, solver.stats().zone_updates)
     };
@@ -55,6 +66,7 @@ fn main() {
             smr = smr.with_subcycling();
         }
         smr.init(&|x| (prob.ic)(x));
+        let t0 = Instant::now();
         let n_c = 100u64;
         let n_f = 2 * (refine_hi - refine_lo) as u64;
         // Zone-updates per step: coarse once per stage, fine once (lock-
@@ -71,6 +83,8 @@ fn main() {
             z += cells_per_step;
             t += dt;
         }
+        reg.histogram("phase.advance")
+            .record(t0.elapsed().as_nanos() as u64);
         (smr.l1_density_error(&*exact, prob.t_end).unwrap(), z)
     };
     let (e_smr, z_smr) = run_smr(false);
@@ -87,4 +101,16 @@ fn main() {
     table.print();
     table.save_csv("a5_smr_efficiency");
     assert!(e_smr < e_coarse, "SMR must beat uniform-coarse");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("a5_smr_efficiency", &snap);
+    }
+    RunReport::new("a5_smr_efficiency")
+        .config_str("problem", "sod, uniform 100/200 vs smr 100+2x")
+        .config_num("n_coarse", 100.0)
+        .config_num("n_fine", 200.0)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .zone_updates((z_coarse + z_fine + z_smr + z_sub) as f64)
+        .write(&snap);
 }

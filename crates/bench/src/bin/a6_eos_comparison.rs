@@ -11,17 +11,22 @@
 //! hot post-shock shell, so its shock position and compression sit
 //! between the two constant-Γ runs (closer to 4/3 for the hot blast2).
 
-use rhrsc_bench::{f3, Table};
+use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_eos::Eos;
 use rhrsc_grid::PatchGeom;
+use rhrsc_runtime::Registry;
 use rhrsc_solver::diag::max_lorentz;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::{init_cons, recover_prims, Scheme};
 use rhrsc_solver::{PatchSolver, RkOrder};
+use std::time::Instant;
 
 fn main() {
-    println!("# A6: EOS comparison on the Marti-Muller blast waves, N = 400");
-    let n = 400;
+    let opts = BenchOpts::from_args();
+    let n = if opts.toy { 100 } else { 400 };
+    println!("# A6: EOS comparison on the Marti-Muller blast waves, N = {n}");
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
     let eoses = [
         ("gamma=4/3", Eos::ideal(4.0 / 3.0)),
         ("taub-mathews", Eos::TaubMathews),
@@ -37,9 +42,12 @@ fn main() {
             let geom = PatchGeom::line(n, 0.0, 1.0, scheme.required_ghosts());
             let mut u = init_cons(geom, &scheme.eos, &|x| (prob.ic)(x));
             let mut solver = PatchSolver::new(scheme, prob.bcs, RkOrder::Rk3, geom);
+            let t0 = Instant::now();
             solver
                 .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
                 .unwrap_or_else(|e| panic!("{} with {name}: {e}", prob.name));
+            reg.histogram("phase.advance")
+                .record(t0.elapsed().as_nanos() as u64);
             let mut prim = rhrsc_grid::Field::new(geom, 5);
             recover_prims(&scheme, &u, &mut prim).unwrap();
             // Shock = rightmost cell compressed above ambient.
@@ -64,4 +72,14 @@ fn main() {
     }
     table.print();
     table.save_csv("a6_eos_comparison");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("a6_eos_comparison", &snap);
+    }
+    RunReport::new("a6_eos_comparison")
+        .config_str("problem", "blast1 + blast2, gamma-law vs taub-mathews")
+        .config_num("n", n as f64)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .write(&snap);
 }

@@ -14,19 +14,24 @@
 //!   cascade counts, retry/restart counters, and the L1 density error
 //!   against A (acceptance: within 5%),
 //! * **D (device faults)** — the single-patch offload path with failing
-//!   kernel launches and device copies; the transparent host-fallback
-//!   must keep results bit-identical to the host while the virtual-time
-//!   cost model records the slowdown.
+//!   kernel launches and device copies, with the circuit breaker armed;
+//!   the transparent host-fallback (per-op and breaker-quarantine) must
+//!   keep results bit-identical to the host while the virtual-time cost
+//!   model records the slowdown and the `dev.breaker.*` counters record
+//!   the trip/probe/readmit traffic.
 //!
 //! Flags: `--toy` shrinks the grid and horizon for smoke tests/CI,
-//! `--profile` prints the pooled phase breakdown. A machine-readable
+//! `--profile` prints the pooled phase breakdown, `--trace-out <path>`
+//! (or `RHRSC_TRACE`) dumps a Chrome/Perfetto flight record of run D's
+//! device queue including the breaker transitions. A machine-readable
 //! report is always written to `results/BENCH_f10_fault_tolerance.json`.
 
 use rhrsc_bench::{print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run_with_faults, FaultPlan, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp, Field, PatchGeom};
+use rhrsc_runtime::trace::Tracer;
 use rhrsc_runtime::{AcceleratorConfig, FaultInjector, Registry};
-use rhrsc_solver::device_backend::DevicePatchSolver;
+use rhrsc_solver::device_backend::{BreakerConfig, DevicePatchSolver};
 use rhrsc_solver::driver::{
     gather_global, BlockSolver, DistConfig, ExchangeMode, ResilienceConfig, ResilienceStats,
 };
@@ -198,13 +203,17 @@ fn main() {
     );
 
     // ---- Run D: device offload with failing launches and copies ----
+    // Run D is a cheap single patch, so it keeps a horizon long enough
+    // for the breaker to trip *and* serve quarantine steps even in toy
+    // mode (the toy distributed horizon would end after ~3 steps).
+    let t_end_d = if opts.toy { 0.1 } else { t_end };
     let scheme = cfg.scheme;
     let geom = PatchGeom::rect([n, n], [0.0, 0.0], [1.0, 1.0], scheme.required_ghosts());
     let bcs = bc::uniform(Bc::Outflow);
     let u0 = init_cons(geom, &scheme.eos, &|x| ic(x));
     let mut u_host = u0.clone();
     let mut host = PatchSolver::new(scheme, bcs, RkOrder::Rk3, geom);
-    host.advance_to(&mut u_host, 0.0, t_end, cfg.cfl, None)
+    host.advance_to(&mut u_host, 0.0, t_end_d, cfg.cfl, None)
         .expect("host advance failed");
     let dev_cfg = AcceleratorConfig {
         throughput_multiplier: 8.0,
@@ -218,21 +227,51 @@ fn main() {
     };
     let mut dev = DevicePatchSolver::new(dev_cfg, scheme, bcs, RkOrder::Rk3, geom);
     dev.set_metrics(reg.clone());
+    dev.set_breaker(BreakerConfig::default());
     dev.set_fault_injector(Arc::new(FaultInjector::new(dev_plan, 0)));
+    // The optional flight record covers run D's device queue: H2D/launch/
+    // D2H spans plus the breaker trip/half-open/probe/readmit instants.
+    let tracer = opts.trace_path().map(|p| {
+        let tr = Tracer::new_env_sized();
+        tr.set_dump_path(Some(p));
+        tr
+    });
+    if let Some(tr) = &tracer {
+        dev.set_trace(tr.clone(), 0);
+    }
     dev.upload(&u0).get();
-    dev.advance_to(0.0, t_end, cfg.cfl);
+    dev.advance_to(0.0, t_end_d, cfg.cfl);
     let u_dev = dev.download();
     let dev_stats = dev.fault_stats().expect("injector attached");
+    let brk = dev.breaker_stats().expect("breaker armed");
     let dev_identical = u_dev.raw() == u_host.raw();
     assert!(dev_identical, "device fallback must stay bit-identical");
+    assert!(
+        brk.trips >= 1 && brk.host_steps >= 1,
+        "the 90% copy-fault schedule must trip the breaker at least once \
+         (trips = {}, host_steps = {})",
+        brk.trips,
+        brk.host_steps
+    );
     println!(
         "D  device offload, faults on: bit-identical to host = {dev_identical}, \
          launches failed (host fallback) = {}, copies retried = {}, \
+         breaker trips = {}, host-quarantine steps = {}, readmissions = {}, \
          modeled device time = {:.2?}",
         dev_stats.launches_failed,
         dev_stats.copies_failed,
+        brk.trips,
+        brk.host_steps,
+        brk.readmissions,
         dev.device_time()
     );
+    if let Some(tr) = &tracer {
+        if let Some(p) = opts.trace_path() {
+            if tr.write_or_warn(&p) {
+                println!("  -> wrote {}", p.display());
+            }
+        }
+    }
 
     let mut table = Table::new(&[
         "run",
@@ -276,6 +315,10 @@ fn main() {
         .config_num("retries", rstats_c.retries as f64)
         .config_num("restarts", rstats_c.restarts as f64)
         .config_num("l1_rel_density", l1)
+        .config_num("breaker_trips", brk.trips as f64)
+        .config_num("breaker_host_steps", brk.host_steps as f64)
+        .config_num("breaker_readmissions", brk.readmissions as f64)
+        .config_num("device_failures", brk.device_failures as f64)
         .wall_time(bench_t0.elapsed().as_secs_f64())
         .parallelism(4.0)
         .write(&snap);

@@ -34,12 +34,13 @@
 use rhrsc_bench::{print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run_with_faults, FaultPlan, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp, Field};
+use rhrsc_runtime::trace::Tracer;
 use rhrsc_runtime::Registry;
 use rhrsc_solver::driver::{
     BlockSolver, DistConfig, ExchangeMode, ResilienceConfig, ResilienceStats,
 };
 use rhrsc_solver::scheme::SolverError;
-use rhrsc_solver::{RkOrder, Scheme};
+use rhrsc_solver::{HealthConfig, HealthSummary, RkOrder, Scheme};
 use rhrsc_srhd::Prim;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -124,7 +125,9 @@ fn agreement_arming_cost(iters: usize) -> f64 {
 }
 
 /// One resilient run; per rank returns `None` for a crashed rank and
-/// `(stats, gathered)` for a finisher.
+/// `(stats, gathered, health summary)` for a finisher. An optional
+/// shared flight recorder captures every rank's spans/instants —
+/// including the victim's final heartbeats before it goes silent.
 #[allow(clippy::type_complexity)]
 fn resilient_run(
     cfg: &DistConfig,
@@ -133,16 +136,31 @@ fn resilient_run(
     plan: Option<FaultPlan>,
     res: &ResilienceConfig,
     reg: &Arc<Registry>,
-) -> (Vec<Option<(ResilienceStats, Option<Field>)>>, f64) {
+    tracer: Option<&Arc<Tracer>>,
+) -> (
+    Vec<Option<(ResilienceStats, Option<Field>, HealthSummary)>>,
+    f64,
+) {
     let t0 = Instant::now();
     let outs = run_with_faults(4, model, plan, |rank| {
         rank.set_metrics(reg.clone());
+        if let Some(tr) = tracer {
+            rank.set_trace(tr.clone());
+        }
         let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
         solver.set_metrics(reg.clone());
+        solver.set_health(HealthConfig {
+            verbose: false,
+            ..Default::default()
+        });
         match solver.advance_to_with_restart(rank, &mut u, 0.0, t_end, res) {
             Ok((_, rstats)) => {
                 let g = solver.gather_interior(rank, &u).expect("gather failed");
-                Some((rstats, g))
+                let health = solver
+                    .take_health()
+                    .map(|m| m.summary())
+                    .unwrap_or_default();
+                Some((rstats, g, health))
             }
             Err(SolverError::RankFailed { .. }) => None,
             Err(e) => panic!("rank {}: unexpected error {e}", rank.rank()),
@@ -186,11 +204,11 @@ fn main() {
     let mut state_b = None;
     let mut rstats_b = ResilienceStats::default();
     for _ in 0..reps {
-        let (outs, w) = resilient_run(&cfg, t_end, NetworkModel::ideal(), None, &res_b, &reg);
+        let (outs, w) = resilient_run(&cfg, t_end, NetworkModel::ideal(), None, &res_b, &reg, None);
         wall_total += w;
         wall_b = wall_b.min(w);
         let mut it = outs.into_iter().flatten();
-        let (rs, g) = it.next().expect("rank 0 must finish");
+        let (rs, g, _) = it.next().expect("rank 0 must finish");
         rstats_b = rs;
         state_b = g;
     }
@@ -246,21 +264,47 @@ fn main() {
         checkpoint_dir: Some(ckp_dir.clone()),
         ..ResilienceConfig::default()
     };
+    // The crash scenario carries the flight recorder: the victim's last
+    // heartbeats, the survivors' suspicion/consensus/eviction instants
+    // and the shrink-restore span all land in one merged trace. The
+    // victim's terminal error auto-dumps a partial trace; the explicit
+    // write below replaces it with the complete run.
+    let trace_path = opts.trace_path();
+    let tracer = trace_path.as_ref().map(|p| {
+        let tr = Tracer::new_env_sized();
+        tr.set_dump_path(Some(p.clone()));
+        tr
+    });
     let model_c = NetworkModel::ideal().with_suspect_after(Duration::from_millis(150));
-    let (outs_c, wall_c) = resilient_run(&cfg, t_end, model_c, Some(plan_c.clone()), &res_c, &reg);
+    let (outs_c, wall_c) = resilient_run(
+        &cfg,
+        t_end,
+        model_c,
+        Some(plan_c.clone()),
+        &res_c,
+        &reg,
+        tracer.as_ref(),
+    );
     wall_total += wall_c;
     assert!(outs_c[0].is_none(), "the victim must report RankFailed");
     let survivors: Vec<_> = outs_c.iter().flatten().collect();
     assert_eq!(survivors.len(), 3, "all three survivors must finish");
     let rstats_c = survivors[0].0;
-    for (rs, _) in &survivors {
+    let mut health_c = HealthSummary::default();
+    for (rs, _, hs) in &survivors {
         assert_eq!(rs.shrinks, 1, "{rs:?}");
         assert_eq!(rs.ranks_lost, 1, "{rs:?}");
+        health_c.merge(hs);
     }
     let state_c = survivors
         .iter()
-        .find_map(|(_, g)| g.clone())
+        .find_map(|(_, g, _)| g.clone())
         .expect("the new block rank 0 must gather");
+    if let (Some(tr), Some(p)) = (&tracer, &trace_path) {
+        if tr.write_or_warn(p) {
+            println!("  -> wrote trace {}", p.display());
+        }
+    }
     let l1 = l1_rel(&state_c, &reference);
     println!(
         "C  rank 0 crashed at step {}: shrinks = {}, ranks lost = {}, \
@@ -284,13 +328,14 @@ fn main() {
         Some(plan_d.clone()),
         &ResilienceConfig::default(),
         &reg,
+        None,
     );
     wall_total += wall_d;
     let finishers: Vec<_> = outs_d.iter().flatten().collect();
     assert_eq!(finishers.len(), 4, "a straggler must not be evicted");
-    let stalls: u64 = finishers.iter().map(|(rs, _)| rs.stalls).sum();
+    let stalls: u64 = finishers.iter().map(|(rs, _, _)| rs.stalls).sum();
     assert!(stalls > 0, "the straggler was never stalled");
-    for (rs, _) in &finishers {
+    for (rs, _, _) in &finishers {
         assert_eq!(rs.shrinks, 0, "{rs:?}");
         assert_eq!(rs.false_suspicions, 0, "{rs:?}");
     }
@@ -342,8 +387,8 @@ fn main() {
     if opts.profile {
         print_phase_table("f11_rank_failure (all scenarios pooled)", &snap);
     }
-    RunReport::new("f11_rank_failure")
-        .config_str("problem", "2D blast, 2x2 ranks, RK3 bulk-sync")
+    let mut rep = RunReport::new("f11_rank_failure");
+    rep.config_str("problem", "2D blast, 2x2 ranks, RK3 bulk-sync")
         .config_num("global_n", n as f64)
         .config_num("t_end", t_end)
         .config_num("fault_seed", seed as f64)
@@ -353,6 +398,10 @@ fn main() {
         .config_num("liveness_overhead_frac", overhead)
         .config_num("l1_rel_drift_after_shrink", l1)
         .wall_time(wall_total)
-        .parallelism(4.0)
-        .write(&snap);
+        .parallelism(4.0);
+    // Merged physics-health summary of the crash run's survivors.
+    for (name, v) in health_c.to_pairs() {
+        rep.config_num(name, v);
+    }
+    rep.write(&snap);
 }

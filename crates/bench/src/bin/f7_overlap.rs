@@ -13,11 +13,15 @@
 //! prints a per-mode phase breakdown (each mode keeps its own registry so
 //! bulk-sync's monolithic `phase.rhs.interior` does not dilute the
 //! overlap table). A machine-readable report pooling both modes is always
-//! written to `results/BENCH_f7_overlap.json`.
+//! written to `results/BENCH_f7_overlap.json`. `--trace-out <path>` (or
+//! `RHRSC_TRACE`) additionally records one overlap-mode run at the
+//! highest swept latency as a Chrome/Perfetto `trace.json` — the
+//! virtual-time track shows the shell/deep split hiding the halo wait.
 
 use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::trace::Tracer;
 use rhrsc_runtime::Registry;
 use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
 use rhrsc_solver::{RkOrder, Scheme};
@@ -41,6 +45,24 @@ fn main() {
         "# F7: halo-exchange overlap vs network latency, 4 ranks, {n}x{n}, {nsteps} RK2 steps, dt refreshed once"
     );
     let modes = [ExchangeMode::BulkSynchronous, ExchangeMode::Overlap];
+    let mk_cfg = |mode: ExchangeMode| DistConfig {
+        scheme: Scheme::default_with_gamma(5.0 / 3.0),
+        rk: RkOrder::Rk2,
+        global_n: [n, n, 1],
+        domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+        decomp: CartDecomp {
+            dims: [2, 2, 1],
+            periodic: [true, true, false],
+        },
+        bcs: bc::uniform(Bc::Periodic),
+        cfl: 0.4,
+        mode,
+        gang_threads: 0,
+        // The blast problem is quasi-steady over a 10-step window;
+        // computing dt once amortizes the (latency-dominated)
+        // allreduce so the profile isolates halo exchange + RHS.
+        dt_refresh_interval: nsteps,
+    };
     // One registry per mode: phase shares are only meaningful within a
     // mode (bulk-sync has no deep/shell split).
     let regs: Vec<Arc<Registry>> = modes.iter().map(|_| Arc::new(Registry::new())).collect();
@@ -54,24 +76,7 @@ fn main() {
         // Best-of-N: per-section wall measurements on the shared CPU token
         // carry scheduler noise; the minimum is the honest makespan.
         for (mode, reg) in modes.iter().zip(&regs) {
-            let cfg = DistConfig {
-                scheme: Scheme::default_with_gamma(5.0 / 3.0),
-                rk: RkOrder::Rk2,
-                global_n: [n, n, 1],
-                domain: ([0.0; 3], [1.0, 1.0, 1.0]),
-                decomp: CartDecomp {
-                    dims: [2, 2, 1],
-                    periodic: [true, true, false],
-                },
-                bcs: bc::uniform(Bc::Periodic),
-                cfl: 0.4,
-                mode: *mode,
-                gang_threads: 0,
-                // The blast problem is quasi-steady over a 10-step window;
-                // computing dt once amortizes the (latency-dominated)
-                // allreduce so the profile isolates halo exchange + RHS.
-                dt_refresh_interval: nsteps,
-            };
+            let cfg = mk_cfg(*mode);
             let mut best = f64::INFINITY;
             for _ in 0..repeats {
                 let stats = run(4, model, |rank| {
@@ -98,6 +103,28 @@ fn main() {
     }
     table.print();
     table.save_csv("f7_overlap");
+
+    // Optional flight record: one extra overlap-mode run at the highest
+    // swept latency, every rank on its own Perfetto track under the
+    // virtual clock.
+    if let Some(p) = opts.trace_path() {
+        let lat = *latencies_us.last().expect("latency sweep is non-empty");
+        let model = NetworkModel::virtual_cluster(Duration::from_micros(lat), 10e9);
+        let tracer = Tracer::new_env_sized();
+        let cfg = mk_cfg(ExchangeMode::Overlap);
+        let tr = tracer.clone();
+        run(4, model, move |rank| {
+            rank.set_trace(tr.clone());
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.advance_steps(rank, &mut u, nsteps).unwrap();
+        });
+        if tracer.write_or_warn(&p) {
+            println!(
+                "  -> wrote trace {} (overlap mode, {lat} us latency)",
+                p.display()
+            );
+        }
+    }
 
     if opts.profile {
         for (mode, reg) in modes.iter().zip(&regs) {

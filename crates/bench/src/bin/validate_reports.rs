@@ -1,12 +1,60 @@
-//! Validate every `BENCH_*.json` report in the results directory against
-//! the schema (see [`rhrsc_bench::validate_report`]). Exits non-zero if
-//! any report is missing required fields, has non-positive phase totals,
-//! or claims more phase time than `wall_time × parallelism` allows.
+//! Validate every `BENCH_*.json` report and `TRACE_*.json` flight record
+//! in the results directory against their schemas (see
+//! [`rhrsc_bench::validate_report`] and [`rhrsc_bench::validate_trace`]).
+//! Exits non-zero if any report is missing required fields, has
+//! non-positive phase totals, claims more phase time than
+//! `wall_time × parallelism` allows, or — for the fault-tolerance
+//! benches — is missing the resilience counters that prove the fault
+//! machinery actually engaged.
 //!
 //! Usage: `validate_reports [dir]` — defaults to the workspace
 //! `results/` directory (or `RHRSC_RESULTS_DIR`).
 
-use rhrsc_bench::{results_dir, validate_report, Json};
+use rhrsc_bench::{results_dir, validate_report, validate_trace, Json};
+
+/// Counters that must be present *and positive* for a given bench id —
+/// their absence means the fault/liveness machinery silently never ran.
+const REQUIRED_COUNTERS: &[(&str, &[&str])] = &[
+    (
+        "f10_fault_tolerance",
+        &["dev.breaker.trips", "dev.breaker.host_steps"],
+    ),
+    (
+        "f11_rank_failure",
+        &[
+            "comm.liveness.suspicions",
+            "comm.liveness.confirmed_dead",
+            "driver.shrinks",
+        ],
+    ),
+];
+
+/// Bench-specific check on top of the generic schema: required counters.
+// Negated comparison form deliberately rejects NaN values.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn check_required_counters(doc: &Json) -> Result<(), String> {
+    let Some(id) = doc.get("id").and_then(Json::as_str) else {
+        return Ok(()); // schema validation already rejects this
+    };
+    let Some((_, required)) = REQUIRED_COUNTERS.iter().find(|(k, _)| *k == id) else {
+        return Ok(());
+    };
+    let counters = doc
+        .get("counters")
+        .ok_or("missing key `counters`".to_string())?;
+    for name in *required {
+        let v = counters
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or(format!("required counter `{name}` missing"))?;
+        if !(v > 0.0) {
+            return Err(format!(
+                "required counter `{name}` must be positive, got {v}"
+            ));
+        }
+    }
+    Ok(())
+}
 
 fn main() {
     let dir = std::env::args()
@@ -20,16 +68,27 @@ fn main() {
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                (n.starts_with("BENCH_") || n.starts_with("TRACE_")) && n.ends_with(".json")
+            })
         })
         .collect();
     entries.sort();
     for path in &entries {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
-        let verdict = Json::parse(&text).and_then(|doc| validate_report(&doc));
+        let is_trace = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("TRACE_"));
+        let verdict = Json::parse(&text).and_then(|doc| {
+            if is_trace {
+                validate_trace(&doc)
+            } else {
+                validate_report(&doc)?;
+                check_required_counters(&doc)
+            }
+        });
         checked += 1;
         match verdict {
             Ok(()) => println!("ok    {}", path.display()),
@@ -40,10 +99,13 @@ fn main() {
         }
     }
     if checked == 0 {
-        eprintln!("no BENCH_*.json reports found in {}", dir.display());
+        eprintln!(
+            "no BENCH_*.json / TRACE_*.json files found in {}",
+            dir.display()
+        );
         std::process::exit(2);
     }
-    println!("{checked} report(s) checked, {failed} failed");
+    println!("{checked} file(s) checked, {failed} failed");
     if failed > 0 {
         std::process::exit(1);
     }

@@ -5,13 +5,13 @@
 //! mirror them to `results/<id>.csv` for plotting.
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 pub mod json;
 pub mod report;
 
 pub use json::Json;
-pub use report::{print_phase_table, validate_report, BenchOpts, RunReport};
+pub use report::{print_phase_table, validate_report, validate_trace, BenchOpts, RunReport};
 
 /// The `results/` directory at the workspace root (created on demand).
 ///
@@ -23,7 +23,7 @@ pub use report::{print_phase_table, validate_report, BenchOpts, RunReport};
 pub fn results_dir() -> PathBuf {
     if let Some(dir) = std::env::var_os("RHRSC_RESULTS_DIR") {
         let out = PathBuf::from(dir);
-        std::fs::create_dir_all(&out).expect("cannot create RHRSC_RESULTS_DIR");
+        ensure_dir(&out);
         return out;
     }
     let mut dir = std::env::current_dir().expect("no cwd");
@@ -42,8 +42,18 @@ pub fn results_dir() -> PathBuf {
         }
     }
     let out = dir.join("results");
-    std::fs::create_dir_all(&out).expect("cannot create results/");
+    ensure_dir(&out);
     out
+}
+
+/// Best-effort directory creation: warn and continue on failure instead
+/// of panicking, so a bench on a read-only filesystem still runs to
+/// completion — the writers then skip their output with their own
+/// warning.
+fn ensure_dir(dir: &Path) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    }
 }
 
 /// A simple experiment table: prints aligned to stdout and saves as CSV.
@@ -99,13 +109,35 @@ impl Table {
 
     /// Save as `results/<name>.csv`.
     pub fn save_csv(&self, name: &str) {
-        let path = results_dir().join(format!("{name}.csv"));
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
-        writeln!(f, "{}", self.headers.join(",")).unwrap();
+        self.save_csv_to(&results_dir(), name);
+    }
+
+    /// Save as `<dir>/<name>.csv`. Creates missing parent directories;
+    /// on an unwritable destination it warns and skips rather than
+    /// panicking (the table was already printed to stdout).
+    pub fn save_csv_to(&self, dir: &Path, name: &str) {
+        let path = dir.join(format!("{name}.csv"));
+        ensure_dir(dir);
+        let file = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}; skipping", path.display());
+                return;
+            }
+        };
+        let mut f = std::io::BufWriter::new(file);
+        let mut ok = writeln!(f, "{}", self.headers.join(",")).is_ok();
         for row in &self.rows {
-            writeln!(f, "{}", row.join(",")).unwrap();
+            ok &= writeln!(f, "{}", row.join(",")).is_ok();
         }
-        println!("  -> wrote {}", path.display());
+        if ok {
+            println!("  -> wrote {}", path.display());
+        } else {
+            eprintln!(
+                "warning: short write to {}; csv may be incomplete",
+                path.display()
+            );
+        }
     }
 }
 

@@ -38,27 +38,46 @@ use rhrsc_runtime::metrics::Snapshot;
 use std::path::{Path, PathBuf};
 
 /// Command-line options shared by the bench binaries.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BenchOpts {
     /// Print the phase-breakdown table (`--profile`).
     pub profile: bool,
     /// Shrink the problem for CI smoke runs (`--toy`).
     pub toy: bool,
+    /// Write a Chrome/Perfetto `trace.json` of the instrumented run
+    /// (`--trace-out <path>`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl BenchOpts {
-    /// Parse `--profile` / `--toy` from `std::env::args`, warning on
-    /// anything else.
+    /// Parse `--profile` / `--toy` / `--trace-out <path>` from
+    /// `std::env::args`, warning on anything else.
     pub fn from_args() -> Self {
         let mut o = BenchOpts::default();
-        for arg in std::env::args().skip(1) {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--profile" => o.profile = true,
                 "--toy" => o.toy = true,
-                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+                "--trace-out" => match args.next() {
+                    Some(p) => o.trace_out = Some(PathBuf::from(p)),
+                    None => eprintln!("warning: --trace-out requires a path argument"),
+                },
+                other => match other.strip_prefix("--trace-out=") {
+                    Some(p) => o.trace_out = Some(PathBuf::from(p)),
+                    None => eprintln!("warning: ignoring unknown argument `{other}`"),
+                },
             }
         }
         o
+    }
+
+    /// The trace destination: `--trace-out` if given, else the
+    /// `RHRSC_TRACE` environment variable.
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        self.trace_out
+            .clone()
+            .or_else(|| std::env::var_os("RHRSC_TRACE").map(PathBuf::from))
     }
 }
 
@@ -187,10 +206,22 @@ impl RunReport {
         obj(members)
     }
 
-    /// Write `BENCH_<id>.json` into `dir`, returning the path.
+    /// Write `BENCH_<id>.json` into `dir`, returning the path. Missing
+    /// parent directories are created; an unwritable destination warns
+    /// and skips instead of panicking (the report content was already
+    /// rendered, and a bench on a read-only filesystem should still run
+    /// to completion).
     pub fn write_to(&self, dir: &Path, snap: &Snapshot) -> PathBuf {
         let path = dir.join(format!("BENCH_{}.json", self.id));
-        std::fs::write(&path, self.to_json(snap).pretty()).expect("write BENCH report");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        }
+        if let Err(e) = std::fs::write(&path, self.to_json(snap).pretty()) {
+            eprintln!(
+                "warning: cannot write BENCH report {}: {e}; skipping",
+                path.display()
+            );
+        }
         path
     }
 
@@ -271,6 +302,97 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         if !(rate > 0.0) {
             return Err(format!("zone_updates_per_sec must be positive, got {rate}"));
         }
+    }
+    Ok(())
+}
+
+/// Validate a parsed Chrome/Perfetto `trace.json` flight record (as
+/// written by [`rhrsc_runtime::trace::Tracer`]). Returns a description
+/// of the first violation.
+///
+/// Checks the invariants a trace viewer relies on: a non-empty
+/// `traceEvents` array, process/thread metadata, known phase codes, and
+/// the per-phase required fields (`ts`/`dur` on complete spans, the
+/// instant scope marker, counter args).
+// Negated comparison forms deliberately reject NaN values.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn validate_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing key `traceEvents`".to_string())?
+        .as_arr()
+        .ok_or("traceEvents must be an array".to_string())?;
+    if events.is_empty() {
+        return Err("traceEvents must be non-empty".to_string());
+    }
+    let mut processes = 0usize;
+    let mut payload = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i} missing `ph`"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i} missing `name`"))?;
+        if name.is_empty() {
+            return Err(format!("event {i} has an empty name"));
+        }
+        if ev.get("pid").and_then(Json::as_f64).is_none() {
+            return Err(format!("event {i} (`{name}`) missing numeric `pid`"));
+        }
+        match ph {
+            "M" => {
+                if name == "process_name" {
+                    processes += 1;
+                }
+                if ev.get("args").and_then(|a| a.get("name")).is_none() {
+                    return Err(format!("metadata event {i} missing args.name"));
+                }
+            }
+            "X" => {
+                payload += 1;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("span {i} (`{name}`) missing `ts`"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("span {i} (`{name}`) missing `dur`"))?;
+                if !(ts >= 0.0) || !(dur >= 0.0) {
+                    return Err(format!(
+                        "span {i} (`{name}`) has negative ts/dur ({ts}/{dur})"
+                    ));
+                }
+                if ev.get("tid").and_then(Json::as_f64).is_none() {
+                    return Err(format!("span {i} (`{name}`) missing numeric `tid`"));
+                }
+            }
+            "i" => {
+                payload += 1;
+                if ev.get("ts").and_then(Json::as_f64).is_none() {
+                    return Err(format!("instant {i} (`{name}`) missing `ts`"));
+                }
+                if ev.get("s").and_then(Json::as_str).is_none() {
+                    return Err(format!("instant {i} (`{name}`) missing scope `s`"));
+                }
+            }
+            "C" => {
+                payload += 1;
+                if ev.get("args").and_then(Json::as_obj).is_none() {
+                    return Err(format!("counter {i} (`{name}`) missing args object"));
+                }
+            }
+            other => return Err(format!("event {i} (`{name}`) has unknown ph `{other}`")),
+        }
+    }
+    if processes == 0 {
+        return Err("no process_name metadata".to_string());
+    }
+    if payload == 0 {
+        return Err("metadata only: no span/instant/counter events".to_string());
     }
     Ok(())
 }
@@ -429,5 +551,45 @@ mod tests {
     fn phase_table_prints_without_panicking() {
         print_phase_table("unit test", &sample_snapshot());
         print_phase_table("empty", &Snapshot::default());
+    }
+
+    #[test]
+    fn report_writers_degrade_gracefully_on_unwritable_dirs() {
+        // Tests run as root, where read-only permission bits are
+        // ignored — so force the failure with a regular file standing
+        // where a parent directory should be.
+        let tmp = std::env::temp_dir().join("rhrsc_report_degrade_test");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let blocker = tmp.join("blocker");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let bad_dir = blocker.join("sub");
+
+        let snap = sample_snapshot();
+        let mut rep = RunReport::new("degrade_test");
+        rep.wall_time(0.01);
+        // Must warn and skip, not panic.
+        let path = rep.write_to(&bad_dir, &snap);
+        assert!(!path.exists());
+
+        let mut t = Table::new(&["a"]);
+        t.row(&["1".into()]);
+        t.save_csv_to(&bad_dir, "degrade_test");
+        assert!(!bad_dir.join("degrade_test.csv").exists());
+
+        // A merely *missing* (but creatable) directory is created.
+        let fresh = tmp.join("fresh").join("nested");
+        let _ = std::fs::remove_dir_all(tmp.join("fresh"));
+        let path = rep.write_to(&fresh, &snap);
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(tmp.join("fresh"));
+    }
+
+    #[test]
+    fn bench_opts_trace_path_falls_back_to_env() {
+        let o = BenchOpts {
+            trace_out: Some(PathBuf::from("/tmp/x.json")),
+            ..Default::default()
+        };
+        assert_eq!(o.trace_path(), Some(PathBuf::from("/tmp/x.json")));
     }
 }

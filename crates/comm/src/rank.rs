@@ -19,6 +19,7 @@
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};
 use rhrsc_runtime::metrics::Registry;
+use rhrsc_runtime::trace::{Tracer, Track};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -318,6 +319,9 @@ pub struct Rank {
     /// Optional metrics registry: per-tag-class message/byte counters and
     /// receive-wait histograms (see [`Rank::set_metrics`]).
     metrics: Option<Arc<Registry>>,
+    /// Optional flight recorder: the shared tracer plus this rank's main
+    /// timeline track (see [`Rank::set_trace`]).
+    trace: Option<(Arc<Tracer>, Arc<Track>)>,
     /// Heartbeat sequence of this rank's own sends.
     send_seq: u64,
     /// Communication epoch: bumped on every shrink. Stale-epoch messages
@@ -371,6 +375,65 @@ impl Rank {
     /// the wait is the virtual-clock jump; otherwise wall-clock time.
     pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attach a flight recorder. This rank records onto track
+    /// `(pid = rank, tid = 0)`: halo sends as `hb.send` heartbeat
+    /// instants, liveness transitions (`liveness.suspect` / `.retract` /
+    /// `.crc_retransmit` / `.crc_escalation` / `.stale_drop` /
+    /// `.evict`), and each suspicion-consensus round as a
+    /// `liveness.consensus` span. Timestamps follow the same clock
+    /// convention as the metrics: virtual nanoseconds in virtual-time
+    /// universes, wall time since the trace epoch otherwise.
+    /// Instrumentation never changes the numbers or the message pattern.
+    pub fn set_trace(&mut self, tracer: Arc<Tracer>) {
+        let track = tracer.track(self.rank as u32, 0, "main");
+        self.trace = Some((tracer, track));
+    }
+
+    /// `true` when a flight recorder is attached.
+    pub fn has_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.trace.as_ref().map(|(t, _)| t)
+    }
+
+    /// The rank's virtual clock when in virtual-time mode (the trace
+    /// timestamp source), `None` under wall clocks.
+    fn vt(&self) -> Option<f64> {
+        self.model.virtual_time.then_some(self.vtime)
+    }
+
+    /// Record an instant event on this rank's trace track, if attached.
+    pub fn trace_instant(&self, name: &'static str, arg: f64) {
+        if let Some((tracer, track)) = &self.trace {
+            track.instant(name, tracer.stamp(self.vt()), arg);
+        }
+    }
+
+    /// Record a counter sample on this rank's trace track, if attached.
+    pub fn trace_counter(&self, name: &'static str, value: f64) {
+        if let Some((tracer, track)) = &self.trace {
+            track.counter(name, tracer.stamp(self.vt()), value);
+        }
+    }
+
+    /// Record a span that ends "now" and lasted `dur_ns` on this rank's
+    /// trace track, if attached (the caller measured the duration with
+    /// the same virtual/wall clock convention).
+    pub fn trace_span(&self, name: &'static str, dur_ns: u64) {
+        self.trace_span_arg(name, dur_ns, 0.0);
+    }
+
+    /// [`Rank::trace_span`] with an annotation payload.
+    pub fn trace_span_arg(&self, name: &'static str, dur_ns: u64, arg: f64) {
+        if let Some((tracer, track)) = &self.trace {
+            let t1 = tracer.stamp(self.vt());
+            track.span_arg(name, t1.saturating_sub(dur_ns), t1, arg);
+        }
     }
 
     /// Execute a compute section and charge its cost to this rank's
@@ -479,6 +542,7 @@ impl Rank {
                 if let Some(m) = &self.metrics {
                     m.counter("comm.liveness.crc_retries").inc();
                 }
+                self.trace_instant("liveness.crc_retransmit", attempt as f64);
                 corrupted = inj.should_corrupt_retry();
             }
             if corrupted {
@@ -509,6 +573,11 @@ impl Rank {
                 .add(std::mem::size_of_val(data) as u64);
         }
         self.send_seq += 1;
+        // Halo sends double as heartbeats: record them so a victim's
+        // *last* heartbeat is visible on the flight-recorder timeline.
+        if tag < FAULT_TAG_LIMIT {
+            self.trace_instant("hb.send", self.send_seq as f64);
+        }
         let env = Envelope {
             from: self.rank,
             tag,
@@ -587,6 +656,7 @@ impl Rank {
             if let Some(m) = &self.metrics {
                 m.counter("comm.liveness.stale_dropped").inc();
             }
+            self.trace_instant("liveness.stale_drop", env.from as f64);
             return None;
         }
         self.note_arrival(env.from, env.seq);
@@ -606,6 +676,7 @@ impl Rank {
             if let Some(m) = &self.metrics {
                 m.counter("comm.liveness.false_positives").inc();
             }
+            self.trace_instant("liveness.retract", from as f64);
         }
     }
 
@@ -620,6 +691,7 @@ impl Rank {
             if let Some(m) = &self.metrics {
                 m.counter("comm.liveness.suspicions").inc();
             }
+            self.trace_instant("liveness.suspect", peer as f64);
         }
         if self.model.virtual_time {
             self.vtime += waited.as_secs_f64();
@@ -635,6 +707,7 @@ impl Rank {
             if let Some(m) = &self.metrics {
                 m.counter("comm.liveness.crc_escalations").inc();
             }
+            self.trace_instant("liveness.crc_escalation", env.from as f64);
         }
         ok
     }
@@ -940,6 +1013,24 @@ impl Rank {
     /// suspicion deadline sees "everyone else dead" and must evict
     /// *itself* rather than carry on solo).
     pub fn suspicion_consensus(&mut self) -> Result<u64, CommError> {
+        let t0 = self
+            .trace
+            .as_ref()
+            .map(|(tracer, _)| tracer.stamp(self.vt()));
+        let out = self.suspicion_consensus_inner();
+        if let (Some((tracer, track)), Some(t0)) = (&self.trace, t0) {
+            // Annotate the round with its verdict: newly-dead count, or
+            // -1 when this rank ended up on the evicted side.
+            let arg = match &out {
+                Ok(mask) => mask.count_ones() as f64,
+                Err(_) => -1.0,
+            };
+            track.span_arg("liveness.consensus", t0, tracer.stamp(self.vt()), arg);
+        }
+        out
+    }
+
+    fn suspicion_consensus_inner(&mut self) -> Result<u64, CommError> {
         if let Some(e) = self.evicted {
             return Err(CommError::Evicted { epoch: e });
         }
@@ -1022,6 +1113,7 @@ impl Rank {
         if newly_dead & myself != 0 {
             // The responsive majority believes this rank is dead.
             self.evicted = Some(self.epoch + 1);
+            self.trace_instant("liveness.evicted_self", self.rank as f64);
             return Err(CommError::Evicted {
                 epoch: self.epoch + 1,
             });
@@ -1031,9 +1123,15 @@ impl Rank {
             // Split-brain guard: the side keeping less than half of the
             // previous live set yields instead of forking the run.
             self.evicted = Some(self.epoch + 1);
+            self.trace_instant("liveness.evicted_self", self.rank as f64);
             return Err(CommError::Evicted {
                 epoch: self.epoch + 1,
             });
+        }
+        for r in 0..self.size {
+            if newly_dead & (1u64 << r) != 0 {
+                self.trace_instant("liveness.evict", r as f64);
+            }
         }
         self.dead |= newly_dead;
         self.suspected &= !newly_dead;
@@ -1183,6 +1281,7 @@ where
                 .as_ref()
                 .map(|p| Arc::new(FaultInjector::new(p.clone(), i as u64))),
             metrics: None,
+            trace: None,
             send_seq: 0,
             epoch: 0,
             peer_seq: vec![0; n],

@@ -25,6 +25,7 @@ use crate::future::{promise, Future, Promise};
 use crate::metrics::Registry;
 use crate::pool::WorkStealingPool;
 use crate::spin_for;
+use crate::trace::{Tracer, Track};
 use crossbeam_channel::{unbounded, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -139,6 +140,7 @@ enum Command {
     Launch(Kernel, Promise<()>, bool),
     Fence(Promise<()>),
     SetMetrics(Arc<Registry>),
+    SetTrace(Arc<Tracer>, Arc<Track>),
     Shutdown,
 }
 
@@ -168,11 +170,26 @@ impl Accelerator {
                 let gang = WorkStealingPool::new(dev_cfg.compute_threads.max(1));
                 let mut buffers: HashMap<u64, Vec<f64>> = HashMap::new();
                 let mut metrics: Option<Arc<Registry>> = None;
+                let mut trace: Option<(Arc<Tracer>, Arc<Track>)> = None;
                 // Record a *modeled* duration (what the virtual clock was
                 // charged) into a phase histogram.
                 let record = |metrics: &Option<Arc<Registry>>, name: &str, secs: f64| {
                     if let Some(m) = metrics {
                         m.histogram(name).record((secs * 1e9) as u64);
+                    }
+                };
+                // Flight-recorder spans cover the *physical* queue-thread
+                // occupancy (wall clock); the modeled charge rides along
+                // as the span argument.
+                let tstart = |trace: &Option<(Arc<Tracer>, Arc<Track>)>| {
+                    trace.as_ref().map(|(tr, _)| tr.now_ns())
+                };
+                let tspan = |trace: &Option<(Arc<Tracer>, Arc<Track>)>,
+                             name: &'static str,
+                             t0: Option<u64>,
+                             secs: f64| {
+                    if let (Some((tr, tk)), Some(t0)) = (trace, t0) {
+                        tk.span_arg(name, t0, tr.now_ns(), secs);
                     }
                 };
                 for cmd in rx {
@@ -184,6 +201,7 @@ impl Accelerator {
                             buffers.remove(&id);
                         }
                         Command::H2D(id, data, done, faulted) => {
+                            let t0 = tstart(&trace);
                             charge_copy(&dev_cfg, data.len());
                             let mut secs = copy_secs(&dev_cfg, data.len());
                             if faulted {
@@ -193,6 +211,7 @@ impl Accelerator {
                             }
                             charge_vclock(&vclock, secs);
                             record(&metrics, "phase.dev.h2d", secs);
+                            tspan(&trace, "phase.dev.h2d", t0, secs);
                             if let Some(m) = &metrics {
                                 m.counter("dev.h2d.bytes")
                                     .add(std::mem::size_of_val(&data[..]) as u64);
@@ -203,11 +222,13 @@ impl Accelerator {
                             done.set(());
                         }
                         Command::D2H(id, done) => {
+                            let t0 = tstart(&trace);
                             let buf = buffers.get(&id).expect("D2H from unallocated buffer");
                             charge_copy(&dev_cfg, buf.len());
                             let secs = copy_secs(&dev_cfg, buf.len());
                             charge_vclock(&vclock, secs);
                             record(&metrics, "phase.dev.d2h", secs);
+                            tspan(&trace, "phase.dev.d2h", t0, secs);
                             if let Some(m) = &metrics {
                                 m.counter("dev.d2h.bytes")
                                     .add(std::mem::size_of_val(&buf[..]) as u64);
@@ -215,6 +236,7 @@ impl Accelerator {
                             done.set(buf.clone());
                         }
                         Command::Launch(kernel, done, host_fallback) => {
+                            let lt0 = tstart(&trace);
                             spin_for(dev_cfg.launch_overhead);
                             let mut ctx = DeviceCtx {
                                 buffers: &mut buffers,
@@ -234,10 +256,17 @@ impl Accelerator {
                                 + t0.elapsed().as_secs_f64() / multiplier;
                             charge_vclock(&vclock, secs);
                             record(&metrics, "phase.dev.launch", secs);
+                            tspan(&trace, "phase.dev.launch", lt0, secs);
+                            if host_fallback {
+                                if let Some((tr, tk)) = &trace {
+                                    tk.instant("dev.launch.host_fallback", tr.now_ns(), 1.0);
+                                }
+                            }
                             done.set(());
                         }
                         Command::Fence(done) => done.set(()),
                         Command::SetMetrics(m) => metrics = Some(m),
+                        Command::SetTrace(tr, tk) => trace = Some((tr, tk)),
                         Command::Shutdown => break,
                     }
                 }
@@ -274,6 +303,17 @@ impl Accelerator {
     pub fn set_metrics(&self, metrics: Arc<Registry>) {
         self.tx
             .send(Command::SetMetrics(metrics))
+            .expect("device queue closed");
+    }
+
+    /// Attach a flight-recorder track: subsequent queue commands record
+    /// wall-clock spans of the queue thread's occupancy (`phase.dev.*`),
+    /// with the modeled virtual-clock charge carried as the span
+    /// argument, plus a `dev.launch.host_fallback` instant per
+    /// fault-injected launch. Takes effect in queue order.
+    pub fn set_trace(&self, tracer: Arc<Tracer>, track: Arc<Track>) {
+        self.tx
+            .send(Command::SetTrace(tracer, track))
             .expect("device queue closed");
     }
 

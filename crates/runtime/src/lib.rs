@@ -18,7 +18,10 @@
 //!   dynamic work-stealing) across heterogeneous executors,
 //! * [`metrics`] — dependency-free counters, log-bucketed histograms and
 //!   RAII phase timers shared across the stack for phase-resolved
-//!   profiling (see DESIGN.md "Observability").
+//!   profiling (see DESIGN.md "Observability"),
+//! * [`trace`] — a span-based flight recorder (fixed-capacity per-track
+//!   ring buffers) with Chrome/Perfetto `trace.json` export (see
+//!   DESIGN.md "Tracing & flight recorder").
 
 pub mod device;
 pub mod executor;
@@ -27,6 +30,7 @@ pub mod future;
 pub mod metrics;
 pub mod pool;
 pub mod sched;
+pub mod trace;
 
 pub use device::{Accelerator, AcceleratorConfig, BufId};
 pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
@@ -35,6 +39,7 @@ pub use future::{promise, Future, Promise};
 pub use metrics::{Counter, HistSnapshot, Histogram, PhaseTimer, Registry, Snapshot};
 pub use pool::{await_job, await_job_for, pool_timeout, WorkStealingPool};
 pub use sched::{plan_static, plan_weighted, Policy};
+pub use trace::{Tracer, Track};
 
 use std::time::{Duration, Instant};
 

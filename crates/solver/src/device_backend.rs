@@ -11,6 +11,7 @@
 use crate::integrate::{PatchSolver, RkOrder};
 use crate::scheme::{max_dt, recover_prims, Scheme};
 use rhrsc_grid::{BcSet, Field, PatchGeom};
+use rhrsc_runtime::trace::{Tracer, Track};
 use rhrsc_runtime::{Accelerator, AcceleratorConfig, BufId, Future, Registry};
 use rhrsc_srhd::NCOMP;
 use std::cell::RefCell;
@@ -118,6 +119,7 @@ pub struct DevicePatchSolver {
     buf_u: BufId,
     breaker: Option<RefCell<Breaker>>,
     metrics: RefCell<Option<Arc<Registry>>>,
+    trace: RefCell<Option<(Arc<Tracer>, Arc<Track>)>>,
 }
 
 impl DevicePatchSolver {
@@ -142,6 +144,7 @@ impl DevicePatchSolver {
             buf_u,
             breaker: None,
             metrics: RefCell::new(None),
+            trace: RefCell::new(None),
         }
     }
 
@@ -170,6 +173,16 @@ impl DevicePatchSolver {
     pub fn set_metrics(&self, metrics: std::sync::Arc<rhrsc_runtime::Registry>) {
         self.dev.set_metrics(metrics.clone());
         *self.metrics.borrow_mut() = Some(metrics);
+    }
+
+    /// Attach a flight recorder: the device queue records `phase.dev.*`
+    /// spans on a dedicated per-rank "device" track (tid 1), and the
+    /// breaker state machine drops `dev.breaker.*` instants (trip,
+    /// half-open probe, re-admission, host fallback) on the same track.
+    pub fn set_trace(&self, tracer: Arc<Tracer>, pid: u32) {
+        let track = tracer.track(pid, 1, "device");
+        self.dev.set_trace(tracer.clone(), track.clone());
+        *self.trace.borrow_mut() = Some((tracer, track));
     }
 
     /// Arm the device circuit breaker: once `cfg.threshold` of the last
@@ -306,11 +319,15 @@ impl DevicePatchSolver {
                     if b.cooldown_left > 0 {
                         b.cooldown_left -= 1;
                     }
-                    if b.cooldown_left == 0 {
+                    let half_open = b.cooldown_left == 0;
+                    if half_open {
                         b.state = BreakerState::HalfOpen;
                     }
                     drop(b);
                     self.bump("dev.breaker.host_steps", 1);
+                    if half_open {
+                        self.tinstant("dev.breaker.half_open", steps as f64);
+                    }
                 }
                 BreakerState::HalfOpen => {
                     if let Some(u) = host_u.take() {
@@ -334,12 +351,14 @@ impl DevicePatchSolver {
                         b.cooldown_left = b.cfg.cooldown.max(1);
                         drop(b);
                         self.bump("dev.breaker.probe_failures", 1);
+                        self.tinstant("dev.breaker.probe_failure", steps as f64);
                     } else {
                         b.state = BreakerState::Closed;
                         b.window.clear();
                         b.stats.readmissions += 1;
                         drop(b);
                         self.bump("dev.breaker.readmissions", 1);
+                        self.tinstant("dev.breaker.readmit", steps as f64);
                     }
                 }
                 BreakerState::Closed => {
@@ -358,6 +377,7 @@ impl DevicePatchSolver {
                     let failed = self.op_failures() > before;
                     if breaker.borrow_mut().record(failed) {
                         self.bump("dev.breaker.trips", 1);
+                        self.tinstant("dev.breaker.trip", steps as f64);
                     }
                 }
             }
@@ -398,6 +418,13 @@ impl DevicePatchSolver {
     fn bump(&self, name: &str, n: u64) {
         if let Some(m) = self.metrics.borrow().as_ref() {
             m.counter(name).add(n);
+        }
+    }
+
+    /// Drop an instant on the device track, if a recorder is attached.
+    fn tinstant(&self, name: &'static str, arg: f64) {
+        if let Some((tr, tk)) = self.trace.borrow().as_ref() {
+            tk.instant(name, tr.now_ns(), arg);
         }
     }
 }

@@ -55,6 +55,62 @@ pub fn max_lorentz(prim: &Field) -> f64 {
     w_max
 }
 
+/// Fraction of interior cells whose density sits at or below `rho_atmo`
+/// (the "atmosphere": cells held up by the floor rather than the flow).
+pub fn atmosphere_fraction(prim: &Field, rho_atmo: f64) -> f64 {
+    let geom = prim.geom();
+    let mut n_atmo = 0usize;
+    for (i, j, k) in geom.interior_iter() {
+        if prim.at(0, i, j, k) <= rho_atmo {
+            n_atmo += 1;
+        }
+    }
+    n_atmo as f64 / geom.interior_len() as f64
+}
+
+/// Fraction of interior cells where a minmod-family density limiter is
+/// fully active — adjacent one-sided slopes of opposite sign (a local
+/// extremum), where TVD reconstruction drops to first order. Computed
+/// post-hoc from the primitive density so the hot reconstruction loop
+/// needs no instrumentation (and bit-identity is trivially preserved);
+/// cells are counted once if any active dimension limits.
+pub fn limiter_activation_fraction(prim: &Field) -> f64 {
+    let geom = *prim.geom();
+    let mut active = 0usize;
+    let mut total = 0usize;
+    for (i, j, k) in geom.interior_iter() {
+        total += 1;
+        let center = prim.at(0, i, j, k);
+        let mut limited = false;
+        for d in 0..3 {
+            if !geom.active(d) {
+                continue;
+            }
+            let (lo, hi) = match d {
+                0 => (prim.at(0, i - 1, j, k), prim.at(0, i + 1, j, k)),
+                1 => (prim.at(0, i, j - 1, k), prim.at(0, i, j + 1, k)),
+                _ => (prim.at(0, i, j, k - 1), prim.at(0, i, j, k + 1)),
+            };
+            // Ghost primitives may be stale/unrecovered; skip the pair
+            // rather than count garbage.
+            if lo <= 0.0 || hi <= 0.0 {
+                continue;
+            }
+            if (center - lo) * (hi - center) <= 0.0 && (lo != center || hi != center) {
+                limited = true;
+            }
+        }
+        if limited {
+            active += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        active as f64 / total as f64
+    }
+}
+
 /// Observed convergence order from `(resolution, error)` pairs via a
 /// least-squares fit of `log(err) = −p log(n) + c`.
 pub fn observed_order(samples: &[(usize, f64)]) -> f64 {

@@ -16,6 +16,7 @@
 //! sweeps read only face ghosts, which keeps both modes to `2·ndim`
 //! messages per stage and makes them bit-identical to the serial solver.
 
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::integrate::RkOrder;
 use crate::scheme::{
     init_cons, max_dt, recover_cell_metered, recover_cells_resilient_metered,
@@ -209,11 +210,14 @@ pub struct BlockSolver {
     /// Cached `c2p.newton_iters` histogram (avoids a registry lookup per
     /// recovery sweep).
     c2p_hist: Option<Arc<Histogram>>,
+    /// Optional physics-health monitor (strictly rank-local reads; never
+    /// communicates, never changes the numbers).
+    health: Option<HealthMonitor>,
 }
 
 /// Start marker of an instrumented phase: wall clock plus the rank's
-/// virtual clock. `None` when no registry is attached, so the disabled
-/// path costs one `Option` check per phase.
+/// virtual clock. `None` when neither a registry nor a tracer is
+/// attached, so the disabled path costs one `Option` check per phase.
 type PhaseStart = Option<(Instant, f64)>;
 
 impl BlockSolver {
@@ -237,6 +241,7 @@ impl BlockSolver {
                 rec_stats: RecoveryStats::default(),
                 metrics: None,
                 c2p_hist: None,
+                health: None,
             },
             u,
         )
@@ -255,20 +260,84 @@ impl BlockSolver {
         self.metrics = Some(metrics);
     }
 
-    fn pstart(&self, rank: &Rank) -> PhaseStart {
-        self.metrics
-            .as_ref()
-            .map(|_| (Instant::now(), rank.vtime()))
+    /// Attach a physics-health monitor: the resilient driver (and the
+    /// plain `advance_*` loops) will take periodic rank-local health
+    /// observations on the monitor's cadence, emit them as trace
+    /// counters, and bump `health.*` metrics counters on watchdog
+    /// alarms. Observation is read-only and communication-free, so the
+    /// computed states stay bit-identical and the comm pattern (liveness
+    /// deadlines, agreement rounds) is untouched.
+    pub fn set_health(&mut self, cfg: HealthConfig) {
+        self.health = Some(HealthMonitor::new(cfg));
     }
 
-    fn pend(&self, name: &str, rank: &Rank, s: PhaseStart) {
-        if let (Some(m), Some((t0, v0))) = (&self.metrics, s) {
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
+    }
+
+    /// Detach and return the health monitor (e.g. to merge per-rank
+    /// summaries at bench time).
+    pub fn take_health(&mut self) -> Option<HealthMonitor> {
+        self.health.take()
+    }
+
+    fn pstart(&self, rank: &Rank) -> PhaseStart {
+        if self.metrics.is_some() || rank.has_trace() {
+            Some((Instant::now(), rank.vtime()))
+        } else {
+            None
+        }
+    }
+
+    fn pend(&self, name: &'static str, rank: &Rank, s: PhaseStart) {
+        if let Some((t0, v0)) = s {
             let ns = if rank.is_virtual() {
                 ((rank.vtime() - v0).max(0.0) * 1e9) as u64
             } else {
                 t0.elapsed().as_nanos() as u64
             };
-            m.histogram(name).record(ns);
+            if let Some(m) = &self.metrics {
+                m.histogram(name).record(ns);
+            }
+            rank.trace_span(name, ns);
+        }
+    }
+
+    /// Take a health observation if a monitor is attached and `step_no`
+    /// is on its cadence. Emits the record as trace counters and bumps
+    /// `health.*` metrics counters.
+    fn health_observe(&mut self, rank: &Rank, u: &Field, t: f64, step_no: u64) {
+        let due = match &self.health {
+            Some(mon) => mon.due(step_no),
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let rho_floor = self.cfg.scheme.c2p.rho_floor;
+        let rec = self.rec_stats;
+        let mon = self.health.as_mut().expect("health monitor checked above");
+        let (record, drift_alarm, floor_alarm) =
+            mon.observe(step_no, t, u, &self.prim, rho_floor, rec);
+        rank.trace_counter("health.drift", record.drift);
+        rank.trace_counter("health.atmo_frac", record.atmo_frac);
+        rank.trace_counter("health.limiter_frac", record.limiter_frac);
+        rank.trace_counter("health.max_lorentz", record.max_w);
+        if drift_alarm {
+            rank.trace_instant("health.alarm.drift", record.drift);
+        }
+        if floor_alarm {
+            rank.trace_instant("health.alarm.floor", record.atmo_frac);
+        }
+        if let Some(m) = &self.metrics {
+            m.counter("health.records").inc();
+            if drift_alarm {
+                m.counter("health.drift_alarms").inc();
+            }
+            if floor_alarm {
+                m.counter("health.floor_alarms").inc();
+            }
         }
     }
 
@@ -763,6 +832,10 @@ impl BlockSolver {
         let mut stats = DistStats::default();
         let refresh = self.cfg.dt_refresh_interval.max(1);
         let mut dt_cached = 0.0;
+        if let Some(mon) = &mut self.health {
+            mon.ensure_baseline(u);
+        }
+        let mut t = 0.0;
         for step in 0..nsteps {
             let dt = if step % refresh == 0 {
                 dt_cached = self.stable_dt(rank, u)?;
@@ -777,8 +850,10 @@ impl BlockSolver {
                 return Err(SolverError::TimestepCollapse { dt });
             }
             self.step(rank, u, dt)?;
+            t += dt;
             stats.steps += 1;
             stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
+            self.health_observe(rank, u, t, stats.steps as u64);
         }
         stats.elapsed = start.elapsed();
         stats.bytes_sent = rank.bytes_sent() - bytes0;
@@ -799,6 +874,9 @@ impl BlockSolver {
         let vtime0 = rank.vtime();
         let mut t = t0;
         let mut stats = DistStats::default();
+        if let Some(mon) = &mut self.health {
+            mon.ensure_baseline(u);
+        }
         while t < t_end - 1e-14 {
             let mut dt = self.stable_dt(rank, u)?;
             // Negated form deliberately catches NaN as a collapse.
@@ -813,6 +891,7 @@ impl BlockSolver {
             t += dt;
             stats.steps += 1;
             stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
+            self.health_observe(rank, u, t, stats.steps as u64);
         }
         stats.elapsed = start.elapsed();
         stats.bytes_sent = rank.bytes_sent() - bytes0;
@@ -1048,6 +1127,37 @@ impl BlockSolver {
         t_end: f64,
         res: &ResilienceConfig,
     ) -> Result<(DistStats, ResilienceStats), SolverError> {
+        let out = self.advance_with_restart_inner(rank, u, t0, t_end, res);
+        if let Err(e) = &out {
+            // Terminal failure (fault escalation past every recovery
+            // tier, or this rank's own injected death): flush the flight
+            // recorder so the last seconds before the fault survive for
+            // post-mortem, even though the caller is about to unwind.
+            let reason = match e {
+                SolverError::RankFailed { .. } => "rank_failed",
+                SolverError::PeerSuspect { .. } => "peer_suspect",
+                SolverError::Checkpoint { .. } => "checkpoint",
+                SolverError::TimestepCollapse { .. } => "timestep_collapse",
+                SolverError::Con2Prim { .. } => "con2prim",
+                SolverError::HaloMismatch { .. } => "halo_mismatch",
+                SolverError::HaloCorrupt { .. } => "halo_corrupt",
+            };
+            if let Some(tracer) = rank.tracer() {
+                let t_ns = tracer.stamp(rank.is_virtual().then(|| rank.vtime()));
+                tracer.dump_on_fault(rank.rank() as u32, reason, t_ns);
+            }
+        }
+        out
+    }
+
+    fn advance_with_restart_inner(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        t0: f64,
+        t_end: f64,
+        res: &ResilienceConfig,
+    ) -> Result<(DistStats, ResilienceStats), SolverError> {
         fn ck_err(e: rhrsc_io::checkpoint::CheckpointError) -> SolverError {
             SolverError::Checkpoint { msg: e.to_string() }
         }
@@ -1078,17 +1188,24 @@ impl BlockSolver {
         if let Some(slots) = &slots {
             // Always write an initial checkpoint so a restore target
             // exists from the very first step.
+            let s = self.pstart(rank);
             let ckp = Checkpoint {
                 time: t,
                 step: step_no,
                 field: u.clone(),
             };
             slots.save(&ckp).map_err(ck_err)?;
+            self.pend("phase.ckp.save", rank, s);
             rstats.checkpoints_saved += 1;
         }
         if let Some(g) = &gslots {
+            let s = self.pstart(rank);
             self.save_global_distributed(rank, g, u, t, step_no)?;
+            self.pend("phase.ckp.global", rank, s);
             rstats.global_checkpoints_saved += 1;
+        }
+        if let Some(mon) = &mut self.health {
+            mon.ensure_baseline(u);
         }
         let injector = rank.fault_injector().cloned();
         while t < t_end - 1e-14 {
@@ -1097,6 +1214,7 @@ impl BlockSolver {
             // the silence, agree, and shrink without it).
             if let Some(inj) = &injector {
                 if inj.should_crash_rank(rank.rank(), step_no) {
+                    rank.trace_instant("driver.rank_failed", step_no as f64);
                     return Err(SolverError::RankFailed { step: step_no });
                 }
             }
@@ -1108,6 +1226,7 @@ impl BlockSolver {
                     let cells: Vec<_> = self.geom.interior_iter().collect();
                     let (i, j, k) = cells[victim as usize % cells.len()];
                     u.set(0, i, j, k, f64::NAN);
+                    rank.trace_instant("driver.poison_injected", step_no as f64);
                 }
             }
             let mut attempt = 0usize;
@@ -1165,9 +1284,17 @@ impl BlockSolver {
                             })?;
                         rstats.shrinks += 1;
                         rstats.ranks_lost += u64::from(newly_dead.count_ones());
+                        let s = self.pstart(rank);
                         let (t_r, s_r) = self.shrink_and_restore(rank, u, gslots_ref)?;
+                        self.pend("driver.shrink_restore", rank, s);
                         t = t_r;
                         step_no = s_r;
+                        // The local domain just changed: old conservation
+                        // baselines are meaningless.
+                        if let Some(mon) = &mut self.health {
+                            mon.rebaseline();
+                            mon.ensure_baseline(u);
+                        }
                         // Resume cautiously on the smaller machine.
                         cfl_scale = 0.25;
                         backup = Field::cons(self.geom);
@@ -1196,6 +1323,7 @@ impl BlockSolver {
                     // False alarm: every suspect defended itself in the
                     // consensus. Fall through to the ordinary retry path.
                     rstats.false_suspicions += 1;
+                    rank.trace_instant("driver.false_suspicion", step_no as f64);
                     if let Some(m) = &self.metrics {
                         m.counter("driver.false_suspicions").add(1);
                     }
@@ -1214,19 +1342,22 @@ impl BlockSolver {
                         cfl_scale = (cfl_scale * 2.0).min(1.0);
                         let interval = res.checkpoint_interval;
                         let due = interval > 0 && step_no.is_multiple_of(interval as u64);
-                        if let Some(slots) = &slots {
-                            if due {
+                        if due {
+                            if let Some(slots) = &slots {
+                                let s = self.pstart(rank);
                                 let ckp = Checkpoint {
                                     time: t,
                                     step: step_no,
                                     field: u.clone(),
                                 };
                                 slots.save(&ckp).map_err(ck_err)?;
+                                self.pend("phase.ckp.save", rank, s);
                                 rstats.checkpoints_saved += 1;
                             }
                         }
                         if let Some(g) = &gslots {
                             if due {
+                                let s = self.pstart(rank);
                                 match self.save_global_distributed(rank, g, u, t, step_no) {
                                     Ok(()) => rstats.global_checkpoints_saved += 1,
                                     // A peer died mid-gather: the suspicion
@@ -1236,8 +1367,10 @@ impl BlockSolver {
                                     Err(SolverError::PeerSuspect { .. }) => {}
                                     Err(e) => return Err(e),
                                 }
+                                self.pend("phase.ckp.global", rank, s);
                             }
                         }
+                        self.health_observe(rank, u, t, step_no);
                         break;
                     }
                     outcome => {
@@ -1249,6 +1382,10 @@ impl BlockSolver {
                                 rstats.retried_steps += 1;
                             }
                             rstats.retries += 1;
+                            rank.trace_instant("driver.retry", (attempt + 1) as f64);
+                            if let Some(m) = &self.metrics {
+                                m.counter("driver.retries").add(1);
+                            }
                             attempt += 1;
                             continue;
                         }
@@ -1265,6 +1402,7 @@ impl BlockSolver {
                                 }))
                             }
                         };
+                        let s = self.pstart(rank);
                         let loaded = slots_ref.load_newest();
                         let all_loaded =
                             rank.allreduce_min(if loaded.is_ok() { 1.0 } else { 0.0 }) > 0.5;
@@ -1311,6 +1449,10 @@ impl BlockSolver {
                         step_no = ckp.step;
                         rstats.restarts += 1;
                         restarts_left -= 1;
+                        self.pend("driver.restart_restore", rank, s);
+                        if let Some(m) = &self.metrics {
+                            m.counter("driver.restarts").add(1);
+                        }
                         // Resume cautiously; successful steps double the
                         // scale back toward 1.
                         cfl_scale = 0.25;
@@ -1718,6 +1860,38 @@ mod tests {
         }
         let global = outs.into_iter().next().unwrap().1.unwrap();
         assert_eq!(global.raw(), plain.raw());
+
+        // Arming the flight recorder and the physics-health monitor must
+        // not change a single bit either: all instrumentation is
+        // read-only over the state.
+        use rhrsc_runtime::trace::Tracer;
+        let res_traced = ResilienceConfig {
+            checkpoint_dir: Some(dir.join("traced")),
+            checkpoint_interval: 7,
+            ..ResilienceConfig::default()
+        };
+        let tracer = std::sync::Arc::new(Tracer::new(1024));
+        let outs = run(2, NetworkModel::ideal(), |rank| {
+            rank.set_trace(tracer.clone());
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            solver.set_health(crate::health::HealthConfig {
+                verbose: false,
+                ..Default::default()
+            });
+            solver
+                .advance_to_with_restart(rank, &mut u, 0.0, 0.1, &res_traced)
+                .unwrap();
+            gather_global(rank, &cfg, &u).unwrap()
+        });
+        let traced = outs.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            traced.raw(),
+            plain.raw(),
+            "tracing + health instrumentation must be bit-invisible"
+        );
+        // And the recorder actually captured the run.
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("phase.") && json.contains("health.drift"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

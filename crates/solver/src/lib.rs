@@ -23,11 +23,15 @@
 //!   waves, density-wave advection, 2D Riemann, Kelvin–Helmholtz, boosted
 //!   tubes),
 //! * [`diag`] — diagnostics: L1 errors vs. reference solutions,
-//!   conservation audits, Lorentz-factor extrema.
+//!   conservation audits, Lorentz-factor extrema,
+//! * [`health`] — periodic rank-local physics-health telemetry
+//!   (conservation drift, atmosphere occupancy, con2prim cascade rates)
+//!   with a soft anomaly watchdog.
 
 pub mod device_backend;
 pub mod diag;
 pub mod driver;
+pub mod health;
 pub mod integrate;
 pub mod problems;
 pub mod scheme;
@@ -36,5 +40,6 @@ pub mod step;
 
 pub use device_backend::{BreakerConfig, BreakerState, BreakerStats, DevicePatchSolver};
 pub use driver::{ResilienceConfig, ResilienceStats};
+pub use health::{HealthConfig, HealthMonitor, HealthRecord, HealthSummary};
 pub use integrate::{PatchSolver, RkOrder};
 pub use scheme::{RecoveryPolicy, RecoveryStats, Scheme, SolverError};

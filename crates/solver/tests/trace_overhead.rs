@@ -1,0 +1,83 @@
+//! Overhead bound for the flight recorder on the distributed driver loop.
+//!
+//! Run manually (timing tests are noisy under CI load):
+//!
+//! ```sh
+//! cargo test --release -p rhrsc-solver --test trace_overhead -- --ignored --nocapture
+//! ```
+//!
+//! The *disabled* path (no tracer attached) costs one `Option` check per
+//! phase boundary and per liveness event, so it does strictly less work
+//! than the *enabled* path measured here; showing enabled-vs-disabled is
+//! within 2% bounds the disabled-path overhead from above.
+
+use rhrsc_comm::{run, NetworkModel};
+use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::trace::Tracer;
+use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
+use rhrsc_solver::{RkOrder, Scheme};
+use rhrsc_srhd::Prim;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn cfg() -> DistConfig {
+    DistConfig {
+        scheme: Scheme::default_with_gamma(5.0 / 3.0),
+        rk: RkOrder::Rk2,
+        global_n: [64, 64, 1],
+        domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+        decomp: CartDecomp {
+            dims: [1, 1, 1],
+            periodic: [true, true, false],
+        },
+        bcs: bc::uniform(Bc::Periodic),
+        cfl: 0.4,
+        mode: ExchangeMode::BulkSynchronous,
+        gang_threads: 0,
+        dt_refresh_interval: 1,
+    }
+}
+
+fn ic(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+        vel: [0.2, 0.1, 0.0],
+        p: 1.0,
+    }
+}
+
+/// Seconds for `nsteps` on one ideal-network rank, best of `reps`.
+fn time_loop(nsteps: usize, reps: usize, tracer: Option<Arc<Tracer>>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let tracer = tracer.clone();
+        let secs = run(1, NetworkModel::ideal(), move |rank| {
+            if let Some(tr) = &tracer {
+                rank.set_trace(tr.clone());
+            }
+            let (mut solver, mut u) = BlockSolver::new(cfg(), rank.rank(), &ic);
+            let t0 = Instant::now();
+            solver.advance_steps(rank, &mut u, nsteps).unwrap();
+            t0.elapsed().as_secs_f64()
+        })[0];
+        best = best.min(secs);
+    }
+    best
+}
+
+#[test]
+#[ignore = "timing measurement; run manually with --release --ignored"]
+fn trace_overhead_is_small() {
+    let (nsteps, reps) = (40, 5);
+    time_loop(4, 1, None); // warm up
+    let off = time_loop(nsteps, reps, None);
+    let on = time_loop(nsteps, reps, Some(Arc::new(Tracer::new(16 * 1024))));
+    let ratio = on / off;
+    println!("trace off: {off:.4}s  on: {on:.4}s  ratio: {ratio:.4}");
+    // The enabled path pushes a handful of ring events per step (fixed
+    // capacity, no allocation after warm-up) against ~10 ms of physics.
+    assert!(
+        ratio < 1.02,
+        "trace-enabled loop {ratio:.3}x slower than disabled (off {off:.4}s, on {on:.4}s)"
+    );
+}
