@@ -1,8 +1,9 @@
 //! A5 — Mesh-refinement efficiency.
 //!
-//! The classic AMR payoff table: Sod at uniform N=100, uniform N=200, and
-//! SMR (coarse 100 + a ratio-2 fine level over the Riemann fan), with
-//! L1(ρ) error, zone-update counts (∝ cost), and error·cost efficiency.
+//! The classic AMR payoff table: Sod at uniform N=100, uniform N=200,
+//! SMR (coarse 100 + a ratio-2 fine level over the Riemann fan), and
+//! fully adaptive AMR at the same finest resolution, with L1(ρ) error,
+//! zone-update counts (∝ cost), and error·cost efficiency.
 //!
 //! Expected shape: SMR reaches close to the uniform-fine error at a
 //! fraction of the fine zone-updates — the argument for adaptivity that
@@ -11,6 +12,7 @@
 use rhrsc_bench::{f3, print_phase_table, sci, BenchOpts, RunReport, Table};
 use rhrsc_grid::PatchGeom;
 use rhrsc_runtime::Registry;
+use rhrsc_solver::amr::{AmrConfig, AmrSolver};
 use rhrsc_solver::diag::l1_density_error;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::init_cons;
@@ -90,27 +92,60 @@ fn main() {
     let (e_smr, z_smr) = run_smr(false);
     let (e_sub, z_sub) = run_smr(true);
 
+    // AMR: same base grid and finest resolution, but the solver *finds*
+    // the Riemann fan itself (flag + cluster + regrid) instead of being
+    // handed a static window — the dynamic counterpart of the SMR rows.
+    let mut amr = AmrSolver::new(
+        scheme,
+        prob.bcs,
+        RkOrder::Rk3,
+        100,
+        0.0,
+        1.0,
+        AmrConfig {
+            max_levels: 2,
+            ..AmrConfig::default()
+        },
+    );
+    amr.init(&|x| (prob.ic)(x));
+    let t0 = Instant::now();
+    amr.advance_to(0.0, prob.t_end, 0.4).unwrap();
+    reg.histogram("phase.advance")
+        .record(t0.elapsed().as_nanos() as u64);
+    let e_amr = amr.l1_density_error(&*exact, prob.t_end).unwrap();
+    let z_amr = amr.cell_updates();
+
     for (name, e, z) in [
         ("uniform-100", e_coarse, z_coarse),
         ("uniform-200", e_fine, z_fine),
         ("smr-100+2x", e_smr, z_smr),
         ("smr+subcycle", e_sub, z_sub),
+        ("amr-100+2lvl", e_amr, z_amr),
     ] {
         table.row(&[name.to_string(), sci(e), z.to_string(), f3(e / e_fine)]);
     }
     table.print();
     table.save_csv("a5_smr_efficiency");
     assert!(e_smr < e_coarse, "SMR must beat uniform-coarse");
+    assert!(e_amr < e_coarse, "AMR must beat uniform-coarse");
+    assert!(
+        z_amr < z_sub,
+        "adaptive patches must cost less than the static subcycled window"
+    );
     let snap = reg.snapshot();
     if opts.profile {
         print_phase_table("a5_smr_efficiency", &snap);
     }
     RunReport::new("a5_smr_efficiency")
-        .config_str("problem", "sod, uniform 100/200 vs smr 100+2x")
+        .config_str(
+            "problem",
+            "sod, uniform 100/200 vs smr 100+2x vs amr 100+2lvl",
+        )
         .config_num("n_coarse", 100.0)
         .config_num("n_fine", 200.0)
+        .config_num("l1_amr", e_amr)
         .wall_time(bench_t0.elapsed().as_secs_f64())
         .parallelism(1.0)
-        .zone_updates((z_coarse + z_fine + z_smr + z_sub) as f64)
+        .zone_updates((z_coarse + z_fine + z_smr + z_sub + z_amr) as f64)
         .write(&snap);
 }

@@ -2,30 +2,38 @@
 //!
 //! Single-mode perturbed relativistic shear layer at 64² and 128²,
 //! tracking the transverse-momentum RMS. Reports the time series and the
-//! fitted linear-phase growth rate per resolution.
+//! fitted linear-phase growth rate per resolution. `--toy` runs only the
+//! 32² grid to t = 2 (no rate convergence, just the harness smoke).
 //!
 //! Expected shape: after an initial acoustic transient (t ≲ 1) the
 //! single mode grows exponentially; the fitted rate converges with
 //! resolution (finer grids diffuse the thin layer less, so coarse grids
 //! under-predict the rate).
 
-use rhrsc_bench::{f3, Table};
+use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_grid::PatchGeom;
+use rhrsc_runtime::Registry;
 use rhrsc_solver::diag::transverse_momentum_rms;
 use rhrsc_solver::problems::Problem;
 use rhrsc_solver::scheme::{init_cons, Scheme};
 use rhrsc_solver::{PatchSolver, RkOrder};
 use std::io::Write;
+use std::time::Instant;
 
 fn main() {
+    let opts = BenchOpts::from_args();
     println!("# F3: relativistic KHI growth, shear v = ±0.5, single-mode perturbation");
     let prob = Problem::kelvin_helmholtz(0.5, 0.01);
-    let t_end: f64 = 4.0;
-    let n_out = 32;
+    let t_end: f64 = if opts.toy { 2.0 } else { 4.0 };
+    let n_out = if opts.toy { 16 } else { 32 };
+    let resolutions: &[usize] = if opts.toy { &[32] } else { &[64, 128] };
+    let reg = Registry::new();
+    let bench_t0 = Instant::now();
+    let mut zone_updates = 0u64;
 
     let mut table = Table::new(&["resolution", "growth_rate", "amplification"]);
     let dir = rhrsc_bench::results_dir();
-    for n in [64usize, 128] {
+    for &n in resolutions {
         let scheme = Scheme {
             eos: prob.eos,
             ..Scheme::default_with_gamma(4.0 / 3.0)
@@ -38,6 +46,7 @@ fn main() {
         let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
         writeln!(f, "t,sy_rms").unwrap();
         let mut series = Vec::new();
+        let t0 = Instant::now();
         for s in 0..=n_out {
             let t_target = t_end * s as f64 / n_out as f64;
             if s > 0 {
@@ -50,12 +59,16 @@ fn main() {
             series.push((t_target, rms));
             writeln!(f, "{t_target},{rms}").unwrap();
         }
+        reg.histogram("phase.advance")
+            .record(t0.elapsed().as_nanos() as u64);
+        zone_updates += solver.stats().zone_updates;
         println!("  -> wrote {}", path.display());
 
         // Least-squares fit of ln(rms) over the linear phase.
+        let (fit_lo, fit_hi) = if opts.toy { (0.5, 1.9) } else { (1.5, 3.5) };
         let pts: Vec<(f64, f64)> = series
             .iter()
-            .filter(|&&(t, a)| t > 1.5 && t < 3.5 && a > 0.0)
+            .filter(|&&(t, a)| t > fit_lo && t < fit_hi && a > 0.0)
             .map(|&(t, a)| (t, a.ln()))
             .collect();
         let nn = pts.len() as f64;
@@ -69,4 +82,16 @@ fn main() {
     }
     table.print();
     table.save_csv("f3_khi_growth");
+    let snap = reg.snapshot();
+    if opts.profile {
+        print_phase_table("f3_khi_growth", &snap);
+    }
+    RunReport::new("f3_khi_growth")
+        .config_str("problem", "khi shear 0.5, single mode")
+        .config_num("t_end", t_end)
+        .config_num("resolutions", resolutions.len() as f64)
+        .wall_time(bench_t0.elapsed().as_secs_f64())
+        .parallelism(1.0)
+        .zone_updates(zone_updates as f64)
+        .write(&snap);
 }

@@ -3,9 +3,10 @@
 //! [`rhrsc_bench::validate_report`] and [`rhrsc_bench::validate_trace`]).
 //! Exits non-zero if any report is missing required fields, has
 //! non-positive phase totals, claims more phase time than
-//! `wall_time × parallelism` allows, or — for the fault-tolerance
-//! benches — is missing the resilience counters that prove the fault
-//! machinery actually engaged.
+//! `wall_time × parallelism` allows, or — for the fault-tolerance and
+//! AMR benches — is missing the counters that prove the corresponding
+//! machinery actually engaged. Standardized physics benches must also
+//! report a positive `zone_updates` cost figure.
 //!
 //! Usage: `validate_reports [dir]` — defaults to the workspace
 //! `results/` directory (or `RHRSC_RESULTS_DIR`).
@@ -27,6 +28,23 @@ const REQUIRED_COUNTERS: &[(&str, &[&str])] = &[
             "driver.shrinks",
         ],
     ),
+    (
+        "f12_amr",
+        &["amr.regrids", "amr.updates.l1", "amr.reflux.corrections"],
+    ),
+];
+
+/// Bench ids whose reports must carry a positive `zone_updates` figure —
+/// the standardized physics benches, where a missing update count means
+/// the harness migration silently dropped the cost accounting.
+const REQUIRED_ZONE_UPDATES: &[&str] = &[
+    "f1_sod_profile",
+    "f2_blast_waves",
+    "f3_khi_growth",
+    "t1_convergence",
+    "t2_shock_accuracy",
+    "f12_amr",
+    "a5_smr_efficiency",
 ];
 
 /// Bench-specific check on top of the generic schema: required counters.
@@ -36,6 +54,15 @@ fn check_required_counters(doc: &Json) -> Result<(), String> {
     let Some(id) = doc.get("id").and_then(Json::as_str) else {
         return Ok(()); // schema validation already rejects this
     };
+    if REQUIRED_ZONE_UPDATES.contains(&id) {
+        let z = doc
+            .get("zone_updates")
+            .and_then(Json::as_f64)
+            .ok_or(format!("`{id}` must report zone_updates"))?;
+        if !(z > 0.0) {
+            return Err(format!("zone_updates must be positive, got {z}"));
+        }
+    }
     let Some((_, required)) = REQUIRED_COUNTERS.iter().find(|(k, _)| *k == id) else {
         return Ok(());
     };

@@ -30,6 +30,8 @@ const VERSION: u32 = 2;
 /// Version tag of the rank-count-independent global format (see
 /// [`GlobalCheckpoint`]).
 const GLOBAL_VERSION: u32 = 3;
+/// Version tag of the AMR hierarchy format (see [`AmrCheckpoint`]).
+const AMR_VERSION: u32 = 4;
 
 /// A restartable solver state.
 #[derive(Debug, Clone, PartialEq)]
@@ -398,6 +400,156 @@ pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> 
         ncomp,
         blocks,
     })
+}
+
+/// One patch of an [`AmrCheckpoint`]: a 1D interval of its level's global
+/// cell index space plus the interior conserved data (component-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmrPatchRecord {
+    /// Refinement level (0 = base grid).
+    pub level: u32,
+    /// First cell of the patch in the level's global index space.
+    pub lo: u64,
+    /// Interior cell count.
+    pub n: u64,
+    /// Interior conserved data, component-major (`c * n + i`).
+    pub data: Vec<f64>,
+}
+
+/// AMR hierarchy checkpoint (format version 4): every patch of every
+/// level with its level-global placement. Ghosts, primitives and parent
+/// links are reconstructed deterministically on restore, so a restarted
+/// run continues bit-identically — asserted by the solver tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmrCheckpoint {
+    /// Simulation time.
+    pub time: f64,
+    /// Base-level step counter (also fixes the regrid phase).
+    pub step: u64,
+    /// Base-grid interior cell count.
+    pub n0: u64,
+    /// Components per cell.
+    pub ncomp: usize,
+    /// Patches, coarse-to-fine then left-to-right.
+    pub patches: Vec<AmrPatchRecord>,
+}
+
+/// Serialize an AMR checkpoint to bytes (format version 4; same
+/// magic/FNV/CRC armor as the other formats).
+pub fn encode_amr(ckp: &AmrCheckpoint) -> Vec<u8> {
+    let payload: usize = ckp.patches.iter().map(|p| 24 + p.data.len() * 8).sum();
+    let mut buf = BytesMut::with_capacity(64 + payload);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(AMR_VERSION);
+    buf.put_f64_le(ckp.time);
+    buf.put_u64_le(ckp.step);
+    buf.put_u64_le(ckp.n0);
+    buf.put_u64_le(ckp.ncomp as u64);
+    buf.put_u64_le(ckp.patches.len() as u64);
+    let data_start = buf.len();
+    for p in &ckp.patches {
+        buf.put_u32_le(p.level);
+        buf.put_u64_le(p.lo);
+        buf.put_u64_le(p.n);
+        for &v in &p.data {
+            buf.put_f64_le(v);
+        }
+    }
+    let fnv = fnv1a(&buf[data_start..]);
+    buf.put_u64_le(fnv);
+    let footer = crc32(&buf[..]);
+    buf.put_u32_le(footer);
+    buf.to_vec()
+}
+
+/// Deserialize an AMR checkpoint from bytes.
+pub fn decode_amr(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
+    let orig = bytes;
+    let mut bytes = bytes;
+    if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
+        return Err(CheckpointError::Format("missing magic".into()));
+    }
+    bytes.advance(8);
+    let version = bytes.get_u32_le();
+    if version != AMR_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported AMR version {version}"
+        )));
+    }
+    if bytes.remaining() < 8 + 8 + 8 + 8 + 8 + 12 {
+        return Err(CheckpointError::Format("truncated header".into()));
+    }
+    // Whole-file CRC first: a bit flip anywhere is fatal to a restart.
+    let footer_off = orig.len() - 4;
+    let stored = u32::from_le_bytes([
+        orig[footer_off],
+        orig[footer_off + 1],
+        orig[footer_off + 2],
+        orig[footer_off + 3],
+    ]);
+    if crc32(&orig[..footer_off]) != stored {
+        return Err(CheckpointError::Corrupt);
+    }
+    let time = bytes.get_f64_le();
+    let step = bytes.get_u64_le();
+    let n0 = bytes.get_u64_le();
+    let ncomp = bytes.get_u64_le() as usize;
+    let npatches = bytes.get_u64_le() as usize;
+    let data_len = bytes.remaining().saturating_sub(8 + 4);
+    let fnv_expected = fnv1a(&bytes[..data_len]);
+    let mut patches = Vec::with_capacity(npatches.min(4096));
+    for _ in 0..npatches {
+        if bytes.remaining() < 20 + 8 + 4 {
+            return Err(CheckpointError::Format("truncated patch header".into()));
+        }
+        let level = bytes.get_u32_le();
+        let lo = bytes.get_u64_le();
+        let n = bytes.get_u64_le();
+        let len = ncomp
+            .checked_mul(n as usize)
+            .ok_or_else(|| CheckpointError::Format("patch size overflow".into()))?;
+        if bytes.remaining() < len * 8 + 8 + 4 {
+            return Err(CheckpointError::Format("truncated patch data".into()));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(bytes.get_f64_le());
+        }
+        patches.push(AmrPatchRecord { level, lo, n, data });
+    }
+    if bytes.remaining() != 8 + 4 {
+        return Err(CheckpointError::Format("trailing bytes".into()));
+    }
+    if fnv_expected != bytes.get_u64_le() {
+        return Err(CheckpointError::Corrupt);
+    }
+    Ok(AmrCheckpoint {
+        time,
+        step,
+        n0,
+        ncomp,
+        patches,
+    })
+}
+
+/// Write an AMR checkpoint file atomically (tmp + fsync + rename).
+pub fn save_amr_checkpoint(path: &Path, ckp: &AmrCheckpoint) -> Result<(), CheckpointError> {
+    let bytes = encode_amr(ckp);
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read an AMR checkpoint file.
+pub fn load_amr_checkpoint(path: &Path) -> Result<AmrCheckpoint, CheckpointError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode_amr(&bytes)
 }
 
 /// Write a global checkpoint file atomically (tmp + fsync + rename).
@@ -836,6 +988,59 @@ mod tests {
         }
         // A span poking outside the covered region must report a gap.
         assert!(ckp.extract_span([4, 0, 0], [3, 4, 1]).is_none());
+    }
+
+    /// A three-level AMR hierarchy with recognizable per-patch data.
+    fn sample_amr() -> AmrCheckpoint {
+        let mk = |level: u32, lo: u64, n: u64| {
+            let data = (0..5 * n)
+                .map(|i| (level as u64 * 100_000 + lo * 1000 + i) as f64 * 0.5)
+                .collect();
+            AmrPatchRecord { level, lo, n, data }
+        };
+        AmrCheckpoint {
+            time: 0.125,
+            step: 17,
+            n0: 64,
+            ncomp: 5,
+            patches: vec![mk(0, 0, 64), mk(1, 20, 24), mk(1, 80, 16), mk(2, 56, 24)],
+        }
+    }
+
+    #[test]
+    fn amr_roundtrip_is_exact() {
+        let ckp = sample_amr();
+        let out = decode_amr(&encode_amr(&ckp)).unwrap();
+        assert_eq!(out, ckp);
+    }
+
+    #[test]
+    fn amr_detects_corruption_truncation_and_wrong_version() {
+        let ckp = sample_amr();
+        let bytes = encode_amr(&ckp);
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 0xff;
+        assert!(matches!(decode_amr(&bad), Err(CheckpointError::Corrupt)));
+        assert!(decode_amr(&bytes[..bytes.len() - 5]).is_err());
+        // The per-rank (v2) decoder must refuse an AMR (v4) file and vice
+        // versa — the version field distinguishes the formats.
+        assert!(matches!(decode(&bytes), Err(CheckpointError::Format(_))));
+        let rank = encode(&sample());
+        assert!(matches!(decode_amr(&rank), Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn amr_file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join("rhrsc-amr-ckp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("amr.ckp");
+        let tmp = tmp_path(&path);
+        std::fs::write(&tmp, b"stale torn write").unwrap();
+        let ckp = sample_amr();
+        save_amr_checkpoint(&path, &ckp).unwrap();
+        assert!(!tmp.exists(), "tmp file must be renamed away");
+        assert_eq!(load_amr_checkpoint(&path).unwrap(), ckp);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

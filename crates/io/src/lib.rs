@@ -14,5 +14,6 @@ pub mod image;
 pub mod vtk;
 
 pub use checkpoint::{
-    load_checkpoint, save_checkpoint, Checkpoint, CheckpointError, CheckpointSlots,
+    load_amr_checkpoint, load_checkpoint, save_amr_checkpoint, save_checkpoint, AmrCheckpoint,
+    AmrPatchRecord, Checkpoint, CheckpointError, CheckpointSlots,
 };

@@ -1,0 +1,1298 @@
+//! Block-structured adaptive mesh refinement (AMR) for 1D problems:
+//! multiple refinement levels at ratio 2 with Berger–Oliger time
+//! subcycling, conservative refluxing, and dynamic regridding.
+//!
+//! This generalizes the two-level static [`crate::smr::SmrSolver`] to a
+//! *hierarchy*: level 0 is a single patch covering the domain; every
+//! level `ℓ ≥ 1` is a set of disjoint rectangular patches at cell size
+//! `Δx₀/2^ℓ`, **properly nested** inside level `ℓ−1` with at least
+//! [`AmrConfig::nest_margin`] parent cells of clearance. Both solvers are
+//! built from the shared [`crate::refine`] operators.
+//!
+//! The moving parts:
+//!
+//! * **Error estimation** — a Löhner-style normalized second-difference
+//!   indicator on the conserved density `D` and energy `τ` flags cells
+//!   whose local curvature exceeds [`AmrConfig::threshold`].
+//! * **Clustering** — flagged cells are dilated by [`AmrConfig::buffer`]
+//!   cells, intersected with the properly-nested admissible region, and
+//!   signature-clustered into maximal runs (runs closer than
+//!   [`AmrConfig::merge_gap`] merge; runs grow to [`AmrConfig::min_size`]).
+//! * **Subcycling** — level `ℓ` advances with `Δt/2^ℓ`; each child level
+//!   takes two substeps per parent step with ghost data prolonged from a
+//!   *time-interpolated* parent state (the interpolation parameter is
+//!   propagated up the ancestor chain, so a level-2 stage reads level-1
+//!   and level-0 data at the same physical time).
+//! * **Refluxing** — during a parent step the parent-side flux at every
+//!   coarse–fine interface is accumulated with the SSP-RK *effective*
+//!   weights; the child accumulates its own boundary fluxes over both
+//!   substeps with half weights. After restriction the uncovered parent
+//!   neighbor is corrected by the difference, which makes the composite
+//!   `D`/`S`/`τ` integrals exact to round-off on periodic domains
+//!   (asserted by tests and by the property suite).
+//! * **Regridding** — every [`AmrConfig::regrid_interval`] coarse steps
+//!   the hierarchy is rebuilt coarse-to-fine; new patches copy state from
+//!   the old hierarchy where it overlaps and conservatively prolong from
+//!   the parent elsewhere. Because patches always cover whole parent
+//!   cells, the transfer preserves the composite integrals exactly.
+//! * **Offload** — with [`AmrSolver::attach_device`], fine-level residual
+//!   evaluations are staged through the simulated [`Accelerator`]
+//!   (upload primitives → launch the reconstruction/Riemann kernel →
+//!   download residual and interface fluxes), the same path
+//!   [`crate::DevicePatchSolver`] takes; results are bit-identical to the
+//!   host path.
+//!
+//! Metrics (`amr.regrids`, `amr.updates.l<ℓ>`, `amr.reflux.corrections`,
+//! `amr.dev.launches`, the `amr.patches` histogram) and trace spans
+//! (`amr.regrid`, `amr.reflux`) thread through the PR 2/PR 4 layers via
+//! [`AmrSolver::set_metrics`] / [`AmrSolver::set_trace`].
+
+use crate::integrate::RkOrder;
+use crate::refine::{prolong_span, restrict_onto, rhs_1d_with_fluxes, rk_tables};
+use crate::scheme::{
+    apply_conserved_floors, init_cons, max_dt, prim_at, recover_prims, Geometry, Scheme,
+    SolverError,
+};
+use rhrsc_grid::{fill_ghosts, BcSet, Field, PatchGeom};
+use rhrsc_io::checkpoint::{AmrCheckpoint, AmrPatchRecord};
+use rhrsc_runtime::trace::{Tracer, Track};
+use rhrsc_runtime::{Accelerator, AcceleratorConfig, Registry};
+use rhrsc_srhd::{Cons, Prim, NCOMP};
+use std::sync::Arc;
+
+/// Tuning knobs of the AMR hierarchy.
+#[derive(Debug, Clone)]
+pub struct AmrConfig {
+    /// Total number of levels including the base grid (1 = uniform).
+    pub max_levels: usize,
+    /// Löhner indicator threshold above which a cell is flagged.
+    pub threshold: f64,
+    /// Dilation radius around flagged cells, in parent-level cells.
+    pub buffer: usize,
+    /// Minimum patch width in parent-level cells (small runs grow).
+    pub min_size: usize,
+    /// Runs separated by fewer than this many parent cells merge.
+    pub merge_gap: usize,
+    /// Coarse steps between regrids (0 disables regridding).
+    pub regrid_interval: usize,
+    /// Proper-nesting clearance: parent interior cells required between a
+    /// child patch and the edge of its parent's region. Must be ≥ 2 so
+    /// that reflux targets are uncovered and prolongation stencils stay
+    /// inside the parent patch (plus its own filled ghosts).
+    pub nest_margin: usize,
+}
+
+impl Default for AmrConfig {
+    fn default() -> Self {
+        AmrConfig {
+            max_levels: 3,
+            threshold: 0.35,
+            buffer: 2,
+            min_size: 4,
+            merge_gap: 4,
+            regrid_interval: 4,
+            nest_margin: 2,
+        }
+    }
+}
+
+/// One rectangular patch of a refinement level. `lo` and `n` index the
+/// level's *global* cell space (cell `g` spans
+/// `[x0 + g·Δxℓ, x0 + (g+1)·Δxℓ]`); `lo` is always even for `ℓ ≥ 1`, so a
+/// patch covers whole parent cells.
+struct Patch {
+    lo: usize,
+    n: usize,
+    /// Index of the parent patch in `levels[ℓ-1]` (0 for level 0).
+    parent_idx: usize,
+    u: Field,
+    prim: Field,
+    rhs: Field,
+    stage: Field,
+    /// State at the start of the current step (children's lerp anchor).
+    base: Field,
+    /// Scratch for time-interpolated ghost prolongation.
+    lerp: Field,
+    flux: Vec<Cons>,
+    /// Accumulated own-boundary effective fluxes toward the parent.
+    acc: [Cons; 2],
+    /// Parent-side accumulated effective fluxes at this patch's faces.
+    acc_parent: [Cons; 2],
+}
+
+/// Multi-level adaptive-mesh solver for 1D Cartesian problems.
+pub struct AmrSolver {
+    scheme: Scheme,
+    bcs: BcSet,
+    rk: RkOrder,
+    cfg: AmrConfig,
+    x0: f64,
+    dx0: f64,
+    n0: usize,
+    ng: usize,
+    /// `levels[0]` holds exactly one patch covering the domain; finer
+    /// levels may be empty.
+    levels: Vec<Vec<Patch>>,
+    /// Start position of each level's current step within its parent's
+    /// step (0.0 or 0.5), for the ghost time-interpolation chain.
+    frac: Vec<f64>,
+    steps: u64,
+    /// Interior-cell stage updates per level.
+    updates: Vec<u64>,
+    /// Per-level update counts already flushed to the metrics registry.
+    flushed: Vec<u64>,
+    regrids: u64,
+    reflux_corrections: u64,
+    dev_launches: u64,
+    metrics: Option<Arc<Registry>>,
+    trace: Option<(Arc<Tracer>, Arc<Track>)>,
+    device: Option<Accelerator>,
+}
+
+impl AmrSolver {
+    /// Create a solver over `[x0, x1]` with `n0` base cells. Call
+    /// [`AmrSolver::init`] before stepping.
+    pub fn new(
+        scheme: Scheme,
+        bcs: BcSet,
+        rk: RkOrder,
+        n0: usize,
+        x0: f64,
+        x1: f64,
+        cfg: AmrConfig,
+    ) -> Self {
+        assert_eq!(
+            scheme.geometry,
+            Geometry::Cartesian,
+            "AMR currently supports Cartesian geometry"
+        );
+        assert!(cfg.max_levels >= 1, "need at least the base level");
+        assert!(cfg.nest_margin >= 2, "nest_margin must be >= 2");
+        assert!(cfg.min_size >= 2, "min_size must be >= 2");
+        let ng = scheme.required_ghosts();
+        let dx0 = (x1 - x0) / n0 as f64;
+        assert!(
+            n0 > 2 * (cfg.nest_margin + cfg.min_size),
+            "base grid too small"
+        );
+        let max_levels = cfg.max_levels;
+        AmrSolver {
+            scheme,
+            bcs,
+            rk,
+            cfg,
+            x0,
+            dx0,
+            n0,
+            ng,
+            levels: (0..max_levels).map(|_| Vec::new()).collect(),
+            frac: vec![0.0; max_levels],
+            steps: 0,
+            updates: vec![0; max_levels],
+            flushed: vec![0; max_levels],
+            regrids: 0,
+            reflux_corrections: 0,
+            dev_launches: 0,
+            metrics: None,
+            trace: None,
+            device: None,
+        }
+    }
+
+    /// Attach a metrics registry (`amr.*` counters/histograms).
+    pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Attach a flight-recorder track (`amr.regrid` / `amr.reflux` spans).
+    pub fn set_trace(&mut self, tracer: Arc<Tracer>, pid: u32) {
+        let track = tracer.track(pid, 2, "amr");
+        self.trace = Some((tracer, track));
+    }
+
+    /// Route fine-level (`ℓ ≥ 1`) residual evaluation through a simulated
+    /// accelerator: primitives are uploaded, the reconstruction/Riemann
+    /// kernel launches on the device queue, and the residual plus
+    /// interface fluxes are downloaded. Bit-identical to the host path.
+    pub fn attach_device(&mut self, cfg: AcceleratorConfig) {
+        let dev = Accelerator::new(cfg);
+        if let Some(m) = &self.metrics {
+            dev.set_metrics(Arc::clone(m));
+        }
+        if let Some((tracer, track)) = &self.trace {
+            dev.set_trace(Arc::clone(tracer), Arc::clone(track));
+        }
+        self.device = Some(dev);
+    }
+
+    /// Cell size of level `l` (exact: halving only).
+    fn level_dx(&self, l: usize) -> f64 {
+        self.dx0 / (1u64 << l) as f64
+    }
+
+    /// Global cell count of level `l`'s index space.
+    fn level_cells(&self, l: usize) -> usize {
+        self.n0 << l
+    }
+
+    /// Allocate an empty patch at level `l`, cells `lo..lo+n`.
+    fn make_patch(&self, l: usize, lo: usize, n: usize) -> Patch {
+        let dx = self.level_dx(l);
+        let geom = PatchGeom {
+            n: [n, 1, 1],
+            ng: self.ng,
+            origin: [self.x0 + lo as f64 * dx, 0.0, 0.0],
+            dx: [dx, 1.0, 1.0],
+        };
+        Patch {
+            lo,
+            n,
+            parent_idx: 0,
+            u: Field::cons(geom),
+            prim: Field::new(geom, 5),
+            rhs: Field::cons(geom),
+            stage: Field::cons(geom),
+            base: Field::cons(geom),
+            lerp: Field::cons(geom),
+            flux: vec![Cons::ZERO; geom.ntot(0) + 1],
+            acc: [Cons::ZERO; 2],
+            acc_parent: [Cons::ZERO; 2],
+        }
+    }
+
+    /// Initialize the hierarchy from a pointwise primitive IC: level 0 is
+    /// sampled directly, then each finer level is built where the error
+    /// estimator fires, also sampled from the IC, and restricted down.
+    pub fn init(&mut self, ic: &dyn Fn([f64; 3]) -> Prim) {
+        let mut p0 = self.make_patch(0, 0, self.n0);
+        p0.u = init_cons(*p0.u.geom(), &self.scheme.eos, ic);
+        self.levels = (0..self.cfg.max_levels).map(|_| Vec::new()).collect();
+        self.levels[0].push(p0);
+        self.steps = 0;
+        for m in 1..self.cfg.max_levels {
+            self.rebuild_level(m, Some(ic));
+        }
+    }
+
+    /// Number of levels with at least one patch.
+    pub fn n_levels(&self) -> usize {
+        self.levels.iter().take_while(|l| !l.is_empty()).count()
+    }
+
+    /// Patch count at level `l`.
+    pub fn patch_count(&self, l: usize) -> usize {
+        self.levels.get(l).map_or(0, Vec::len)
+    }
+
+    /// Total interior-cell stage updates so far (the AMR cost metric).
+    pub fn cell_updates(&self) -> u64 {
+        self.updates.iter().sum()
+    }
+
+    /// Interior-cell stage updates per level.
+    pub fn updates_per_level(&self) -> &[u64] {
+        &self.updates
+    }
+
+    /// Number of regrids performed.
+    pub fn regrids(&self) -> u64 {
+        self.regrids
+    }
+
+    /// Steps taken at the base level.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    // ----- ghost filling -------------------------------------------------
+
+    /// Find the parent-patch index for a child span `lo..lo+n` (level-`m`
+    /// cells) among `parents` (level-`m−1` patches).
+    fn find_parent(parents: &[Patch], lo: usize, n: usize) -> Option<usize> {
+        let plo = lo / 2;
+        let phi = (lo + n) / 2;
+        parents
+            .iter()
+            .position(|p| p.lo <= plo && phi <= p.lo + p.n)
+    }
+
+    /// Fill ghosts of level `m`'s conserved state from the parent's
+    /// *current* state (all levels at the same time; used at sync points
+    /// for dt estimation, error estimation, and diagnostics). Level 0
+    /// gets physical BCs. Parents of `m` must already be filled.
+    fn fill_ghosts_sync_level(&mut self, m: usize) {
+        if m == 0 {
+            let p0 = &mut self.levels[0][0];
+            fill_ghosts(&mut p0.u, &self.bcs);
+            return;
+        }
+        let ng = self.ng;
+        let (left, right) = self.levels.split_at_mut(m);
+        let parents = &left[m - 1];
+        for ch in right[0].iter_mut() {
+            let par = &parents[ch.parent_idx];
+            let lo = ch.lo / 2 - par.lo;
+            prolong_span(&par.u, &mut ch.u, ng, ng, lo, -(ng as i64), 0);
+            prolong_span(
+                &par.u,
+                &mut ch.u,
+                ng,
+                ng,
+                lo,
+                ch.n as i64,
+                (ch.n + ng) as i64,
+            );
+        }
+    }
+
+    /// Fill all levels' ghosts at a sync point and recover primitives.
+    fn sync_all(&mut self) -> Result<(), SolverError> {
+        for m in 0..self.levels.len() {
+            if m > 0 && self.levels[m].is_empty() {
+                break;
+            }
+            self.fill_ghosts_sync_level(m);
+            for p in &mut self.levels[m] {
+                recover_prims(&self.scheme, &p.u, &mut p.prim)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fill ghosts of level `l`'s conserved state during one of its RK
+    /// stages at intra-step position `c` (`c_i` of the stage). Ancestor
+    /// levels contribute *time-interpolated* states: the interpolation
+    /// parameter is pushed up the chain via
+    /// `θ_{m−1} = frac_m + θ_m / 2`, so every ancestor is evaluated at the
+    /// same physical time.
+    fn fill_ghosts_lerp(&mut self, l: usize, c: f64) {
+        if l == 0 {
+            let p0 = &mut self.levels[0][0];
+            fill_ghosts(&mut p0.u, &self.bcs);
+            return;
+        }
+        // theta[m]: lerp position between level m's base and current state.
+        let mut theta = vec![0.0; l];
+        let mut th = self.frac[l] + 0.5 * c;
+        theta[l - 1] = th;
+        for m in (1..l).rev() {
+            th = self.frac[m] + 0.5 * th;
+            theta[m - 1] = th;
+        }
+        // Level 0 lerp with physical BCs.
+        {
+            let p0 = &mut self.levels[0][0];
+            lerp_into(&mut p0.lerp, &p0.base, &p0.u, theta[0]);
+            fill_ghosts(&mut p0.lerp, &self.bcs);
+        }
+        // Intermediate ancestors: lerp interiors, prolong lerp ghosts.
+        let ng = self.ng;
+        for m in 1..l {
+            let (left, right) = self.levels.split_at_mut(m);
+            let parents = &left[m - 1];
+            for ch in right[0].iter_mut() {
+                lerp_into(&mut ch.lerp, &ch.base, &ch.u, theta[m]);
+                let lo = ch.lo / 2 - parents[ch.parent_idx].lo;
+                prolong_span(
+                    &parents[ch.parent_idx].lerp,
+                    &mut ch.lerp,
+                    ng,
+                    ng,
+                    lo,
+                    -(ng as i64),
+                    0,
+                );
+                prolong_span(
+                    &parents[ch.parent_idx].lerp,
+                    &mut ch.lerp,
+                    ng,
+                    ng,
+                    lo,
+                    ch.n as i64,
+                    (ch.n + ng) as i64,
+                );
+            }
+        }
+        // The advancing level's own ghosts.
+        let (left, right) = self.levels.split_at_mut(l);
+        let parents = &left[l - 1];
+        for ch in right[0].iter_mut() {
+            let par = &parents[ch.parent_idx];
+            let lo = ch.lo / 2 - par.lo;
+            prolong_span(&par.lerp, &mut ch.u, ng, ng, lo, -(ng as i64), 0);
+            prolong_span(
+                &par.lerp,
+                &mut ch.u,
+                ng,
+                ng,
+                lo,
+                ch.n as i64,
+                (ch.n + ng) as i64,
+            );
+        }
+    }
+
+    // ----- residual evaluation -------------------------------------------
+
+    /// Residual + interface fluxes for every patch of level `l`.
+    fn eval_level_rhs(&mut self, l: usize) {
+        if l >= 1 && self.device.is_some() {
+            self.eval_level_rhs_device(l);
+            return;
+        }
+        let scheme = self.scheme;
+        for p in &mut self.levels[l] {
+            rhs_1d_with_fluxes(&scheme, &p.prim, &mut p.rhs, &mut p.flux);
+        }
+    }
+
+    /// Device-staged residual: upload primitives, launch the kernel on the
+    /// accelerator queue, download residual + fluxes. Same host functions
+    /// inside the kernel, so results are bit-identical.
+    fn eval_level_rhs_device(&mut self, l: usize) {
+        let scheme = self.scheme;
+        for p in &mut self.levels[l] {
+            let dev = self.device.as_ref().unwrap();
+            let geom = *p.prim.geom();
+            let nt = geom.ntot(0);
+            let b_prim = dev.alloc(5 * nt);
+            let b_rhs = dev.alloc(NCOMP * nt);
+            let b_flux = dev.alloc(NCOMP * (nt + 1));
+            dev.copy_to_device(b_prim, p.prim.raw()).get();
+            dev.launch(move |ctx| {
+                let prim = Field::from_vec(geom, 5, ctx.take(b_prim));
+                let mut rhs = Field::cons(geom);
+                let mut flux = vec![Cons::ZERO; nt + 1];
+                rhs_1d_with_fluxes(&scheme, &prim, &mut rhs, &mut flux);
+                ctx.put(b_prim, prim.into_vec());
+                ctx.buf_mut(b_rhs).copy_from_slice(rhs.raw());
+                let fb = ctx.buf_mut(b_flux);
+                for (j, f) in flux.iter().enumerate() {
+                    for (c, v) in f.to_array().iter().enumerate() {
+                        fb[j * NCOMP + c] = *v;
+                    }
+                }
+            })
+            .get();
+            let rhs_host = dev.copy_to_host(b_rhs).get();
+            p.rhs.raw_mut().copy_from_slice(&rhs_host);
+            let flux_host = dev.copy_to_host(b_flux).get();
+            for (j, f) in p.flux.iter_mut().enumerate() {
+                let mut a = [0.0; NCOMP];
+                a.copy_from_slice(&flux_host[j * NCOMP..(j + 1) * NCOMP]);
+                *f = Cons::from_array(a);
+            }
+            dev.free(b_prim);
+            dev.free(b_rhs);
+            dev.free(b_flux);
+            self.dev_launches += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("amr.dev.launches").inc();
+            }
+        }
+    }
+
+    // ----- time stepping -------------------------------------------------
+
+    /// Largest stable Δt for the whole hierarchy: each level's CFL limit
+    /// scaled by its subcycling factor `2^ℓ`.
+    pub fn stable_dt(&mut self, cfl: f64) -> Result<f64, SolverError> {
+        self.sync_all()?;
+        let mut dt = f64::INFINITY;
+        for (l, patches) in self.levels.iter().enumerate() {
+            let scale = (1u64 << l) as f64;
+            for p in patches {
+                dt = dt.min(scale * max_dt(&self.scheme, &p.prim, cfl));
+            }
+        }
+        Ok(dt)
+    }
+
+    /// Advance the hierarchy by one base-level step of size `dt`
+    /// (regridding first when the cadence says so).
+    pub fn step(&mut self, dt: f64) -> Result<(), SolverError> {
+        if self.cfg.regrid_interval > 0
+            && self.steps > 0
+            && self.steps.is_multiple_of(self.cfg.regrid_interval as u64)
+        {
+            self.regrid()?;
+        }
+        self.step_level(0, dt, 0.0)?;
+        self.steps += 1;
+        self.flush_metrics();
+        Ok(())
+    }
+
+    /// Advance to `t_end` under CFL control; returns the base step count.
+    pub fn advance_to(&mut self, t0: f64, t_end: f64, cfl: f64) -> Result<usize, SolverError> {
+        let mut t = t0;
+        let mut steps = 0;
+        while t < t_end - 1e-14 {
+            let mut dt = self.stable_dt(cfl)?;
+            // Negated form deliberately catches NaN as a collapse.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(dt > 1e-14) {
+                return Err(SolverError::TimestepCollapse { dt });
+            }
+            if t + dt > t_end {
+                dt = t_end - t;
+            }
+            self.step(dt)?;
+            t += dt;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    /// One Berger–Oliger step of level `l` with size `dt`, starting at
+    /// intra-parent-step position `frac` (0.0 or 0.5). Recursively
+    /// advances child levels with two `dt/2` substeps, then restricts and
+    /// refluxes.
+    fn step_level(&mut self, l: usize, dt: f64, frac: f64) -> Result<(), SolverError> {
+        self.frac[l] = frac;
+        let (stages, weights, ctimes) = rk_tables(self.rk);
+        for p in &mut self.levels[l] {
+            p.base.raw_mut().copy_from_slice(p.u.raw());
+            p.stage.raw_mut().copy_from_slice(p.u.raw());
+        }
+        // Zero the flux accumulators of this step's coarse–fine
+        // interfaces (both sides); they are consumed by the reflux below.
+        if l + 1 < self.levels.len() {
+            for ch in &mut self.levels[l + 1] {
+                ch.acc = [Cons::ZERO; 2];
+                ch.acc_parent = [Cons::ZERO; 2];
+            }
+        }
+        for (si, &(a, b, c)) in stages.iter().enumerate() {
+            self.fill_ghosts_lerp(l, ctimes[si]);
+            for p in &mut self.levels[l] {
+                recover_prims(&self.scheme, &p.u, &mut p.prim)?;
+            }
+            self.eval_level_rhs(l);
+            // Parent-side interface fluxes for the children of l.
+            if l + 1 < self.levels.len() {
+                let w = weights[si];
+                let ng = self.ng;
+                let (left, right) = self.levels.split_at_mut(l + 1);
+                let parents = &left[l];
+                for ch in right[0].iter_mut() {
+                    let par = &parents[ch.parent_idx];
+                    ch.acc_parent[0] += par.flux[ng + ch.lo / 2 - par.lo] * w;
+                    ch.acc_parent[1] += par.flux[ng + (ch.lo + ch.n) / 2 - par.lo] * w;
+                }
+            }
+            // Own boundary fluxes toward our parent (half weight: this
+            // step is one of two substeps of the parent's step).
+            if l > 0 {
+                let w = 0.5 * weights[si];
+                let ng = self.ng;
+                for p in &mut self.levels[l] {
+                    p.acc[0] += p.flux[ng] * w;
+                    p.acc[1] += p.flux[ng + p.n] * w;
+                }
+            }
+            // Stage combine + floors.
+            for p in &mut self.levels[l] {
+                for i in self.ng..self.ng + p.n {
+                    let v = p.stage.get_cons(i, 0, 0) * a
+                        + p.u.get_cons(i, 0, 0) * b
+                        + p.rhs.get_cons(i, 0, 0) * (c * dt);
+                    p.u.set_cons(i, 0, 0, v);
+                }
+                apply_conserved_floors(&mut p.u, &self.scheme.c2p);
+                self.updates[l] += p.n as u64;
+            }
+        }
+        // Children: two substeps, restriction, deferred reflux.
+        if l + 1 < self.levels.len() && !self.levels[l + 1].is_empty() {
+            self.step_level(l + 1, 0.5 * dt, 0.0)?;
+            self.step_level(l + 1, 0.5 * dt, 0.5)?;
+            let t0 = self.trace.as_ref().map(|(tr, _)| tr.now_ns());
+            self.restrict_level(l + 1);
+            let k = dt / self.level_dx(l);
+            let ng = self.ng;
+            let (left, right) = self.levels.split_at_mut(l + 1);
+            let parents = &mut left[l];
+            for ch in right[0].iter() {
+                let par = &mut parents[ch.parent_idx];
+                // Left-uncovered neighbor used the parent flux as its
+                // right face; swap in the accumulated fine flux.
+                let il = ng + ch.lo / 2 - par.lo - 1;
+                let v = par.u.get_cons(il, 0, 0) + (ch.acc_parent[0] - ch.acc[0]) * k;
+                par.u.set_cons(il, 0, 0, v);
+                // Right-uncovered neighbor used it as its left face.
+                let ir = ng + (ch.lo + ch.n) / 2 - par.lo;
+                let v = par.u.get_cons(ir, 0, 0) + (ch.acc[1] - ch.acc_parent[1]) * k;
+                par.u.set_cons(ir, 0, 0, v);
+                self.reflux_corrections += 2;
+            }
+            for p in parents.iter_mut() {
+                apply_conserved_floors(&mut p.u, &self.scheme.c2p);
+            }
+            if let (Some((tr, track)), Some(t0)) = (self.trace.as_ref(), t0) {
+                track.span("amr.reflux", t0, tr.now_ns());
+            }
+            if let Some(m) = &self.metrics {
+                m.counter("amr.reflux.corrections")
+                    .add(2 * self.levels[l + 1].len() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Restrict level `m` onto the covered cells of level `m−1`.
+    fn restrict_level(&mut self, m: usize) {
+        let ng = self.ng;
+        let (left, right) = self.levels.split_at_mut(m);
+        let parents = &mut left[m - 1];
+        for ch in right[0].iter() {
+            let par = &mut parents[ch.parent_idx];
+            restrict_onto(&ch.u, &mut par.u, ng, ng, ch.n, ch.lo / 2 - par.lo);
+        }
+    }
+
+    fn flush_metrics(&mut self) {
+        let Some(m) = &self.metrics else { return };
+        for l in 0..self.updates.len() {
+            let delta = self.updates[l] - self.flushed[l];
+            if delta > 0 {
+                m.counter(&format!("amr.updates.l{l}")).add(delta);
+                self.flushed[l] = self.updates[l];
+            }
+        }
+    }
+
+    // ----- regridding ----------------------------------------------------
+
+    /// Rebuild every refined level from fresh error flags, transferring
+    /// state from the old hierarchy.
+    pub fn regrid(&mut self) -> Result<(), SolverError> {
+        let t0 = self.trace.as_ref().map(|(tr, _)| tr.now_ns());
+        for m in 1..self.cfg.max_levels {
+            self.rebuild_level(m, None);
+        }
+        self.regrids += 1;
+        if let (Some((tr, track)), Some(t0)) = (self.trace.as_ref(), t0) {
+            track.span_arg(
+                "amr.regrid",
+                t0,
+                tr.now_ns(),
+                self.levels.iter().map(Vec::len).sum::<usize>() as f64,
+            );
+        }
+        if let Some(m) = &self.metrics {
+            m.counter("amr.regrids").inc();
+            m.histogram("amr.patches")
+                .record(self.levels.iter().skip(1).map(Vec::len).sum::<usize>() as u64);
+        }
+        Ok(())
+    }
+
+    /// Rebuild level `m` from error flags on level `m−1`. New patches are
+    /// filled from the initial condition when `ic` is given (hierarchy
+    /// construction), else copied from the old level-`m` patches where
+    /// they overlap and conservatively prolonged from level `m−1`
+    /// elsewhere. Finishes by restricting the new level down, so the
+    /// covered-parent invariant holds.
+    fn rebuild_level(&mut self, m: usize, ic: Option<&dyn Fn([f64; 3]) -> Prim>) {
+        // Parent ghosts must be valid for both the estimator stencil and
+        // the transfer prolongation.
+        for lvl in 0..m {
+            self.fill_ghosts_sync_level(lvl);
+        }
+        let flags = self.flag_level(m - 1);
+        let buffered = buffer_flags(&flags, self.cfg.buffer);
+        let margin = self.cfg.nest_margin;
+        let allowed: Vec<(usize, usize)> = self.levels[m - 1]
+            .iter()
+            .filter(|p| p.n > 2 * margin)
+            .map(|p| (p.lo + margin, p.lo + p.n - margin))
+            .collect();
+        let runs = cluster_runs(&buffered, &allowed, self.cfg.merge_gap, self.cfg.min_size);
+        let old = std::mem::take(&mut self.levels[m]);
+        let mut newp = Vec::with_capacity(runs.len());
+        let ng = self.ng;
+        for (rlo, rhi) in runs {
+            let mut p = self.make_patch(m, 2 * rlo, 2 * (rhi - rlo));
+            p.parent_idx = Self::find_parent(&self.levels[m - 1], p.lo, p.n)
+                .expect("clustering violated proper nesting");
+            if let Some(ic) = ic {
+                p.u = init_cons(*p.u.geom(), &self.scheme.eos, ic);
+            } else {
+                let par = &self.levels[m - 1][p.parent_idx];
+                let lo = p.lo / 2 - par.lo;
+                // Per parent cell: copy both children from the old
+                // hierarchy if it covered them, else prolong. Patches
+                // cover whole parent cells, so the transfer conserves the
+                // composite integrals exactly.
+                for pc in 0..p.n / 2 {
+                    let f_global = p.lo + 2 * pc;
+                    if let Some(op) = old
+                        .iter()
+                        .find(|op| op.lo <= f_global && f_global + 2 <= op.lo + op.n)
+                    {
+                        for c in 0..NCOMP {
+                            for k in 0..2 {
+                                let v = op.u.at(c, ng + f_global + k - op.lo, 0, 0);
+                                p.u.set(c, ng + 2 * pc + k, 0, 0, v);
+                            }
+                        }
+                    } else {
+                        prolong_span(
+                            &par.u,
+                            &mut p.u,
+                            ng,
+                            ng,
+                            lo,
+                            (2 * pc) as i64,
+                            (2 * pc + 2) as i64,
+                        );
+                    }
+                }
+            }
+            newp.push(p);
+        }
+        self.levels[m] = newp;
+        if !self.levels[m].is_empty() {
+            self.restrict_level(m);
+        }
+    }
+
+    /// Löhner-style normalized second-difference indicator on `D` and `τ`
+    /// over level `l`'s patches, in the level's global cell space.
+    fn flag_level(&self, l: usize) -> Vec<bool> {
+        let mut flags = vec![false; self.level_cells(l)];
+        let ng = self.ng;
+        let eps = 0.01;
+        for p in &self.levels[l] {
+            for i in 0..p.n {
+                let gi = ng + i;
+                let um = p.u.get_cons(gi - 1, 0, 0);
+                let u0 = p.u.get_cons(gi, 0, 0);
+                let up = p.u.get_cons(gi + 1, 0, 0);
+                for (am, a0, ap) in [(um.d, u0.d, up.d), (um.tau, u0.tau, up.tau)] {
+                    let d2 = (ap - 2.0 * a0 + am).abs();
+                    let d1 = (ap - a0).abs() + (a0 - am).abs();
+                    let scale = eps * (am.abs() + 2.0 * a0.abs() + ap.abs());
+                    if d2 > self.cfg.threshold * (d1 + scale + f64::MIN_POSITIVE) {
+                        flags[p.lo + i] = true;
+                    }
+                }
+            }
+        }
+        flags
+    }
+
+    // ----- diagnostics ---------------------------------------------------
+
+    /// Composite conserved totals: every level's cells not covered by a
+    /// finer level, weighted by that level's cell size. This is the
+    /// quantity the reflux construction conserves to round-off.
+    pub fn composite_totals(&self) -> [f64; NCOMP] {
+        let mut out = [0.0; NCOMP];
+        for (l, patches) in self.levels.iter().enumerate() {
+            let dxl = self.level_dx(l);
+            let covered: Vec<(usize, usize)> = if l + 1 < self.levels.len() {
+                self.levels[l + 1]
+                    .iter()
+                    .map(|c| (c.lo / 2, (c.lo + c.n) / 2))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            for p in patches {
+                for i in 0..p.n {
+                    let g = p.lo + i;
+                    if covered.iter().any(|&(a, b)| (a..b).contains(&g)) {
+                        continue;
+                    }
+                    let u = p.u.get_cons(self.ng + i, 0, 0).to_array();
+                    for c in 0..NCOMP {
+                        out[c] += u[c] * dxl;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Composite L1(ρ) error against an exact solution at time `t`,
+    /// normalized by the domain length (matches
+    /// [`crate::diag::l1_density_error`] on uniform grids).
+    pub fn l1_density_error(
+        &mut self,
+        exact: &dyn Fn([f64; 3], f64) -> Prim,
+        t: f64,
+    ) -> Result<f64, SolverError> {
+        self.sync_all()?;
+        let mut l1 = 0.0;
+        for (l, patches) in self.levels.iter().enumerate() {
+            let dxl = self.level_dx(l);
+            let covered: Vec<(usize, usize)> = if l + 1 < self.levels.len() {
+                self.levels[l + 1]
+                    .iter()
+                    .map(|c| (c.lo / 2, (c.lo + c.n) / 2))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            for p in patches {
+                for i in 0..p.n {
+                    let g = p.lo + i;
+                    if covered.iter().any(|&(a, b)| (a..b).contains(&g)) {
+                        continue;
+                    }
+                    let x = p.u.geom().center(self.ng + i, 0, 0);
+                    l1 += (prim_at(&p.prim, self.ng + i, 0, 0).rho - exact(x, t).rho).abs() * dxl;
+                }
+            }
+        }
+        Ok(l1 / (self.n0 as f64 * self.dx0))
+    }
+
+    // ----- checkpointing -------------------------------------------------
+
+    /// Serialize the hierarchy into a format-v4 AMR checkpoint (interior
+    /// conserved data per patch; ghosts, primitives and the regrid phase
+    /// are reconstructed deterministically on restore).
+    pub fn to_checkpoint(&self, time: f64) -> AmrCheckpoint {
+        let mut patches = Vec::new();
+        for (l, ps) in self.levels.iter().enumerate() {
+            for p in ps {
+                let mut data = Vec::with_capacity(NCOMP * p.n);
+                for c in 0..NCOMP {
+                    for i in 0..p.n {
+                        data.push(p.u.at(c, self.ng + i, 0, 0));
+                    }
+                }
+                patches.push(AmrPatchRecord {
+                    level: l as u32,
+                    lo: p.lo as u64,
+                    n: p.n as u64,
+                    data,
+                });
+            }
+        }
+        AmrCheckpoint {
+            time,
+            step: self.steps,
+            n0: self.n0 as u64,
+            ncomp: NCOMP,
+            patches,
+        }
+    }
+
+    /// Restore the hierarchy from an AMR checkpoint. The solver must have
+    /// been constructed with the same base grid and a `max_levels` that
+    /// accommodates every stored level. Restores bit-identically: the
+    /// subsequent trajectory matches an uninterrupted run.
+    pub fn restore(&mut self, ck: &AmrCheckpoint) -> Result<(), String> {
+        if ck.n0 as usize != self.n0 {
+            return Err(format!("base-grid mismatch: {} vs {}", ck.n0, self.n0));
+        }
+        if ck.ncomp != NCOMP {
+            return Err(format!("component mismatch: {} vs {NCOMP}", ck.ncomp));
+        }
+        let mut levels: Vec<Vec<Patch>> = (0..self.cfg.max_levels).map(|_| Vec::new()).collect();
+        for r in &ck.patches {
+            let l = r.level as usize;
+            if l >= self.cfg.max_levels {
+                return Err(format!(
+                    "level {l} exceeds max_levels {}",
+                    self.cfg.max_levels
+                ));
+            }
+            let (lo, n) = (r.lo as usize, r.n as usize);
+            if r.data.len() != NCOMP * n {
+                return Err(format!(
+                    "patch data length {} != {}",
+                    r.data.len(),
+                    NCOMP * n
+                ));
+            }
+            if lo + n > self.level_cells(l) || (l > 0 && (lo % 2 != 0 || n % 2 != 0)) {
+                return Err(format!("patch [{lo}, {}) invalid at level {l}", lo + n));
+            }
+            let mut p = self.make_patch(l, lo, n);
+            for c in 0..NCOMP {
+                for i in 0..n {
+                    p.u.set(c, self.ng + i, 0, 0, r.data[c * n + i]);
+                }
+            }
+            levels[l].push(p);
+        }
+        if levels[0].len() != 1 || levels[0][0].lo != 0 || levels[0][0].n != self.n0 {
+            return Err("level 0 must be a single domain-covering patch".into());
+        }
+        for m in 1..levels.len() {
+            levels[m].sort_by_key(|p| p.lo);
+            let (parents, children) = {
+                let (a, b) = levels.split_at_mut(m);
+                (&a[m - 1], &mut b[0])
+            };
+            for ch in children.iter_mut() {
+                ch.parent_idx = Self::find_parent(parents, ch.lo, ch.n)
+                    .ok_or_else(|| format!("level {m} patch at {} is not nested", ch.lo))?;
+            }
+        }
+        self.levels = levels;
+        self.steps = ck.step;
+        Ok(())
+    }
+}
+
+/// `out = (1−θ)·a + θ·b`, elementwise over the raw storage.
+fn lerp_into(out: &mut Field, a: &Field, b: &Field, theta: f64) {
+    for (o, (&x, &y)) in out.raw_mut().iter_mut().zip(a.raw().iter().zip(b.raw())) {
+        *o = (1.0 - theta) * x + theta * y;
+    }
+}
+
+/// Dilate flags by `b` cells on each side.
+fn buffer_flags(flags: &[bool], b: usize) -> Vec<bool> {
+    let n = flags.len();
+    let mut out = vec![false; n];
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            for o in out
+                .iter_mut()
+                .take((i + b + 1).min(n))
+                .skip(i.saturating_sub(b))
+            {
+                *o = true;
+            }
+        }
+    }
+    out
+}
+
+/// Signature clustering in 1D: within each admissible interval, extract
+/// maximal runs of flagged cells, merge runs closer than `merge_gap`,
+/// grow runs below `min_size`, and merge again. Returned runs are
+/// disjoint, sorted, and at least `min_size` wide.
+fn cluster_runs(
+    flags: &[bool],
+    allowed: &[(usize, usize)],
+    merge_gap: usize,
+    min_size: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for &(alo, ahi) in allowed {
+        if ahi <= alo || ahi - alo < min_size {
+            continue;
+        }
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut i = alo;
+        while i < ahi {
+            if flags[i] {
+                let s = i;
+                while i < ahi && flags[i] {
+                    i += 1;
+                }
+                runs.push((s, i));
+            } else {
+                i += 1;
+            }
+        }
+        if runs.is_empty() {
+            continue;
+        }
+        let mut merged: Vec<(usize, usize)> = vec![runs[0]];
+        for &(s, e) in &runs[1..] {
+            let last = merged.last_mut().unwrap();
+            if s <= last.1 + merge_gap {
+                last.1 = e.max(last.1);
+            } else {
+                merged.push((s, e));
+            }
+        }
+        for r in &mut merged {
+            while r.1 - r.0 < min_size {
+                if r.1 < ahi {
+                    r.1 += 1;
+                } else if r.0 > alo {
+                    r.0 -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut fin: Vec<(usize, usize)> = vec![merged[0]];
+        for &(s, e) in &merged[1..] {
+            let last = fin.last_mut().unwrap();
+            if s <= last.1 + merge_gap {
+                last.1 = e.max(last.1);
+            } else {
+                fin.push((s, e));
+            }
+        }
+        out.retain(|_: &(usize, usize)| true);
+        out.extend(fin.into_iter().filter(|&(s, e)| e - s >= min_size));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::Problem;
+    use rhrsc_grid::{bc, Bc};
+
+    fn scheme() -> Scheme {
+        Scheme::default_with_gamma(5.0 / 3.0)
+    }
+
+    fn solver(n0: usize, cfg: AmrConfig, bcs: BcSet) -> AmrSolver {
+        AmrSolver::new(scheme(), bcs, RkOrder::Rk3, n0, 0.0, 1.0, cfg)
+    }
+
+    /// A smooth periodic pressure pulse that steepens into shocks —
+    /// flags the estimator without touching the domain boundary.
+    fn pulse_ic(x: [f64; 3]) -> Prim {
+        let g = (-((x[0] - 0.5) / 0.08).powi(2)).exp();
+        Prim::new_1d(1.0 + 2.0 * g, 0.0, 1.0 + 20.0 * g)
+    }
+
+    #[test]
+    fn uniform_state_spawns_no_patches_and_stays_uniform() {
+        let mut amr = solver(64, AmrConfig::default(), bc::uniform(Bc::Periodic));
+        amr.init(&|_| Prim::new_1d(1.0, 0.3, 2.0));
+        assert_eq!(amr.patch_count(1), 0, "uniform state must not refine");
+        amr.advance_to(0.0, 0.1, 0.4).unwrap();
+        let w = Prim::new_1d(1.0, 0.3, 2.0).to_cons(&scheme().eos);
+        let ng = amr.ng;
+        for i in 0..64 {
+            let u = amr.levels[0][0].u.get_cons(ng + i, 0, 0);
+            assert!((u.d - w.d).abs() < 1e-11, "cell {i}: {} vs {}", u.d, w.d);
+        }
+    }
+
+    #[test]
+    fn pulse_refines_and_conserves_to_roundoff() {
+        // Low threshold so even the smooth pulse refines both levels —
+        // conservation must hold regardless of how aggressive the
+        // refinement is.
+        let cfg = AmrConfig {
+            threshold: 0.08,
+            ..AmrConfig::default()
+        };
+        let mut amr = solver(64, cfg, bc::uniform(Bc::Periodic));
+        amr.init(&pulse_ic);
+        assert!(amr.patch_count(1) > 0, "pulse must refine level 1");
+        assert!(amr.patch_count(2) > 0, "pulse must refine level 2");
+        let before = amr.composite_totals();
+        amr.advance_to(0.0, 0.3, 0.4).unwrap();
+        assert!(amr.regrids() > 0, "regridding must engage");
+        let after = amr.composite_totals();
+        for c in 0..NCOMP {
+            assert!(
+                (after[c] - before[c]).abs() <= 1e-12 * before[c].abs().max(1.0),
+                "component {c}: {} -> {}",
+                before[c],
+                after[c]
+            );
+        }
+    }
+
+    #[test]
+    fn sod_amr_beats_uniform_coarse_and_approaches_fine() {
+        let prob = Problem::sod();
+        let exact = prob.exact.clone().unwrap();
+        let err_uniform = |n: usize| -> f64 {
+            let s = scheme();
+            let geom = PatchGeom::line(n, 0.0, 1.0, s.required_ghosts());
+            let mut u = init_cons(geom, &s.eos, &|x| (prob.ic)(x));
+            let mut solver = crate::PatchSolver::new(s, prob.bcs, RkOrder::Rk3, geom);
+            solver
+                .advance_to(&mut u, 0.0, prob.t_end, 0.4, None)
+                .unwrap();
+            crate::diag::l1_density_error(&s, &u, &exact, prob.t_end)
+                .unwrap()
+                .0
+        };
+        let e_coarse = err_uniform(100);
+        let e_fine = err_uniform(200);
+
+        let cfg = AmrConfig {
+            max_levels: 2,
+            ..AmrConfig::default()
+        };
+        let mut amr = solver(100, cfg, prob.bcs);
+        amr.init(&|x| (prob.ic)(x));
+        amr.advance_to(0.0, prob.t_end, 0.4).unwrap();
+        let e_amr = amr.l1_density_error(&*exact, prob.t_end).unwrap();
+        assert!(
+            e_amr < e_coarse,
+            "AMR {e_amr} must beat uniform-coarse {e_coarse}"
+        );
+        assert!(
+            e_amr < 1.35 * e_fine,
+            "AMR {e_amr} should approach uniform-fine {e_fine}"
+        );
+    }
+
+    #[test]
+    fn three_level_blast_tracks_uniform_fine() {
+        let prob = Problem::blast_wave_1();
+        let exact = prob.exact.clone().unwrap();
+        // Tight tracking of the thin relativistic shell: regrid every
+        // other coarse step with a wide buffer so the shock never escapes
+        // the finest patches between regrids.
+        let cfg = AmrConfig {
+            threshold: 0.25,
+            buffer: 3,
+            regrid_interval: 2,
+            ..AmrConfig::default()
+        };
+        let mut amr = solver(100, cfg, prob.bcs);
+        amr.init(&|x| (prob.ic)(x));
+        amr.advance_to(0.0, prob.t_end, 0.4).unwrap();
+        let e_amr = amr.l1_density_error(&*exact, prob.t_end).unwrap();
+
+        let s = scheme();
+        let geom = PatchGeom::line(400, 0.0, 1.0, s.required_ghosts());
+        let mut u = init_cons(geom, &s.eos, &|x| (prob.ic)(x));
+        let mut fine = crate::PatchSolver::new(s, prob.bcs, RkOrder::Rk3, geom);
+        fine.advance_to(&mut u, 0.0, prob.t_end, 0.4, None).unwrap();
+        let (e_fine, _) = crate::diag::l1_density_error(&s, &u, &exact, prob.t_end).unwrap();
+
+        assert!(
+            e_amr <= 1.10 * e_fine,
+            "3-level AMR L1 {e_amr} must be within 10% of uniform-400 {e_fine}"
+        );
+        let z_fine = fine.stats().zone_updates;
+        assert!(
+            (amr.cell_updates() as f64) <= 0.40 * z_fine as f64,
+            "AMR updates {} must be <= 40% of uniform-fine {z_fine}",
+            amr.cell_updates()
+        );
+    }
+
+    #[test]
+    fn device_path_is_bit_identical_to_host() {
+        let prob = Problem::sod();
+        let run = |device: bool| -> Vec<u64> {
+            let cfg = AmrConfig {
+                max_levels: 2,
+                ..AmrConfig::default()
+            };
+            let mut amr = solver(64, cfg, prob.bcs);
+            if device {
+                amr.attach_device(AcceleratorConfig::default());
+            }
+            amr.init(&|x| (prob.ic)(x));
+            amr.advance_to(0.0, 0.1, 0.4).unwrap();
+            let mut bits = Vec::new();
+            for ps in &amr.levels {
+                for p in ps {
+                    for i in 0..p.n {
+                        bits.extend(
+                            p.u.get_cons(amr.ng + i, 0, 0)
+                                .to_array()
+                                .iter()
+                                .map(|v| v.to_bits()),
+                        );
+                    }
+                }
+            }
+            bits
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "device offload must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restores_bit_identically() {
+        let prob = Problem::sod();
+        let mk = || {
+            let cfg = AmrConfig {
+                max_levels: 3,
+                ..AmrConfig::default()
+            };
+            let mut amr = solver(64, cfg, prob.bcs);
+            amr.init(&|x| (prob.ic)(x));
+            amr
+        };
+        // Uninterrupted run to t1 then t2.
+        let mut a = mk();
+        a.advance_to(0.0, 0.15, 0.4).unwrap();
+        let ck = a.to_checkpoint(0.15);
+        a.advance_to(0.15, 0.3, 0.4).unwrap();
+
+        // Kill/restart: fresh solver, restore, continue.
+        let mut b = mk();
+        b.restore(&ck).unwrap();
+        assert_eq!(b.steps(), ck.step);
+        b.advance_to(0.15, 0.3, 0.4).unwrap();
+
+        assert_eq!(a.levels.len(), b.levels.len());
+        for (pa, pb) in a.levels.iter().zip(&b.levels) {
+            assert_eq!(pa.len(), pb.len(), "patch counts diverged");
+            for (x, y) in pa.iter().zip(pb) {
+                assert_eq!((x.lo, x.n), (y.lo, y.n));
+                for (u, v) in x.u.raw()[..].iter().zip(y.u.raw()) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "restart diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let prob = Problem::sod();
+        let mut amr = solver(64, AmrConfig::default(), prob.bcs);
+        amr.init(&|x| (prob.ic)(x));
+        amr.advance_to(0.0, 0.1, 0.4).unwrap();
+        let ck = amr.to_checkpoint(0.1);
+        let bytes = rhrsc_io::checkpoint::encode_amr(&ck);
+        let back = rhrsc_io::checkpoint::decode_amr(&bytes).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_base_grid() {
+        let prob = Problem::sod();
+        let mut amr = solver(64, AmrConfig::default(), prob.bcs);
+        amr.init(&|x| (prob.ic)(x));
+        let ck = amr.to_checkpoint(0.0);
+        let mut other = solver(100, AmrConfig::default(), prob.bcs);
+        other.init(&|x| (prob.ic)(x));
+        assert!(other.restore(&ck).is_err());
+    }
+
+    #[test]
+    fn cluster_runs_respects_min_size_and_gap() {
+        let mut flags = vec![false; 64];
+        flags[10] = true;
+        flags[13] = true; // within merge_gap of 10 -> one run
+        flags[40] = true;
+        let runs = cluster_runs(&flags, &[(2, 62)], 4, 4);
+        assert_eq!(runs.len(), 2);
+        for &(s, e) in &runs {
+            assert!(e - s >= 4, "run [{s},{e}) below min size");
+        }
+        assert!(runs[0].0 <= 10 && runs[0].1 > 13);
+        assert!(runs[1].0 <= 40 && runs[1].1 > 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "Cartesian")]
+    fn rejects_curvilinear() {
+        let s = Scheme {
+            geometry: Geometry::SphericalRadial,
+            ..scheme()
+        };
+        let _ = AmrSolver::new(
+            s,
+            bc::uniform(Bc::Outflow),
+            RkOrder::Rk2,
+            64,
+            0.0,
+            1.0,
+            AmrConfig::default(),
+        );
+    }
+}

@@ -28,16 +28,19 @@
 //!   (conservation drift, atmosphere occupancy, con2prim cascade rates)
 //!   with a soft anomaly watchdog.
 
+pub mod amr;
 pub mod device_backend;
 pub mod diag;
 pub mod driver;
 pub mod health;
 pub mod integrate;
 pub mod problems;
+pub mod refine;
 pub mod scheme;
 pub mod smr;
 pub mod step;
 
+pub use amr::{AmrConfig, AmrSolver};
 pub use device_backend::{BreakerConfig, BreakerState, BreakerStats, DevicePatchSolver};
 pub use driver::{ResilienceConfig, ResilienceStats};
 pub use health::{HealthConfig, HealthMonitor, HealthRecord, HealthSummary};

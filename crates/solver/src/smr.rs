@@ -24,12 +24,12 @@
 //!   energy integrals are preserved to round-off (asserted by tests).
 
 use crate::integrate::RkOrder;
+use crate::refine::{prolong_ghosts_from, restrict_onto, rhs_1d_with_fluxes, rk_tables, RkTables};
 use crate::scheme::{
-    apply_conserved_floors, max_dt, prim_at, recover_prims, Geometry, Scheme, SolverError, PRIM_P,
-    PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ,
+    apply_conserved_floors, max_dt, prim_at, recover_prims, Geometry, Scheme, SolverError,
 };
 use rhrsc_grid::{fill_ghosts, BcSet, Field, PatchGeom};
-use rhrsc_srhd::{Cons, Dir, Prim, NCOMP};
+use rhrsc_srhd::{Cons, Prim, NCOMP};
 
 /// Two-level static-mesh-refinement solver for 1D problems.
 pub struct SmrSolver {
@@ -153,15 +153,14 @@ impl SmrSolver {
     /// Restrict the fine level onto the covered coarse cells (children
     /// average).
     fn restrict(&mut self) {
-        let ng_c = self.geom_c.ng;
-        let ng_f = self.geom_f.ng;
-        let (lo, hi) = self.refine;
-        for ic in lo..hi {
-            let f0 = ng_f + 2 * (ic - lo);
-            let a = self.u_f.get_cons(f0, 0, 0);
-            let b = self.u_f.get_cons(f0 + 1, 0, 0);
-            self.u_c.set_cons(ng_c + ic, 0, 0, (a + b) * 0.5);
-        }
+        restrict_onto(
+            &self.u_f,
+            &mut self.u_c,
+            self.geom_c.ng,
+            self.geom_f.ng,
+            self.geom_f.n[0],
+            self.refine.0,
+        );
     }
 
     /// Fill the fine level's ghost zones by conservative limited linear
@@ -315,26 +314,10 @@ impl SmrSolver {
 
     /// Effective flux weights `b_i` and stage times `c_i` of the SSP-RK
     /// forms used here (the final update equals
-    /// `u^{n+1} = u^n − Δt/Δx Σ_i b_i ΔF_i`).
+    /// `u^{n+1} = u^n − Δt/Δx Σ_i b_i ΔF_i`). Shared with the AMR solver
+    /// via [`crate::refine::rk_tables`].
     fn rk_tables(&self) -> RkTables {
-        // (a, b, c) per stage for `combine`, effective weights, stage times.
-        match self.rk {
-            RkOrder::Rk1 => (&[(0.0, 1.0, 1.0)], &[1.0], &[0.0]),
-            RkOrder::Rk2 => (
-                &[(0.0, 1.0, 1.0), (0.5, 0.5, 0.5)],
-                &[0.5, 0.5],
-                &[0.0, 1.0],
-            ),
-            RkOrder::Rk3 => (
-                &[
-                    (0.0, 1.0, 1.0),
-                    (0.75, 0.25, 0.25),
-                    (1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0),
-                ],
-                &[1.0 / 6.0, 1.0 / 6.0, 2.0 / 3.0],
-                &[0.0, 1.0, 0.5],
-            ),
-        }
+        rk_tables(self.rk)
     }
 
     /// Single-level stage combine: `u = a·u0 + b·u + c·dt·rhs` + floors.
@@ -499,106 +482,6 @@ impl SmrSolver {
         // per-cell average on a uniform grid).
         let len = self.geom_c.n[0] as f64 * self.geom_c.dx[0];
         Ok(l1 / len)
-    }
-}
-
-/// Per-stage `(a, b, c)` combine coefficients, effective flux weights,
-/// and stage times of an SSP-RK form.
-type RkTables = (&'static [(f64, f64, f64)], &'static [f64], &'static [f64]);
-
-/// Conservative, minmod-limited linear prolongation of coarse data into
-/// the fine level's ghost zones. Fine cell `f` (0-based global fine index,
-/// negatives for left ghosts) maps to coarse interior cell
-/// `lo + floor(f/2)` with child parity `f mod 2` (0 = left child); the
-/// two children of a parent average back to it exactly.
-fn prolong_ghosts_from(
-    src_c: &Field,
-    dst_f: &mut Field,
-    ng_c: usize,
-    ng_f: usize,
-    n_f: usize,
-    lo: usize,
-) {
-    let mut fill = |gi_f: usize, f_global: i64| {
-        let ic = lo as i64 + f_global.div_euclid(2);
-        let child = f_global.rem_euclid(2);
-        let i = (ng_c as i64 + ic) as usize;
-        for c in 0..NCOMP {
-            let u_m = src_c.at(c, i - 1, 0, 0);
-            let u_0 = src_c.at(c, i, 0, 0);
-            let u_p = src_c.at(c, i + 1, 0, 0);
-            let s = minmod(u_0 - u_m, u_p - u_0);
-            let v = if child == 0 {
-                u_0 - 0.25 * s
-            } else {
-                u_0 + 0.25 * s
-            };
-            dst_f.set(c, gi_f, 0, 0, v);
-        }
-    };
-    for g in 0..ng_f {
-        // Left ghosts: global fine indices -1, -2, ...
-        fill(ng_f - 1 - g, -(g as i64) - 1);
-        // Right ghosts: n_f, n_f + 1, ...
-        fill(ng_f + n_f + g, (n_f + g) as i64);
-    }
-}
-
-#[inline]
-fn minmod(a: f64, b: f64) -> f64 {
-    if a * b <= 0.0 {
-        0.0
-    } else if a.abs() < b.abs() {
-        a
-    } else {
-        b
-    }
-}
-
-/// 1D residual with interface-flux capture: fills `rhs` over the interior
-/// and stores the interface fluxes (`flux[j]` is the flux through the
-/// ghost-inclusive interface `j`, valid for `ng..=ng+n`).
-fn rhs_1d_with_fluxes(scheme: &Scheme, prim: &Field, rhs: &mut Field, flux: &mut [Cons]) {
-    let geom = *prim.geom();
-    debug_assert_eq!(geom.ndim(), 1);
-    let ng = geom.ng;
-    let n = geom.n[0];
-    let nt = geom.ntot(0);
-    let inv_dx = 1.0 / geom.dx[0];
-
-    let mut q = [const { Vec::new() }; NCOMP];
-    let mut wl = [const { Vec::new() }; NCOMP];
-    let mut wr = [const { Vec::new() }; NCOMP];
-    for c in 0..NCOMP {
-        q[c] = vec![0.0; nt];
-        wl[c] = vec![0.0; nt + 1];
-        wr[c] = vec![0.0; nt + 1];
-    }
-    for (c, comp) in [PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ, PRIM_P]
-        .into_iter()
-        .enumerate()
-    {
-        prim.read_pencil(comp, 0, 0, 0, &mut q[c]);
-        scheme
-            .recon
-            .pencil(&q[c], ng, ng + n + 1, &mut wl[c], &mut wr[c]);
-    }
-    for j in ng..=ng + n {
-        let left = scheme.sanitize(Prim {
-            rho: wl[0][j],
-            vel: [wl[1][j], wl[2][j], wl[3][j]],
-            p: wl[4][j],
-        });
-        let right = scheme.sanitize(Prim {
-            rho: wr[0][j],
-            vel: [wr[1][j], wr[2][j], wr[3][j]],
-            p: wr[4][j],
-        });
-        flux[j] = scheme.riemann.flux(&scheme.eos, &left, &right, Dir::X);
-    }
-    rhs.raw_mut().fill(0.0);
-    for i in ng..ng + n {
-        rhs.set_cons(i, 0, 0, -(flux[i + 1] - flux[i]) * inv_dx);
     }
 }
 

@@ -369,4 +369,84 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn prolong_restrict_roundtrip_preserves_cell_sums(
+        lo in 0usize..8,
+        width in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        // Conservative prolongation puts children at u0 ∓ s/4, so the two
+        // children of every parent cell must average back to it (exactly
+        // up to one rounding each) for *arbitrary* coarse data — the
+        // invariant AMR regridding and ghost filling rely on.
+        use rhrsc::solver::refine::{prolong_span, restrict_onto};
+        let ng = 3;
+        let n_c = 16;
+        let geom_c = PatchGeom::line(n_c, 0.0, 1.0, ng);
+        let mut src = Field::cons(geom_c);
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for v in src.raw_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = f64::from_bits((state >> 12) | 0x3ff0000000000000); // [1, 2)
+        }
+        let hi = lo + width;
+        let n_f = 2 * width;
+        let geom_f = PatchGeom::line(n_f, 0.0, 1.0, ng);
+        let mut fine = Field::cons(geom_f);
+        prolong_span(&src, &mut fine, ng, ng, lo, 0, n_f as i64);
+        let mut back = Field::cons(geom_c);
+        restrict_onto(&fine, &mut back, ng, ng, n_f, lo);
+        for ic in lo..hi {
+            let want = src.get_cons(ng + ic, 0, 0).to_array();
+            let got = back.get_cons(ng + ic, 0, 0).to_array();
+            for c in 0..5 {
+                prop_assert!(
+                    (want[c] - got[c]).abs() <= 1e-13 * want[c].abs().max(1.0),
+                    "cell {ic} comp {c}: {} vs {}", want[c], got[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn amr_step_with_refluxing_conserves(
+        amp in 0.05f64..0.45,
+        v in -0.7f64..0.7,
+        threshold in 0.05f64..0.4,
+    ) {
+        // Full multi-level Berger-Oliger steps with refluxing and
+        // regridding on a periodic domain: the composite D/S/tau
+        // integrals must hold to machine precision for any refinement
+        // layout the estimator produces.
+        use rhrsc::solver::amr::{AmrConfig, AmrSolver};
+        use rhrsc::solver::{RkOrder, Scheme};
+        let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+        let cfg = AmrConfig { threshold, ..AmrConfig::default() };
+        let mut amr = AmrSolver::new(
+            scheme,
+            bc::uniform(Bc::Periodic),
+            RkOrder::Rk3,
+            64,
+            0.0,
+            1.0,
+            cfg,
+        );
+        amr.init(&move |x: [f64; 3]| {
+            let g = (-((x[0] - 0.5) / 0.1).powi(2)).exp();
+            Prim::new_1d(1.0 + amp * g, v, 1.0 + 10.0 * amp * g)
+        });
+        let before = amr.composite_totals();
+        amr.advance_to(0.0, 0.05, 0.4).map_err(|e| {
+            TestCaseError::fail(format!("solver failed: {e}"))
+        })?;
+        let after = amr.composite_totals();
+        for c in 0..5 {
+            prop_assert!(
+                (after[c] - before[c]).abs() <= 1e-12 * before[c].abs().max(1.0),
+                "component {c}: {} -> {} (threshold={threshold})",
+                before[c], after[c]
+            );
+        }
+    }
 }
