@@ -35,6 +35,10 @@ use std::time::Instant;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    // Every arm drives a solver on the calling thread: one rank. The
+    // distributed-AMR counterpart (f13) reports its real rank count the
+    // same way, and `validate_reports` pins both.
+    let nranks = 1usize;
     let scheme = Scheme::default_with_gamma(5.0 / 3.0);
     let reg = Arc::new(Registry::new());
     let tracer = opts.trace_path().map(|p| {
@@ -250,8 +254,9 @@ fn main() {
         .config_num("l1_amr", e_amr)
         .config_num("update_ratio", z_amr as f64 / z_fine as f64)
         .config_num("conservation_drift", max_drift)
+        .config_num("ranks", nranks as f64)
         .wall_time(bench_t0.elapsed().as_secs_f64())
-        .parallelism(1.0)
+        .parallelism(nranks as f64)
         .zone_updates((z_coarse + z_fine + z_amr) as f64)
         .write(&snap);
 }

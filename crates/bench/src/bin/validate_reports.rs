@@ -32,6 +32,24 @@ const REQUIRED_COUNTERS: &[(&str, &[&str])] = &[
         "f12_amr",
         &["amr.regrids", "amr.updates.l1", "amr.reflux.corrections"],
     ),
+    (
+        "f13_distributed_amr",
+        &[
+            "amr.dist.halo_msgs",
+            "amr.dist.reflux_msgs",
+            "amr.dist.shrinks",
+        ],
+    ),
+];
+
+/// Bench ids whose reports must state the rank count they ran on via an
+/// explicit `parallelism` field matching the bench's published
+/// configuration — the schema defaults a missing value to 1, which would
+/// hide a distributed bench silently degrading to a single rank.
+const REQUIRED_PARALLELISM: &[(&str, f64)] = &[
+    ("f11_rank_failure", 4.0),
+    ("f12_amr", 1.0),
+    ("f13_distributed_amr", 4.0),
 ];
 
 /// Bench ids whose reports must carry a positive `zone_updates` figure —
@@ -61,6 +79,15 @@ fn check_required_counters(doc: &Json) -> Result<(), String> {
             .ok_or(format!("`{id}` must report zone_updates"))?;
         if !(z > 0.0) {
             return Err(format!("zone_updates must be positive, got {z}"));
+        }
+    }
+    if let Some((_, want)) = REQUIRED_PARALLELISM.iter().find(|(k, _)| *k == id) {
+        let p = doc
+            .get("parallelism")
+            .and_then(Json::as_f64)
+            .ok_or(format!("`{id}` must report its rank count as parallelism"))?;
+        if p != *want {
+            return Err(format!("`{id}` must report parallelism = {want}, got {p}"));
         }
     }
     let Some((_, required)) = REQUIRED_COUNTERS.iter().find(|(k, _)| *k == id) else {

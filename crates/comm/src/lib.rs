@@ -16,5 +16,8 @@
 
 pub mod rank;
 
-pub use rank::{run, run_with_faults, CommError, LivenessStats, NetworkModel, Rank, SUSPECT_FLAG};
+pub use rank::{
+    run, run_with_faults, CommError, LivenessStats, NetworkModel, Rank, AMR_DESCEND_TAG_BASE,
+    AMR_REFLUX_TAG_BASE, AMR_REGRID_TAG, AMR_SYNC_TAG_BASE, SUSPECT_FLAG,
+};
 pub use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};

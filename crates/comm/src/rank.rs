@@ -49,6 +49,21 @@ fn tag_class(tag: u64) -> &'static str {
 /// [`Rank::agree_max`]); ordinary success/failure flags use 0.0/1.0.
 pub const SUSPECT_FLAG: f64 = 2.0;
 
+/// Distributed-AMR tag blocks. The uniform block solver uses halo tags
+/// `0..6`; the distributed AMR driver claims the rest of the
+/// fault-injected halo tag space (`< 64`), one tag per refinement level
+/// per exchange class, so that cross-rank prolongation, reflux-register,
+/// and regrid traffic rides the same CRC-32 trailer + modeled-retransmit
+/// path as block halos (a corrupted AMR message is detected and resent,
+/// never silently accepted).
+pub const AMR_DESCEND_TAG_BASE: u64 = 8;
+/// First tag of the distributed-AMR reflux-register exchange block.
+pub const AMR_REFLUX_TAG_BASE: u64 = 16;
+/// First tag of the distributed-AMR sync-point exchange block.
+pub const AMR_SYNC_TAG_BASE: u64 = 24;
+/// Tag of the distributed-AMR regrid allgather (still halo class).
+pub const AMR_REGRID_TAG: u64 = 32;
+
 /// Errors from the deadline-aware receive paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommError {

@@ -698,6 +698,42 @@ impl CheckpointSlots {
             }
         }
     }
+
+    /// Path of the most recent *AMR hierarchy* (format v4,
+    /// rank-count-independent) slot.
+    pub fn amr_latest_path(&self) -> PathBuf {
+        self.dir.join("latest.ackp")
+    }
+
+    /// Path of the previous-generation AMR slot.
+    pub fn amr_prev_path(&self) -> PathBuf {
+        self.dir.join("prev.ackp")
+    }
+
+    /// Save an AMR checkpoint, rotating `latest.ackp` → `prev.ackp`.
+    pub fn save_amr(&self, ckp: &AmrCheckpoint) -> Result<(), CheckpointError> {
+        let latest = self.amr_latest_path();
+        if latest.exists() {
+            std::fs::rename(&latest, self.amr_prev_path())?;
+        }
+        save_amr_checkpoint(&latest, ckp)
+    }
+
+    /// Load the newest valid AMR checkpoint, reporting whether the `prev`
+    /// slot was used because `latest` was missing, torn, or corrupt.
+    pub fn load_newest_amr(&self) -> Result<(AmrCheckpoint, bool), CheckpointError> {
+        match load_amr_checkpoint(&self.amr_latest_path()) {
+            Ok(ckp) => Ok((ckp, false)),
+            Err(err) => {
+                let ckp = load_amr_checkpoint(&self.amr_prev_path())?;
+                eprintln!(
+                    "checkpoint: AMR latest slot unusable ({err}), fell back to {}",
+                    self.amr_prev_path().display()
+                );
+                Ok((ckp, true))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1064,6 +1100,33 @@ mod tests {
         std::fs::write(slots.global_latest_path(), &bytes[..bytes.len() - 1]).unwrap();
         let (got, fell_back) = slots.load_newest_global().unwrap();
         assert_eq!((got.step, fell_back), (1, true));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn amr_slots_rotate_and_fall_back_on_torn_write() {
+        let dir = std::env::temp_dir().join("rhrsc-ackp-slots-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let slots = CheckpointSlots::new(&dir).unwrap();
+        assert!(slots.load_newest_amr().is_err());
+
+        let mut a = sample_amr();
+        a.step = 1;
+        slots.save_amr(&a).unwrap();
+        let mut b = sample_amr();
+        b.step = 2;
+        slots.save_amr(&b).unwrap();
+        let (got, fell_back) = slots.load_newest_amr().unwrap();
+        assert_eq!((got.step, fell_back), (2, false));
+        assert_eq!(got, b);
+
+        // Torn latest (truncated inside the CRC footer, as a crash during
+        // a media flush would leave it) → prev generation, reported.
+        let bytes = std::fs::read(slots.amr_latest_path()).unwrap();
+        std::fs::write(slots.amr_latest_path(), &bytes[..bytes.len() - 1]).unwrap();
+        let (got, fell_back) = slots.load_newest_amr().unwrap();
+        assert_eq!((got.step, fell_back), (1, true));
+        assert_eq!(got, a);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -11,6 +11,25 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Where in the step a *scheduled* rank-level fault (crash/stall) fires.
+///
+/// The distributed AMR driver has several communication windows per step;
+/// killing a rank inside a specific one (mid-regrid, mid-reflux) exercises
+/// recovery paths that a between-steps crash never reaches. `Step` keeps
+/// the historical behaviour: the fault fires at the top of the step loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankSite {
+    /// Top of the step loop (the classic f11 crash site).
+    #[default]
+    Step,
+    /// Inside a cross-rank halo/prolongation exchange window.
+    Exchange,
+    /// Inside the flux-register (reflux) exchange window.
+    Reflux,
+    /// Inside the regrid allgather/migration window.
+    Regrid,
+}
+
 /// What to inject, and how often. All probabilities are per opportunity
 /// (per message, per launch, per copy, per step) in `[0, 1]`.
 #[derive(Debug, Clone)]
@@ -35,10 +54,15 @@ pub struct FaultPlan {
     pub crash_rank: Option<usize>,
     /// Step at which [`FaultPlan::crash_rank`] dies.
     pub crash_step: u64,
+    /// Window within the crash step where the victim dies.
+    pub crash_site: RankSite,
     /// Straggler rank whose modeled work/comm time is multiplied, if any.
     pub stall_rank: Option<usize>,
     /// Slowdown multiplier applied to the straggler (`> 1.0` slows it).
     pub stall_factor: f64,
+    /// Window where the straggler's slowdown applies (`Step` = everywhere,
+    /// matching the historical behaviour).
+    pub stall_site: RankSite,
 }
 
 impl FaultPlan {
@@ -54,8 +78,10 @@ impl FaultPlan {
             cell_poison_prob: 0.0,
             crash_rank: None,
             crash_step: 0,
+            crash_site: RankSite::Step,
             stall_rank: None,
             stall_factor: 1.0,
+            stall_site: RankSite::Step,
         }
     }
 
@@ -232,9 +258,23 @@ impl FaultInjector {
     /// rather than probabilistic — "rank r dies at step s" — so the
     /// predicate is a pure function of the plan and consumes no draws
     /// (the existing per-site streams are untouched). Fires on every call
-    /// at or past the crash step; the first hit is counted.
+    /// at or past the crash step; the first hit is counted. Equivalent to
+    /// [`FaultInjector::should_crash_at`] with [`RankSite::Step`].
     pub fn should_crash_rank(&self, rank: usize, step: u64) -> bool {
-        let hit = self.plan.crash_rank == Some(rank) && step >= self.plan.crash_step;
+        self.should_crash_at(rank, step, RankSite::Step)
+    }
+
+    /// Site-gated crash predicate: within the crash step the victim dies
+    /// only inside the configured [`FaultPlan::crash_site`] window (so a
+    /// `Regrid` crash survives the earlier exchange windows of that step);
+    /// past the crash step it reads dead from every site. Pure function of
+    /// the plan — consumes no draws.
+    pub fn should_crash_at(&self, rank: usize, step: u64, site: RankSite) -> bool {
+        if self.plan.crash_rank != Some(rank) {
+            return false;
+        }
+        let hit = step > self.plan.crash_step
+            || (step == self.plan.crash_step && site == self.plan.crash_site);
         if hit && step == self.plan.crash_step {
             self.crashed.store(1, Ordering::Relaxed);
         }
@@ -244,9 +284,21 @@ impl FaultInjector {
     /// Work/comm-time multiplier for `rank` if it is the configured
     /// straggler (`None` for healthy ranks). Like
     /// [`FaultInjector::should_crash_rank`] this is scheduled, not drawn,
-    /// so it cannot perturb the probabilistic streams.
+    /// so it cannot perturb the probabilistic streams. Equivalent to
+    /// [`FaultInjector::should_stall_at`] with [`RankSite::Step`].
     pub fn should_stall_rank(&self, rank: usize) -> Option<f64> {
-        if self.plan.stall_rank == Some(rank) && self.plan.stall_factor != 1.0 {
+        self.should_stall_at(rank, RankSite::Step)
+    }
+
+    /// Site-gated stall predicate. A plan whose
+    /// [`FaultPlan::stall_site`] is [`RankSite::Step`] stalls the
+    /// straggler everywhere (the historical behaviour); any other site
+    /// stalls it only inside that window.
+    pub fn should_stall_at(&self, rank: usize, site: RankSite) -> Option<f64> {
+        if self.plan.stall_rank == Some(rank)
+            && self.plan.stall_factor != 1.0
+            && (self.plan.stall_site == RankSite::Step || self.plan.stall_site == site)
+        {
             self.stalled.fetch_add(1, Ordering::Relaxed);
             Some(self.plan.stall_factor)
         } else {
@@ -360,6 +412,60 @@ mod tests {
             "stays dead after the crash step"
         );
         assert_eq!(inj.stats().ranks_crashed, 1);
+    }
+
+    #[test]
+    fn crash_site_gates_within_the_crash_step() {
+        let p = FaultPlan {
+            crash_rank: Some(1),
+            crash_step: 4,
+            crash_site: RankSite::Regrid,
+            ..FaultPlan::disabled()
+        };
+        let inj = FaultInjector::new(p, 1);
+        // Before the crash step: alive at every site.
+        for site in [
+            RankSite::Step,
+            RankSite::Exchange,
+            RankSite::Reflux,
+            RankSite::Regrid,
+        ] {
+            assert!(!inj.should_crash_at(1, 3, site));
+        }
+        // At the crash step: survives the earlier windows, dies in regrid.
+        assert!(!inj.should_crash_at(1, 4, RankSite::Step));
+        assert!(!inj.should_crash_at(1, 4, RankSite::Exchange));
+        assert!(!inj.should_crash_at(1, 4, RankSite::Reflux));
+        assert!(inj.should_crash_at(1, 4, RankSite::Regrid));
+        // Past the crash step: dead from every site.
+        assert!(inj.should_crash_at(1, 5, RankSite::Step));
+        assert!(inj.should_crash_at(1, 7, RankSite::Exchange));
+        // Non-victims never crash.
+        assert!(!inj.should_crash_at(0, 9, RankSite::Regrid));
+        assert_eq!(inj.stats().ranks_crashed, 1);
+    }
+
+    #[test]
+    fn stall_site_gates_but_step_means_everywhere() {
+        let everywhere = FaultPlan {
+            stall_rank: Some(2),
+            stall_factor: 2.5,
+            ..FaultPlan::disabled()
+        };
+        let inj = FaultInjector::new(everywhere, 2);
+        assert_eq!(inj.should_stall_at(2, RankSite::Exchange), Some(2.5));
+        assert_eq!(inj.should_stall_at(2, RankSite::Regrid), Some(2.5));
+        let gated = FaultPlan {
+            stall_rank: Some(2),
+            stall_factor: 2.5,
+            stall_site: RankSite::Reflux,
+            ..FaultPlan::disabled()
+        };
+        let inj = FaultInjector::new(gated, 2);
+        assert_eq!(inj.should_stall_at(2, RankSite::Exchange), None);
+        assert_eq!(inj.should_stall_rank(2), None);
+        assert_eq!(inj.should_stall_at(2, RankSite::Reflux), Some(2.5));
+        assert_eq!(inj.stats().stall_events, 1);
     }
 
     #[test]

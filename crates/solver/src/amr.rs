@@ -100,49 +100,49 @@ impl Default for AmrConfig {
 /// level's *global* cell space (cell `g` spans
 /// `[x0 + g·Δxℓ, x0 + (g+1)·Δxℓ]`); `lo` is always even for `ℓ ≥ 1`, so a
 /// patch covers whole parent cells.
-struct Patch {
-    lo: usize,
-    n: usize,
+pub(crate) struct Patch {
+    pub(crate) lo: usize,
+    pub(crate) n: usize,
     /// Index of the parent patch in `levels[ℓ-1]` (0 for level 0).
-    parent_idx: usize,
-    u: Field,
-    prim: Field,
-    rhs: Field,
-    stage: Field,
+    pub(crate) parent_idx: usize,
+    pub(crate) u: Field,
+    pub(crate) prim: Field,
+    pub(crate) rhs: Field,
+    pub(crate) stage: Field,
     /// State at the start of the current step (children's lerp anchor).
-    base: Field,
+    pub(crate) base: Field,
     /// Scratch for time-interpolated ghost prolongation.
-    lerp: Field,
-    flux: Vec<Cons>,
+    pub(crate) lerp: Field,
+    pub(crate) flux: Vec<Cons>,
     /// Accumulated own-boundary effective fluxes toward the parent.
-    acc: [Cons; 2],
+    pub(crate) acc: [Cons; 2],
     /// Parent-side accumulated effective fluxes at this patch's faces.
-    acc_parent: [Cons; 2],
+    pub(crate) acc_parent: [Cons; 2],
 }
 
 /// Multi-level adaptive-mesh solver for 1D Cartesian problems.
 pub struct AmrSolver {
-    scheme: Scheme,
-    bcs: BcSet,
-    rk: RkOrder,
-    cfg: AmrConfig,
+    pub(crate) scheme: Scheme,
+    pub(crate) bcs: BcSet,
+    pub(crate) rk: RkOrder,
+    pub(crate) cfg: AmrConfig,
     x0: f64,
     dx0: f64,
-    n0: usize,
-    ng: usize,
+    pub(crate) n0: usize,
+    pub(crate) ng: usize,
     /// `levels[0]` holds exactly one patch covering the domain; finer
     /// levels may be empty.
-    levels: Vec<Vec<Patch>>,
+    pub(crate) levels: Vec<Vec<Patch>>,
     /// Start position of each level's current step within its parent's
     /// step (0.0 or 0.5), for the ghost time-interpolation chain.
-    frac: Vec<f64>,
-    steps: u64,
+    pub(crate) frac: Vec<f64>,
+    pub(crate) steps: u64,
     /// Interior-cell stage updates per level.
-    updates: Vec<u64>,
+    pub(crate) updates: Vec<u64>,
     /// Per-level update counts already flushed to the metrics registry.
     flushed: Vec<u64>,
     regrids: u64,
-    reflux_corrections: u64,
+    pub(crate) reflux_corrections: u64,
     dev_launches: u64,
     metrics: Option<Arc<Registry>>,
     trace: Option<(Arc<Tracer>, Arc<Track>)>,
@@ -226,12 +226,12 @@ impl AmrSolver {
     }
 
     /// Cell size of level `l` (exact: halving only).
-    fn level_dx(&self, l: usize) -> f64 {
+    pub(crate) fn level_dx(&self, l: usize) -> f64 {
         self.dx0 / (1u64 << l) as f64
     }
 
     /// Global cell count of level `l`'s index space.
-    fn level_cells(&self, l: usize) -> usize {
+    pub(crate) fn level_cells(&self, l: usize) -> usize {
         self.n0 << l
     }
 
@@ -320,7 +320,7 @@ impl AmrSolver {
     /// *current* state (all levels at the same time; used at sync points
     /// for dt estimation, error estimation, and diagnostics). Level 0
     /// gets physical BCs. Parents of `m` must already be filled.
-    fn fill_ghosts_sync_level(&mut self, m: usize) {
+    pub(crate) fn fill_ghosts_sync_level(&mut self, m: usize) {
         if m == 0 {
             let p0 = &mut self.levels[0][0];
             fill_ghosts(&mut p0.u, &self.bcs);
@@ -365,7 +365,7 @@ impl AmrSolver {
     /// parameter is pushed up the chain via
     /// `θ_{m−1} = frac_m + θ_m / 2`, so every ancestor is evaluated at the
     /// same physical time.
-    fn fill_ghosts_lerp(&mut self, l: usize, c: f64) {
+    pub(crate) fn fill_ghosts_lerp(&mut self, l: usize, c: f64) {
         if l == 0 {
             let p0 = &mut self.levels[0][0];
             fill_ghosts(&mut p0.u, &self.bcs);
@@ -651,7 +651,7 @@ impl AmrSolver {
         }
     }
 
-    fn flush_metrics(&mut self) {
+    pub(crate) fn flush_metrics(&mut self) {
         let Some(m) = &self.metrics else { return };
         for l in 0..self.updates.len() {
             let delta = self.updates[l] - self.flushed[l];

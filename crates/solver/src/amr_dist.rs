@@ -1,0 +1,1556 @@
+//! Distributed fault-tolerant AMR: the [`crate::amr`] patch hierarchy
+//! sharded across simulated [`Rank`]s, surviving rank death mid-regrid.
+//!
+//! **Decomposition.** Every rank holds the full hierarchy *metadata* (patch
+//! extents, parent links, `frac` phases) plus typed storage for every
+//! patch, but each patch has exactly one *owner* rank that computes its
+//! updates; the replicas on other ranks are shadow patches used as receive
+//! buffers for ancestor/halo data. Ownership follows a space-filling-curve
+//! order (patches sorted by their left edge in finest-level coordinates,
+//! ties coarse-first) cut into contiguous cost-balanced segments by
+//! [`partition_contiguous`], with per-patch cost `n·2^ℓ` ([`patch_cost`]) —
+//! the subcycling-aware work estimate.
+//!
+//! **Communication.** Four message classes, all on halo-class tags (< 64),
+//! so they inherit the CRC-32 payload trailer and the modeled link-level
+//! retransmit of the communication layer for free:
+//!
+//! * *descend* ([`AMR_DESCEND_TAG_BASE`]` + ℓ`): a level-ℓ owner ships
+//!   `base`+`u` interiors to the owners of its strict descendants before
+//!   their substeps, so the time-interpolated ghost prolongation chain
+//!   ([`AmrSolver::fill_ghosts_lerp`]) can be evaluated locally,
+//! * *reflux* ([`AMR_REFLUX_TAG_BASE`]` + ℓ`): a child owner ships its
+//!   post-substep `u` interiors and accumulated boundary fluxes to an
+//!   off-rank parent owner, which restricts and applies the Berger–Colella
+//!   corrections exactly as the serial solver does,
+//! * *sync* ([`AMR_SYNC_TAG_BASE`]` + ℓ`): `u`-only descend used at sync
+//!   points (Δt estimation, diagnostics),
+//! * *allgather* ([`AMR_REGRID_TAG`]): every owner ships all its interiors
+//!   to every live rank, fully replicating the state; used before regrids
+//!   (so clustering is a pure-local, deterministic computation), before
+//!   global checkpoints (the root writes a rank-count-independent v4 AMR
+//!   checkpoint from its replica), and for gathered diagnostics.
+//!
+//! Every blob carries an *attempt sequence number* in its first element;
+//! receivers drop blobs from older (rolled-back) attempts and refuse blobs
+//! from the future, so retried steps never consume stale in-flight data.
+//!
+//! **Determinism.** Owned-patch arithmetic is copied verbatim from the
+//! serial [`AmrSolver`]; ghost fills are recomputed locally from replicated
+//! ancestor interiors; the Δt reduction is an exact min; and regrids run on
+//! the fully-replicated state. A no-fault distributed run is therefore
+//! bit-identical to the serial solver (pinned by tests).
+//!
+//! **Fault tolerance.** The advance loop reuses the resilient-driver tiers
+//! (retry → checkpoint restore → shrinking recovery): per attempt every
+//! rank reaches the Δt reduction and the agreement round even if its local
+//! work failed (keeping collective tags aligned), a `≥ SUSPECT_FLAG`
+//! agreement triggers the two-round suspicion consensus, and a confirmed
+//! death restores every survivor from the shared rank-count-independent
+//! checkpoint, re-partitions the SFC segment map over the shrunken live
+//! set, and resumes with a degraded-CFL ramp. Regrids are *comm-atomic*: a
+//! pre-mutation agreement barrier after the allgather ensures either every
+//! rank rebuilds the hierarchy or none does, so a rank killed mid-regrid
+//! (the [`RankSite::Regrid`] fault site) can never leave survivors with
+//! divergent hierarchies.
+
+use crate::amr::AmrSolver;
+use crate::driver::comm_err;
+use crate::integrate::RkOrder;
+use crate::refine::{restrict_onto, rhs_1d_with_fluxes, rk_tables};
+use crate::scheme::{apply_conserved_floors, max_dt, recover_prims, Scheme, SolverError};
+use crate::AmrConfig;
+use rhrsc_comm::{
+    Rank, AMR_DESCEND_TAG_BASE, AMR_REFLUX_TAG_BASE, AMR_REGRID_TAG, AMR_SYNC_TAG_BASE,
+    SUSPECT_FLAG,
+};
+use rhrsc_grid::{BcSet, Field};
+use rhrsc_io::checkpoint::{AmrCheckpoint, CheckpointError, CheckpointSlots};
+use rhrsc_runtime::fault::{FaultInjector, RankSite};
+use rhrsc_runtime::Registry;
+use rhrsc_srhd::{Cons, Prim, NCOMP};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ----- cost model and partitioning ---------------------------------------
+
+/// Work estimate of one patch: interior cells × the `2^ℓ` subcycling
+/// factor (a level-ℓ cell is updated `2^ℓ` times per base step).
+pub fn patch_cost(level: usize, n: usize) -> f64 {
+    ((n as u64) << level) as f64
+}
+
+/// Space-filling-curve sort key of a patch: its left edge expressed in
+/// finest-level cell coordinates, ties broken coarse-first (so a parent
+/// sorts before the children it contains).
+pub fn sfc_key(level: usize, lo: usize, max_levels: usize) -> (u64, u32) {
+    ((lo as u64) << (max_levels - 1 - level), level as u32)
+}
+
+/// Cut an SFC-ordered cost sequence into `nparts` contiguous segments by
+/// the greedy midpoint rule: item `i` goes to the first part whose ideal
+/// boundary lies past the item's cost midpoint.
+///
+/// Guarantees (pinned by the property suite): every item is assigned to
+/// exactly one part, part indices are non-decreasing (segments are
+/// contiguous), and the heaviest part carries at most
+/// `total/nparts + max_item_cost`.
+pub fn partition_contiguous(costs: &[f64], nparts: usize) -> Vec<usize> {
+    assert!(nparts > 0, "need at least one part");
+    let total: f64 = costs.iter().sum();
+    let mut out = vec![0usize; costs.len()];
+    let mut part = 0usize;
+    let mut acc = 0.0;
+    for (i, &c) in costs.iter().enumerate() {
+        while part + 1 < nparts && acc + 0.5 * c > total * (part + 1) as f64 / nparts as f64 {
+            part += 1;
+        }
+        out[i] = part;
+        acc += c;
+    }
+    out
+}
+
+/// SFC-order the hierarchy's patches and assign contiguous cost-balanced
+/// segments to the live ranks. Deterministic: every rank computes the
+/// identical map from its replicated metadata.
+fn assign_owners(inner: &AmrSolver, live: &[usize]) -> Vec<Vec<usize>> {
+    let max_levels = inner.cfg.max_levels;
+    let mut items: Vec<(u64, u32, usize, usize)> = Vec::new();
+    for (l, ps) in inner.levels.iter().enumerate() {
+        for (i, p) in ps.iter().enumerate() {
+            let (key, tie) = sfc_key(l, p.lo, max_levels);
+            items.push((key, tie, l, i));
+        }
+    }
+    items.sort_unstable();
+    let costs: Vec<f64> = items
+        .iter()
+        .map(|&(_, _, l, i)| patch_cost(l, inner.levels[l][i].n))
+        .collect();
+    let parts = partition_contiguous(&costs, live.len());
+    let mut owners: Vec<Vec<usize>> = inner.levels.iter().map(|ps| vec![0; ps.len()]).collect();
+    for (&(_, _, l, i), &part) in items.iter().zip(&parts) {
+        owners[l][i] = live[part];
+    }
+    owners
+}
+
+// ----- configuration and statistics --------------------------------------
+
+/// Configuration of the distributed AMR driver.
+#[derive(Debug, Clone)]
+pub struct DistAmrConfig {
+    /// The underlying hierarchy configuration.
+    pub amr: AmrConfig,
+    /// Shared directory for the rank-count-independent global AMR
+    /// checkpoint slots (`None` disables checkpointing, and with it the
+    /// restore and shrink tiers).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Base steps between global checkpoints (0 disables periodic saves;
+    /// the initial save still happens).
+    pub checkpoint_interval: usize,
+    /// In-place retries (with halved CFL) before the restore tier.
+    pub max_step_retries: usize,
+    /// Checkpoint restores before giving up.
+    pub max_restores: usize,
+    /// Regrid-time rebalance trigger: when the inherited ownership's
+    /// max-rank cost exceeds this multiple of the ideal (total/live), the
+    /// SFC partition is recomputed from scratch. Overridable via the
+    /// `RHRSC_AMR_REBALANCE_THRESH` environment variable.
+    pub rebalance_threshold: f64,
+}
+
+impl Default for DistAmrConfig {
+    fn default() -> Self {
+        let thresh = std::env::var("RHRSC_AMR_REBALANCE_THRESH")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|t| *t >= 1.0)
+            .unwrap_or(1.25);
+        DistAmrConfig {
+            amr: AmrConfig::default(),
+            checkpoint_dir: None,
+            checkpoint_interval: 4,
+            max_step_retries: 2,
+            max_restores: 4,
+            rebalance_threshold: thresh,
+        }
+    }
+}
+
+/// Per-rank counters of the distributed AMR driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistAmrStats {
+    /// Base steps committed.
+    pub steps: u64,
+    /// Descend/sync halo messages sent.
+    pub halo_msgs: u64,
+    /// Payload bytes sent across all message classes.
+    pub halo_bytes: u64,
+    /// Reflux messages sent.
+    pub reflux_msgs: u64,
+    /// Allgather messages sent (regrid + checkpoint + diagnostics).
+    pub regrid_msgs: u64,
+    /// Patches whose owner changed at a regrid.
+    pub migrations: u64,
+    /// Regrids that triggered a from-scratch re-partition.
+    pub rebalances: u64,
+    /// Shrinking recoveries performed.
+    pub shrinks: u64,
+    /// Ranks confirmed dead and evicted.
+    pub ranks_lost: u64,
+    /// Suspicion consensus rounds that ended in a false alarm.
+    pub false_suspicions: u64,
+    /// In-place step retries.
+    pub retries: u64,
+    /// Checkpoint restores (retry-exhausted tier).
+    pub restores: u64,
+    /// Global checkpoints this rank participated in.
+    pub checkpoints_saved: u64,
+    /// Restores that fell back to the `prev` slot (torn `latest`).
+    pub ckpt_fallbacks: u64,
+}
+
+// ----- the distributed solver --------------------------------------------
+
+/// Exchange class: selects the tag family, the fault-site window, the
+/// trace span, and which counter the traffic lands in.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExKind {
+    Descend,
+    Sync,
+    Reflux,
+    Regrid,
+    Gather,
+}
+
+impl ExKind {
+    fn site(self) -> RankSite {
+        match self {
+            ExKind::Descend | ExKind::Sync | ExKind::Gather => RankSite::Exchange,
+            ExKind::Reflux => RankSite::Reflux,
+            ExKind::Regrid => RankSite::Regrid,
+        }
+    }
+
+    fn span(self) -> &'static str {
+        match self {
+            ExKind::Descend | ExKind::Sync | ExKind::Gather => "amr.dist.exchange",
+            ExKind::Reflux => "amr.dist.reflux",
+            ExKind::Regrid => "amr.dist.regrid",
+        }
+    }
+}
+
+/// [`AmrSolver`] sharded across ranks with owner-computes semantics and
+/// the resilient-driver recovery tiers. See the module docs for the
+/// decomposition, communication, and recovery design.
+pub struct DistAmrSolver {
+    inner: AmrSolver,
+    cfg: DistAmrConfig,
+    /// Owner rank of `levels[l][i]`.
+    owners: Vec<Vec<usize>>,
+    /// Attempt sequence number stamped into every blob (lockstep across
+    /// ranks: bumped once per step attempt).
+    seq: u64,
+    /// Base step at which the last successful regrid ran (so retried
+    /// attempts of the same step do not regrid twice).
+    last_regrid_step: Option<u64>,
+    /// Pre-step interior snapshot for attempt rollback.
+    snapshot: Vec<Vec<Vec<f64>>>,
+    snapshot_ok: bool,
+    cur_step: u64,
+    injector: Option<Arc<FaultInjector>>,
+    metrics: Option<Arc<Registry>>,
+    stats: DistAmrStats,
+}
+
+fn ck_err(e: CheckpointError) -> SolverError {
+    SolverError::Checkpoint { msg: e.to_string() }
+}
+
+/// Append a field's interior, component-major, to a blob.
+fn push_field_interior(out: &mut Vec<f64>, f: &Field, ng: usize, n: usize) {
+    for c in 0..NCOMP {
+        for i in 0..n {
+            out.push(f.at(c, ng + i, 0, 0));
+        }
+    }
+}
+
+/// Read a component-major interior span back into a field.
+fn read_field_interior(src: &[f64], f: &mut Field, ng: usize, n: usize) {
+    let mut it = src.iter();
+    for c in 0..NCOMP {
+        for i in 0..n {
+            f.set(c, ng + i, 0, 0, *it.next().expect("span sized by caller"));
+        }
+    }
+}
+
+impl DistAmrSolver {
+    /// Create a solver over `[x0, x1]` with `n0` base cells. Call
+    /// [`DistAmrSolver::init`] (or [`DistAmrSolver::restore`]) before
+    /// stepping. Fine-level device offload is not routed through the
+    /// distributed path; residuals evaluate on the host.
+    pub fn new(
+        scheme: Scheme,
+        bcs: BcSet,
+        rk: RkOrder,
+        n0: usize,
+        x0: f64,
+        x1: f64,
+        cfg: DistAmrConfig,
+    ) -> Self {
+        assert!(
+            cfg.amr.max_levels <= 8,
+            "the AMR halo tag blocks hold 8 levels"
+        );
+        let inner = AmrSolver::new(scheme, bcs, rk, n0, x0, x1, cfg.amr.clone());
+        let max_levels = cfg.amr.max_levels;
+        DistAmrSolver {
+            inner,
+            cfg,
+            owners: vec![Vec::new(); max_levels],
+            seq: 0,
+            last_regrid_step: None,
+            snapshot: Vec::new(),
+            snapshot_ok: false,
+            cur_step: 0,
+            injector: None,
+            metrics: None,
+            stats: DistAmrStats::default(),
+        }
+    }
+
+    /// Attach a metrics registry (`amr.dist.*` counters, plus the serial
+    /// solver's `amr.*` family).
+    pub fn set_metrics(&mut self, metrics: Arc<Registry>) {
+        self.inner.set_metrics(Arc::clone(&metrics));
+        self.metrics = Some(metrics);
+    }
+
+    /// Initialize the hierarchy from a pointwise primitive IC (identical
+    /// on every rank) and partition ownership over the live ranks.
+    pub fn init(&mut self, rank: &Rank, ic: &dyn Fn([f64; 3]) -> Prim) {
+        self.inner.init(ic);
+        self.owners = assign_owners(&self.inner, rank.live_ranks());
+        self.last_regrid_step = None;
+        self.snapshot_ok = false;
+    }
+
+    /// Restore from a rank-count-independent v4 AMR checkpoint and
+    /// re-partition ownership over the current live set. The checkpoint
+    /// may come from a run with any rank count.
+    pub fn restore(&mut self, rank: &Rank, ck: &AmrCheckpoint) -> Result<(), SolverError> {
+        self.inner
+            .restore(ck)
+            .map_err(|msg| SolverError::Checkpoint { msg })?;
+        self.owners = assign_owners(&self.inner, rank.live_ranks());
+        self.last_regrid_step = None;
+        self.snapshot_ok = false;
+        Ok(())
+    }
+
+    /// The replicated serial solver (valid everywhere only right after an
+    /// allgather — see [`DistAmrSolver::to_checkpoint_gathered`]).
+    pub fn inner(&self) -> &AmrSolver {
+        &self.inner
+    }
+
+    /// Per-rank driver counters.
+    pub fn stats(&self) -> DistAmrStats {
+        self.stats
+    }
+
+    /// Owner rank of a patch (test/diagnostic hook).
+    pub fn owner_of(&self, level: usize, idx: usize) -> usize {
+        self.owners[level][idx]
+    }
+
+    /// Number of patches this rank owns.
+    pub fn owned_patches(&self, rank_id: usize) -> usize {
+        self.owners
+            .iter()
+            .map(|l| l.iter().filter(|&&o| o == rank_id).count())
+            .sum()
+    }
+
+    // ----- exchange machinery --------------------------------------------
+
+    fn check_crash(&self, rank: &Rank, site: RankSite) -> Result<(), SolverError> {
+        if let Some(inj) = &self.injector {
+            if inj.should_crash_at(rank.rank(), self.cur_step, site) {
+                rank.trace_instant("amr.dist.rank_failed", self.cur_step as f64);
+                return Err(SolverError::RankFailed {
+                    step: self.cur_step,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Send every planned blob, then receive one blob per planned source,
+    /// dropping stale (lower-sequence) leftovers from rolled-back
+    /// attempts. `recvs` maps source rank → expected payload length (not
+    /// counting the sequence header).
+    fn run_exchange(
+        &mut self,
+        rank: &mut Rank,
+        tag: u64,
+        kind: ExKind,
+        sends: BTreeMap<usize, Vec<f64>>,
+        recvs: &BTreeMap<usize, usize>,
+    ) -> Result<BTreeMap<usize, Vec<f64>>, SolverError> {
+        self.check_crash(rank, kind.site())?;
+        let t0 = Instant::now();
+        let nmsgs = sends.len() as u64;
+        let mut bytes = 0u64;
+        for (dst, blob) in &sends {
+            bytes += (blob.len() * 8) as u64;
+            rank.send(*dst, tag, blob);
+        }
+        let mut out = BTreeMap::new();
+        for (&src, &want) in recvs {
+            loop {
+                let msg = rank.recv_deadline(src, tag).map_err(comm_err)?;
+                let sq = msg.first().copied().unwrap_or(-1.0);
+                if sq < self.seq as f64 {
+                    // Leftover from a rolled-back attempt: drop and wait
+                    // for this attempt's blob (FIFO per sender and tag).
+                    continue;
+                }
+                if sq > self.seq as f64 || msg.len() != want + 1 {
+                    return Err(SolverError::HaloMismatch {
+                        expected: want + 1,
+                        got: msg.len(),
+                    });
+                }
+                out.insert(src, msg);
+                break;
+            }
+        }
+        match kind {
+            ExKind::Descend | ExKind::Sync => self.stats.halo_msgs += nmsgs,
+            ExKind::Reflux => self.stats.reflux_msgs += nmsgs,
+            ExKind::Regrid | ExKind::Gather => self.stats.regrid_msgs += nmsgs,
+        }
+        self.stats.halo_bytes += bytes;
+        if let Some(m) = &self.metrics {
+            match kind {
+                ExKind::Descend | ExKind::Sync => m.counter("amr.dist.halo_msgs").add(nmsgs),
+                ExKind::Reflux => m.counter("amr.dist.reflux_msgs").add(nmsgs),
+                ExKind::Regrid | ExKind::Gather => m.counter("amr.dist.regrid_msgs").add(nmsgs),
+            }
+            m.counter("amr.dist.halo_bytes").add(bytes);
+        }
+        // Straggler injection inside this window: real wall-clock lag so
+        // peer liveness deadlines genuinely see it.
+        if let Some(inj) = &self.injector {
+            if let Some(f) = inj.should_stall_at(rank.rank(), kind.site()) {
+                let extra = t0.elapsed().mul_f64((f - 1.0).max(0.0));
+                std::thread::sleep(extra);
+                if rank.is_virtual() {
+                    rank.advance_vtime(extra.as_secs_f64());
+                }
+            }
+        }
+        rank.trace_span(kind.span(), t0.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
+    /// Owner set of every strict descendant of each level-`l` patch.
+    fn descendant_owner_sets(&self, l: usize) -> Vec<Vec<usize>> {
+        let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.inner.levels[l].len()];
+        for m in (l + 1)..self.inner.levels.len() {
+            for (j, _) in self.inner.levels[m].iter().enumerate() {
+                let mut lev = m;
+                let mut idx = j;
+                while lev > l {
+                    idx = self.inner.levels[lev][idx].parent_idx;
+                    lev -= 1;
+                }
+                sets[idx].insert(self.owners[m][j]);
+            }
+        }
+        sets.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// Ship level-`l` `base`+`u` interiors (or `u` only, for sync) from
+    /// owners to the owners of strict descendants.
+    fn exchange_down(
+        &mut self,
+        rank: &mut Rank,
+        l: usize,
+        kind: ExKind,
+    ) -> Result<(), SolverError> {
+        let me = rank.rank();
+        let with_base = kind == ExKind::Descend;
+        let fields = if with_base { 2 } else { 1 };
+        let sets = self.descendant_owner_sets(l);
+        let ng = self.inner.ng;
+        let mut sends: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        let mut recv_patches: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            let o = self.owners[l][i];
+            for &d in set {
+                if d == o {
+                    continue;
+                }
+                if o == me {
+                    let blob = sends.entry(d).or_insert_with(|| vec![self.seq as f64]);
+                    let p = &self.inner.levels[l][i];
+                    if with_base {
+                        push_field_interior(blob, &p.base, ng, p.n);
+                    }
+                    push_field_interior(blob, &p.u, ng, p.n);
+                } else if d == me {
+                    recv_patches.entry(o).or_default().push(i);
+                }
+            }
+        }
+        if sends.is_empty() && recv_patches.is_empty() {
+            return Ok(());
+        }
+        let recvs: BTreeMap<usize, usize> = recv_patches
+            .iter()
+            .map(|(&src, list)| {
+                let len: usize = list
+                    .iter()
+                    .map(|&i| fields * NCOMP * self.inner.levels[l][i].n)
+                    .sum();
+                (src, len)
+            })
+            .collect();
+        let base_tag = if with_base {
+            AMR_DESCEND_TAG_BASE
+        } else {
+            AMR_SYNC_TAG_BASE
+        };
+        let got = self.run_exchange(rank, base_tag + l as u64, kind, sends, &recvs)?;
+        for (src, msg) in got {
+            let mut off = 1;
+            for &i in &recv_patches[&src] {
+                let p = &mut self.inner.levels[l][i];
+                let n = p.n;
+                if with_base {
+                    read_field_interior(&msg[off..off + NCOMP * n], &mut p.base, ng, n);
+                    off += NCOMP * n;
+                }
+                read_field_interior(&msg[off..off + NCOMP * n], &mut p.u, ng, n);
+                off += NCOMP * n;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ship level-`l` children's `u` interiors and boundary-flux
+    /// accumulators from child owners to off-rank parent owners (the
+    /// restriction + reflux inputs).
+    fn exchange_reflux(&mut self, rank: &mut Rank, l: usize) -> Result<(), SolverError> {
+        let me = rank.rank();
+        let ng = self.inner.ng;
+        let mut sends: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        let mut recv_patches: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, ch) in self.inner.levels[l].iter().enumerate() {
+            let o = self.owners[l][i];
+            let po = self.owners[l - 1][ch.parent_idx];
+            if o == po {
+                continue;
+            }
+            if o == me {
+                let blob = sends.entry(po).or_insert_with(|| vec![self.seq as f64]);
+                push_field_interior(blob, &ch.u, ng, ch.n);
+                blob.extend_from_slice(&ch.acc[0].to_array());
+                blob.extend_from_slice(&ch.acc[1].to_array());
+            } else if po == me {
+                recv_patches.entry(o).or_default().push(i);
+            }
+        }
+        if sends.is_empty() && recv_patches.is_empty() {
+            return Ok(());
+        }
+        let recvs: BTreeMap<usize, usize> = recv_patches
+            .iter()
+            .map(|(&src, list)| {
+                let len: usize = list
+                    .iter()
+                    .map(|&i| NCOMP * self.inner.levels[l][i].n + 2 * NCOMP)
+                    .sum();
+                (src, len)
+            })
+            .collect();
+        let got = self.run_exchange(
+            rank,
+            AMR_REFLUX_TAG_BASE + l as u64,
+            ExKind::Reflux,
+            sends,
+            &recvs,
+        )?;
+        for (src, msg) in got {
+            let mut off = 1;
+            for &i in &recv_patches[&src] {
+                let p = &mut self.inner.levels[l][i];
+                let n = p.n;
+                read_field_interior(&msg[off..off + NCOMP * n], &mut p.u, ng, n);
+                off += NCOMP * n;
+                let mut a = [0.0; NCOMP];
+                a.copy_from_slice(&msg[off..off + NCOMP]);
+                p.acc[0] = Cons::from_array(a);
+                off += NCOMP;
+                a.copy_from_slice(&msg[off..off + NCOMP]);
+                p.acc[1] = Cons::from_array(a);
+                off += NCOMP;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fully replicate the composite state: every owner ships all its `u`
+    /// interiors to every other live rank.
+    fn allgather_state(&mut self, rank: &mut Rank, kind: ExKind) -> Result<(), SolverError> {
+        let live: Vec<usize> = rank.live_ranks().to_vec();
+        let me = rank.rank();
+        let ng = self.inner.ng;
+        let mut plan: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for (l, ps) in self.inner.levels.iter().enumerate() {
+            for i in 0..ps.len() {
+                plan.entry(self.owners[l][i]).or_default().push((l, i));
+            }
+        }
+        let mut sends: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        let mut recvs: BTreeMap<usize, usize> = BTreeMap::new();
+        for (&src, list) in &plan {
+            let payload: usize = list
+                .iter()
+                .map(|&(l, i)| NCOMP * self.inner.levels[l][i].n)
+                .sum();
+            if src == me {
+                let mut blob = Vec::with_capacity(payload + 1);
+                blob.push(self.seq as f64);
+                for &(l, i) in list {
+                    let p = &self.inner.levels[l][i];
+                    push_field_interior(&mut blob, &p.u, ng, p.n);
+                }
+                for &d in &live {
+                    if d != me {
+                        sends.insert(d, blob.clone());
+                    }
+                }
+            } else {
+                recvs.insert(src, payload);
+            }
+        }
+        let got = self.run_exchange(rank, AMR_REGRID_TAG, kind, sends, &recvs)?;
+        for (src, msg) in got {
+            let mut off = 1;
+            for &(l, i) in &plan[&src] {
+                let p = &mut self.inner.levels[l][i];
+                let n = p.n;
+                read_field_interior(&msg[off..off + NCOMP * n], &mut p.u, ng, n);
+                off += NCOMP * n;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- owner-computes stepping ---------------------------------------
+
+    /// One Berger–Oliger step of level `l`: the serial
+    /// `AmrSolver::step_level` arithmetic verbatim, restricted to owned
+    /// patches, with descend/reflux exchanges splicing in the off-rank
+    /// coupling. Every rank walks the same recursion tree (exchanges are
+    /// cooperative); non-owners skip the per-patch compute.
+    fn dist_step_level(
+        &mut self,
+        rank: &mut Rank,
+        l: usize,
+        dt: f64,
+        frac: f64,
+    ) -> Result<(), SolverError> {
+        let me = rank.rank();
+        self.inner.frac[l] = frac;
+        let (stages, weights, ctimes) = rk_tables(self.inner.rk);
+        let ng = self.inner.ng;
+        let scheme = self.inner.scheme;
+        for (i, p) in self.inner.levels[l].iter_mut().enumerate() {
+            if self.owners[l][i] != me {
+                continue;
+            }
+            p.base.raw_mut().copy_from_slice(p.u.raw());
+            p.stage.raw_mut().copy_from_slice(p.u.raw());
+        }
+        if l + 1 < self.inner.levels.len() {
+            for ch in &mut self.inner.levels[l + 1] {
+                ch.acc = [Cons::ZERO; 2];
+                ch.acc_parent = [Cons::ZERO; 2];
+            }
+        }
+        for (si, &(a, b, c)) in stages.iter().enumerate() {
+            // Ghost prolongation is pure local arithmetic over replicated
+            // ancestor interiors; ghost bands of shadow patches come out
+            // garbage but are never read by owned compute.
+            self.inner.fill_ghosts_lerp(l, ctimes[si]);
+            for (i, p) in self.inner.levels[l].iter_mut().enumerate() {
+                if self.owners[l][i] != me {
+                    continue;
+                }
+                recover_prims(&scheme, &p.u, &mut p.prim)?;
+                rhs_1d_with_fluxes(&scheme, &p.prim, &mut p.rhs, &mut p.flux);
+            }
+            // Parent-side interface fluxes for children whose parent this
+            // rank owns (the reflux runs on the parent owner).
+            if l + 1 < self.inner.levels.len() {
+                let w = weights[si];
+                let (left, right) = self.inner.levels.split_at_mut(l + 1);
+                let parents = &left[l];
+                for ch in right[0].iter_mut() {
+                    if self.owners[l][ch.parent_idx] != me {
+                        continue;
+                    }
+                    let par = &parents[ch.parent_idx];
+                    ch.acc_parent[0] += par.flux[ng + ch.lo / 2 - par.lo] * w;
+                    ch.acc_parent[1] += par.flux[ng + (ch.lo + ch.n) / 2 - par.lo] * w;
+                }
+            }
+            if l > 0 {
+                let w = 0.5 * weights[si];
+                for (i, p) in self.inner.levels[l].iter_mut().enumerate() {
+                    if self.owners[l][i] != me {
+                        continue;
+                    }
+                    p.acc[0] += p.flux[ng] * w;
+                    p.acc[1] += p.flux[ng + p.n] * w;
+                }
+            }
+            for (i, p) in self.inner.levels[l].iter_mut().enumerate() {
+                if self.owners[l][i] != me {
+                    continue;
+                }
+                for gi in ng..ng + p.n {
+                    let v = p.stage.get_cons(gi, 0, 0) * a
+                        + p.u.get_cons(gi, 0, 0) * b
+                        + p.rhs.get_cons(gi, 0, 0) * (c * dt);
+                    p.u.set_cons(gi, 0, 0, v);
+                }
+                apply_conserved_floors(&mut p.u, &scheme.c2p);
+                self.inner.updates[l] += p.n as u64;
+            }
+        }
+        if l + 1 < self.inner.levels.len() && !self.inner.levels[l + 1].is_empty() {
+            self.exchange_down(rank, l, ExKind::Descend)?;
+            self.dist_step_level(rank, l + 1, 0.5 * dt, 0.0)?;
+            self.dist_step_level(rank, l + 1, 0.5 * dt, 0.5)?;
+            self.exchange_reflux(rank, l + 1)?;
+            let t0 = Instant::now();
+            let k = dt / self.inner.level_dx(l);
+            let mut corrections = 0u64;
+            {
+                let (left, right) = self.inner.levels.split_at_mut(l + 1);
+                let parents = &mut left[l];
+                for ch in right[0].iter() {
+                    if self.owners[l][ch.parent_idx] != me {
+                        continue;
+                    }
+                    let par = &mut parents[ch.parent_idx];
+                    restrict_onto(&ch.u, &mut par.u, ng, ng, ch.n, ch.lo / 2 - par.lo);
+                }
+                for ch in right[0].iter() {
+                    if self.owners[l][ch.parent_idx] != me {
+                        continue;
+                    }
+                    let par = &mut parents[ch.parent_idx];
+                    let il = ng + ch.lo / 2 - par.lo - 1;
+                    let v = par.u.get_cons(il, 0, 0) + (ch.acc_parent[0] - ch.acc[0]) * k;
+                    par.u.set_cons(il, 0, 0, v);
+                    let ir = ng + (ch.lo + ch.n) / 2 - par.lo;
+                    let v = par.u.get_cons(ir, 0, 0) + (ch.acc[1] - ch.acc_parent[1]) * k;
+                    par.u.set_cons(ir, 0, 0, v);
+                    corrections += 2;
+                }
+                for (i, p) in parents.iter_mut().enumerate() {
+                    if self.owners[l][i] != me {
+                        continue;
+                    }
+                    apply_conserved_floors(&mut p.u, &scheme.c2p);
+                }
+            }
+            self.inner.reflux_corrections += corrections;
+            rank.trace_span("amr.dist.reflux", t0.elapsed().as_nanos() as u64);
+            if let Some(m) = &self.metrics {
+                m.counter("amr.reflux.corrections").add(corrections);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sync the hierarchy (exchange ancestors, fill ghosts, recover owned
+    /// primitives) and reduce the globally stable Δt. The reduction is an
+    /// exact min, so the result is bit-identical to the serial
+    /// `AmrSolver::stable_dt`. Errors are deferred past the reduction —
+    /// every rank contributes (∞ on failure) so collective tags stay
+    /// aligned across ranks.
+    fn dist_stable_dt(&mut self, rank: &mut Rank, cfl: f64) -> Result<f64, SolverError> {
+        let local = self.local_dt(rank, cfl);
+        let global = rank.allreduce_min(*local.as_ref().unwrap_or(&f64::INFINITY));
+        local.map(|_| global)
+    }
+
+    fn local_dt(&mut self, rank: &mut Rank, cfl: f64) -> Result<f64, SolverError> {
+        let me = rank.rank();
+        let scheme = self.inner.scheme;
+        for m in 0..self.inner.levels.len() {
+            if m > 0 && self.inner.levels[m].is_empty() {
+                break;
+            }
+            self.exchange_down(rank, m, ExKind::Sync)?;
+            self.inner.fill_ghosts_sync_level(m);
+            for (i, p) in self.inner.levels[m].iter_mut().enumerate() {
+                if self.owners[m][i] != me {
+                    continue;
+                }
+                recover_prims(&scheme, &p.u, &mut p.prim)?;
+            }
+        }
+        let mut dt = f64::INFINITY;
+        for (l, ps) in self.inner.levels.iter().enumerate() {
+            let scale = (1u64 << l) as f64;
+            for (i, p) in ps.iter().enumerate() {
+                if self.owners[l][i] != me {
+                    continue;
+                }
+                dt = dt.min(scale * max_dt(&scheme, &p.prim, cfl));
+            }
+        }
+        Ok(dt)
+    }
+
+    // ----- regridding and migration --------------------------------------
+
+    /// Comm-atomic distributed regrid: allgather the composite state, pass
+    /// a pre-mutation agreement barrier (nobody rebuilds unless everybody
+    /// has the full state), then rebuild the hierarchy locally —
+    /// deterministic and identical on every rank — and reassign ownership.
+    /// A rank killed inside the allgather window dies *before* any
+    /// mutation, so survivors either all regrid or all abort the attempt.
+    fn dist_regrid(&mut self, rank: &mut Rank) -> Result<bool, SolverError> {
+        let t0 = Instant::now();
+        let res = self.allgather_state(rank, ExKind::Regrid);
+        if matches!(res, Err(SolverError::RankFailed { .. })) {
+            // Own injected crash: go silent, skip the barrier.
+            return res.map(|()| false);
+        }
+        let flag = if rank.evicted().is_some()
+            || rank.suspected_mask() != 0
+            || matches!(res, Err(SolverError::PeerSuspect { .. }))
+        {
+            SUSPECT_FLAG
+        } else if res.is_err() {
+            1.0
+        } else {
+            0.0
+        };
+        if rank.agree_max(flag) >= 1.0 {
+            // Someone is missing data: nobody mutates. Surface the local
+            // error (or a stand-in for a peer's) to the attempt loop.
+            return Err(res.err().unwrap_or(SolverError::HaloMismatch {
+                expected: 1,
+                got: 0,
+            }));
+        }
+        let old: BTreeMap<(usize, usize, usize), usize> = self
+            .inner
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(l, ps)| {
+                let owners = &self.owners[l];
+                ps.iter()
+                    .enumerate()
+                    .map(move |(i, p)| ((l, p.lo, p.n), owners[i]))
+            })
+            .collect();
+        self.inner.regrid()?;
+        self.reassign_owners(rank.live_ranks(), &old);
+        rank.trace_span("amr.dist.regrid", t0.elapsed().as_nanos() as u64);
+        Ok(true)
+    }
+
+    /// Post-regrid ownership: surviving patches keep their owner, new
+    /// patches inherit their parent's; if the inherited layout is
+    /// imbalanced past [`DistAmrConfig::rebalance_threshold`], re-cut the
+    /// SFC partition from scratch. Patch *data* needs no migration either
+    /// way — the pre-regrid allgather already replicated it everywhere.
+    fn reassign_owners(&mut self, live: &[usize], old: &BTreeMap<(usize, usize, usize), usize>) {
+        let mut inherited: Vec<Vec<usize>> = self
+            .inner
+            .levels
+            .iter()
+            .map(|ps| vec![0; ps.len()])
+            .collect();
+        for l in 0..self.inner.levels.len() {
+            for (i, p) in self.inner.levels[l].iter().enumerate() {
+                let kept = old
+                    .get(&(l, p.lo, p.n))
+                    .copied()
+                    .filter(|o| live.contains(o));
+                inherited[l][i] = match kept {
+                    Some(o) => o,
+                    None if l == 0 => live[0],
+                    None => inherited[l - 1][p.parent_idx],
+                };
+            }
+        }
+        let mut cost_of = BTreeMap::new();
+        let mut total = 0.0;
+        for (l, ps) in self.inner.levels.iter().enumerate() {
+            for (i, p) in ps.iter().enumerate() {
+                let c = patch_cost(l, p.n);
+                *cost_of.entry(inherited[l][i]).or_insert(0.0) += c;
+                total += c;
+            }
+        }
+        let ideal = total / live.len() as f64;
+        let maxc = cost_of.values().cloned().fold(0.0, f64::max);
+        let imbalance = if ideal > 0.0 { maxc / ideal } else { 1.0 };
+        let chosen = if imbalance > self.cfg.rebalance_threshold {
+            self.stats.rebalances += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("amr.dist.rebalances").inc();
+            }
+            assign_owners(&self.inner, live)
+        } else {
+            inherited.clone()
+        };
+        let moved: u64 = chosen
+            .iter()
+            .zip(&inherited)
+            .map(|(a, b)| a.iter().zip(b).filter(|(x, y)| x != y).count() as u64)
+            .sum();
+        self.stats.migrations += moved;
+        if let Some(m) = &self.metrics {
+            m.counter("amr.dist.migrations").add(moved);
+        }
+        self.owners = chosen;
+    }
+
+    // ----- checkpointing and gathered views -------------------------------
+
+    /// Allgather, then serialize the (now fully replicated) hierarchy.
+    /// Every rank returns an identical checkpoint.
+    pub fn to_checkpoint_gathered(
+        &mut self,
+        rank: &mut Rank,
+        time: f64,
+    ) -> Result<AmrCheckpoint, SolverError> {
+        self.allgather_state(rank, ExKind::Gather)?;
+        Ok(self.inner.to_checkpoint(time))
+    }
+
+    /// Allgather, then compute the composite conserved totals (identical
+    /// on every rank).
+    pub fn composite_totals_gathered(
+        &mut self,
+        rank: &mut Rank,
+    ) -> Result<[f64; NCOMP], SolverError> {
+        self.allgather_state(rank, ExKind::Gather)?;
+        Ok(self.inner.composite_totals())
+    }
+
+    /// Allgather and have the first live rank write the shared v4 AMR
+    /// checkpoint slot (rotating `latest` → `prev`).
+    fn save_gathered(
+        &mut self,
+        rank: &mut Rank,
+        slots: &CheckpointSlots,
+        t: f64,
+    ) -> Result<(), SolverError> {
+        self.allgather_state(rank, ExKind::Gather)?;
+        if rank.rank() == rank.live_ranks()[0] {
+            slots
+                .save_amr(&self.inner.to_checkpoint(t))
+                .map_err(ck_err)?;
+        }
+        self.stats.checkpoints_saved += 1;
+        if let Some(m) = &self.metrics {
+            m.counter("amr.dist.checkpoints").inc();
+        }
+        Ok(())
+    }
+
+    /// Load the newest readable shared slot (falling back past a torn
+    /// `latest`) and restore + re-partition over the current live set.
+    /// Returns the restored time.
+    fn restore_newest(
+        &mut self,
+        rank: &mut Rank,
+        slots: &CheckpointSlots,
+    ) -> Result<f64, SolverError> {
+        let loaded = slots.load_newest_amr();
+        // Everyone reads the same shared file, but agree anyway so a
+        // one-rank I/O failure cannot desynchronize the tiers.
+        let all_ok = rank.allreduce_min(if loaded.is_ok() { 1.0 } else { 0.0 }) > 0.5;
+        let (ck, fell_back) = match (loaded, all_ok) {
+            (Ok(v), true) => v,
+            (loaded, _) => {
+                return Err(loaded.err().map(ck_err).unwrap_or(SolverError::Checkpoint {
+                    msg: "AMR checkpoint restore failed on a peer rank".into(),
+                }))
+            }
+        };
+        if fell_back {
+            self.stats.ckpt_fallbacks += 1;
+        }
+        self.restore(rank, &ck)?;
+        Ok(ck.time)
+    }
+
+    // ----- the resilient advance loop ------------------------------------
+
+    /// One attempt of a resilient step: sync + Δt reduction on the
+    /// pre-regrid hierarchy (matching the serial solver's order), the
+    /// regrid window when due, a rollback snapshot, then the recursive
+    /// owner-computes step. Returns the committed Δt.
+    fn try_step(
+        &mut self,
+        rank: &mut Rank,
+        t: f64,
+        t_end: f64,
+        cfl_eff: f64,
+    ) -> Result<f64, SolverError> {
+        let dt_res = self.dist_stable_dt(rank, cfl_eff);
+        if matches!(dt_res, Err(SolverError::RankFailed { .. })) && rank.evicted().is_none() {
+            return dt_res;
+        }
+        // The regrid window is reached whenever it is due — even if the Δt
+        // phase failed locally — so its barrier stays collectively aligned.
+        let due = self.inner.cfg.regrid_interval > 0
+            && self.inner.steps > 0
+            && self
+                .inner
+                .steps
+                .is_multiple_of(self.inner.cfg.regrid_interval as u64)
+            && self.last_regrid_step != Some(self.inner.steps);
+        if due {
+            let regridded = self.dist_regrid(rank)?;
+            if regridded {
+                self.last_regrid_step = Some(self.inner.steps);
+            }
+        }
+        let mut dt = dt_res?;
+        // Negated form deliberately catches NaN as a collapse.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(dt > 1e-14) {
+            return Err(SolverError::TimestepCollapse { dt });
+        }
+        if t + dt > t_end {
+            dt = t_end - t;
+        }
+        self.snapshot_u();
+        self.dist_step_level(rank, 0, dt, 0.0)?;
+        Ok(dt)
+    }
+
+    fn snapshot_u(&mut self) {
+        self.snapshot = self
+            .inner
+            .levels
+            .iter()
+            .map(|ps| ps.iter().map(|p| p.u.raw().to_vec()).collect())
+            .collect();
+        self.snapshot_ok = true;
+    }
+
+    fn rollback(&mut self) {
+        if !self.snapshot_ok {
+            return;
+        }
+        let shapes_match = self.snapshot.len() == self.inner.levels.len()
+            && self
+                .snapshot
+                .iter()
+                .zip(&self.inner.levels)
+                .all(|(ss, ps)| {
+                    ss.len() == ps.len()
+                        && ss
+                            .iter()
+                            .zip(ps.iter())
+                            .all(|(s, p)| s.len() == p.u.raw().len())
+                });
+        if !shapes_match {
+            self.snapshot_ok = false;
+            return;
+        }
+        for (ps, ss) in self.inner.levels.iter_mut().zip(&self.snapshot) {
+            for (p, s) in ps.iter_mut().zip(ss) {
+                p.u.raw_mut().copy_from_slice(s);
+            }
+        }
+    }
+
+    /// Advance to `t_end` under CFL control with the full recovery ladder:
+    /// in-place retries with halved CFL, checkpoint restores, and — on a
+    /// confirmed rank death — a shrinking recovery that re-partitions the
+    /// hierarchy over the survivors. Mirrors the block driver's
+    /// `advance_to_with_restart` control flow.
+    pub fn advance_to(
+        &mut self,
+        rank: &mut Rank,
+        t0: f64,
+        t_end: f64,
+        cfl: f64,
+    ) -> Result<DistAmrStats, SolverError> {
+        self.injector = rank.fault_injector().cloned();
+        let slots = match &self.cfg.checkpoint_dir {
+            Some(dir) => Some(CheckpointSlots::new(dir.clone()).map_err(ck_err)?),
+            None => None,
+        };
+        let mut t = t0;
+        let mut cfl_scale = 1.0f64;
+        let mut restores_left = self.cfg.max_restores;
+        self.cur_step = self.inner.steps;
+        if let Some(slots) = &slots {
+            // Always write an initial checkpoint so a shrink/restore
+            // target exists from the very first step.
+            self.save_gathered(rank, slots, t)?;
+        }
+        while t < t_end - 1e-14 {
+            self.cur_step = self.inner.steps;
+            // Rank-level crash injection at the classic step site: the
+            // victim stops participating with no farewell message.
+            self.check_crash(rank, RankSite::Step)?;
+            let mut attempt = 0usize;
+            'attempts: loop {
+                self.seq += 1;
+                let scale = cfl_scale * 0.5f64.powi(attempt as i32);
+                let outcome = self.try_step(rank, t, t_end, cfl * scale);
+                if matches!(outcome, Err(SolverError::RankFailed { .. }))
+                    && rank.evicted().is_none()
+                {
+                    // Own injected crash inside the step: go silent.
+                    return Err(outcome.unwrap_err());
+                }
+                // 0 = clean, 1 = step failure (retry/restore tier),
+                // ≥ SUSPECT_FLAG = a peer looks dead (consensus tier).
+                let flag = if rank.evicted().is_some()
+                    || rank.suspected_mask() != 0
+                    || matches!(outcome, Err(SolverError::PeerSuspect { .. }))
+                {
+                    SUSPECT_FLAG
+                } else if outcome.is_err() {
+                    1.0
+                } else {
+                    0.0
+                };
+                let agreed = rank.agree_max(flag);
+                if agreed >= SUSPECT_FLAG {
+                    self.rollback();
+                    let newly_dead =
+                        rank.suspicion_consensus()
+                            .map_err(|_| SolverError::RankFailed {
+                                step: self.cur_step,
+                            })?;
+                    if newly_dead != 0 {
+                        let slots_ref = slots.as_ref().ok_or_else(|| SolverError::Checkpoint {
+                            msg: "rank death confirmed but no checkpoint directory is \
+                                  configured for a shrinking recovery"
+                                .into(),
+                        })?;
+                        self.stats.shrinks += 1;
+                        self.stats.ranks_lost += u64::from(newly_dead.count_ones());
+                        t = self.restore_newest(rank, slots_ref)?;
+                        self.cur_step = self.inner.steps;
+                        cfl_scale = 0.25;
+                        rank.trace_instant("amr.dist.shrink", newly_dead.count_ones() as f64);
+                        if let Some(m) = &self.metrics {
+                            m.counter("amr.dist.shrinks").inc();
+                            m.counter("amr.dist.ranks_lost")
+                                .add(u64::from(newly_dead.count_ones()));
+                        }
+                        break 'attempts;
+                    }
+                    self.stats.false_suspicions += 1;
+                    rank.trace_instant("amr.dist.false_suspicion", self.cur_step as f64);
+                    if let Some(m) = &self.metrics {
+                        m.counter("amr.dist.false_suspicions").inc();
+                    }
+                }
+                let failed = agreed >= 1.0;
+                match outcome {
+                    Ok(dt) if !failed => {
+                        t += dt;
+                        self.inner.steps += 1;
+                        self.stats.steps += 1;
+                        self.snapshot_ok = false;
+                        self.inner.flush_metrics();
+                        // A reduced CFL ramps back up as steps succeed.
+                        cfl_scale = if attempt > 0 { scale } else { cfl_scale };
+                        cfl_scale = (cfl_scale * 2.0).min(1.0);
+                        let iv = self.cfg.checkpoint_interval as u64;
+                        if iv > 0 && self.inner.steps.is_multiple_of(iv) {
+                            if let Some(slots) = &slots {
+                                match self.save_gathered(rank, slots, t) {
+                                    Ok(()) => {}
+                                    // A peer died mid-gather: the latched
+                                    // suspicion routes into the next
+                                    // step's consensus tier.
+                                    Err(SolverError::PeerSuspect { .. }) => {}
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                        }
+                        break 'attempts;
+                    }
+                    outcome => {
+                        self.rollback();
+                        if attempt < self.cfg.max_step_retries {
+                            attempt += 1;
+                            self.stats.retries += 1;
+                            rank.trace_instant("amr.dist.retry", attempt as f64);
+                            if let Some(m) = &self.metrics {
+                                m.counter("amr.dist.retries").inc();
+                            }
+                            continue;
+                        }
+                        // Retries exhausted: restore from the shared slot.
+                        // The attempt/restore counters march in lockstep
+                        // on every rank, so this decision is collective.
+                        let slots_ref = match &slots {
+                            Some(s) if restores_left > 0 => s,
+                            _ => {
+                                return Err(outcome.err().unwrap_or(SolverError::Checkpoint {
+                                    msg: "step failed on a peer rank; retries and restores \
+                                          exhausted"
+                                        .into(),
+                                }))
+                            }
+                        };
+                        restores_left -= 1;
+                        t = self.restore_newest(rank, slots_ref)?;
+                        self.cur_step = self.inner.steps;
+                        self.stats.restores += 1;
+                        cfl_scale = 0.25;
+                        if let Some(m) = &self.metrics {
+                            m.counter("amr.dist.restores").inc();
+                        }
+                        break 'attempts;
+                    }
+                }
+            }
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::Problem;
+    use rhrsc_comm::{run, run_with_faults, NetworkModel};
+    use rhrsc_grid::{bc, Bc};
+    use rhrsc_runtime::fault::FaultPlan;
+    use std::time::Duration;
+
+    fn scheme() -> Scheme {
+        Scheme::default_with_gamma(5.0 / 3.0)
+    }
+
+    fn pulse_ic(x: [f64; 3]) -> Prim {
+        let g = (-((x[0] - 0.5) / 0.08).powi(2)).exp();
+        Prim::new_1d(1.0 + 2.0 * g, 0.0, 1.0 + 20.0 * g)
+    }
+
+    #[test]
+    fn partitioner_is_contiguous_and_balanced() {
+        let costs = [64.0, 8.0, 12.0, 4.0, 40.0, 2.0];
+        for nparts in 1..=6 {
+            let parts = partition_contiguous(&costs, nparts);
+            assert_eq!(parts.len(), costs.len());
+            for w in parts.windows(2) {
+                assert!(w[0] <= w[1], "parts must be non-decreasing: {parts:?}");
+            }
+            assert!(parts.iter().all(|&p| p < nparts));
+            let total: f64 = costs.iter().sum();
+            let maxc = costs.iter().cloned().fold(0.0, f64::max);
+            let mut per = vec![0.0; nparts];
+            for (i, &p) in parts.iter().enumerate() {
+                per[p] += costs[i];
+            }
+            let bound = total / nparts as f64 + maxc + 1e-9;
+            for (p, &c) in per.iter().enumerate() {
+                assert!(c <= bound, "part {p} carries {c} > bound {bound}");
+            }
+        }
+    }
+
+    /// The acceptance pin: a no-fault distributed run is bit-identical to
+    /// the serial AMR solver on the f12 accuracy problem, across rank
+    /// counts, with real cross-rank coupling exercised.
+    #[test]
+    fn no_fault_distributed_matches_serial_bitwise() {
+        let prob = Problem::sod();
+        let amr_cfg = AmrConfig {
+            max_levels: 2,
+            ..AmrConfig::default()
+        };
+        let t_end = 0.15;
+        let mut gold = AmrSolver::new(
+            scheme(),
+            prob.bcs,
+            RkOrder::Rk3,
+            64,
+            0.0,
+            1.0,
+            amr_cfg.clone(),
+        );
+        gold.init(&|x| (prob.ic)(x));
+        gold.advance_to(0.0, t_end, 0.4).unwrap();
+        let want = gold.to_checkpoint(t_end);
+
+        for nranks in [2usize, 4] {
+            let prob = prob.clone();
+            let cfg = DistAmrConfig {
+                amr: amr_cfg.clone(),
+                ..DistAmrConfig::default()
+            };
+            let outs = run(nranks, NetworkModel::ideal(), |rank| {
+                let mut d =
+                    DistAmrSolver::new(scheme(), prob.bcs, RkOrder::Rk3, 64, 0.0, 1.0, cfg.clone());
+                d.init(rank, &|x| (prob.ic)(x));
+                d.advance_to(rank, 0.0, t_end, 0.4).unwrap();
+                let ck = d.to_checkpoint_gathered(rank, t_end).unwrap();
+                (ck, d.stats())
+            });
+            for (r, (ck, stats)) in outs.into_iter().enumerate() {
+                assert_eq!(
+                    ck.patches.len(),
+                    want.patches.len(),
+                    "rank {r}/{nranks}: patch count"
+                );
+                for (a, b) in ck.patches.iter().zip(&want.patches) {
+                    assert_eq!((a.level, a.lo, a.n), (b.level, b.lo, b.n));
+                    for (x, y) in a.data.iter().zip(&b.data) {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "rank {r}/{nranks}: level {} patch at {} diverged",
+                            a.level,
+                            a.lo
+                        );
+                    }
+                }
+                // A rank owning only coarse patches sends descend/sync
+                // traffic; one owning only fine patches sends reflux.
+                assert!(
+                    stats.halo_msgs + stats.reflux_msgs > 0,
+                    "rank {r}/{nranks}: cross-rank coupling never exercised"
+                );
+            }
+        }
+    }
+
+    /// All AMR message classes ride the fault-injected halo tag space, so
+    /// in-flight corruption is caught by the CRC-32 trailer and healed by
+    /// the modeled link-level retransmit: a lossy run stays bit-identical
+    /// to the clean serial solution instead of silently accepting damage.
+    #[test]
+    fn corrupted_amr_traffic_is_detected_and_retried() {
+        let prob = Problem::sod();
+        let amr_cfg = AmrConfig {
+            max_levels: 2,
+            ..AmrConfig::default()
+        };
+        let t_end = 0.1;
+        let mut gold = AmrSolver::new(
+            scheme(),
+            prob.bcs,
+            RkOrder::Rk3,
+            64,
+            0.0,
+            1.0,
+            amr_cfg.clone(),
+        );
+        gold.init(&|x| (prob.ic)(x));
+        gold.advance_to(0.0, t_end, 0.4).unwrap();
+        let want = gold.to_checkpoint(t_end);
+
+        let plan = FaultPlan {
+            seed: 21,
+            msg_truncate_prob: 0.05,
+            ..FaultPlan::disabled()
+        };
+        let model = NetworkModel::ideal().with_crc_retries(16);
+        let cfg = DistAmrConfig {
+            amr: amr_cfg,
+            ..DistAmrConfig::default()
+        };
+        let outs = run_with_faults(4, model, Some(plan), |rank| {
+            let mut d =
+                DistAmrSolver::new(scheme(), prob.bcs, RkOrder::Rk3, 64, 0.0, 1.0, cfg.clone());
+            d.init(rank, &|x| (prob.ic)(x));
+            d.advance_to(rank, 0.0, t_end, 0.4).unwrap();
+            let ck = d.to_checkpoint_gathered(rank, t_end).unwrap();
+            (ck, rank.liveness_stats().crc_retries)
+        });
+        let total_retries: u64 = outs.iter().map(|(_, r)| r).sum();
+        assert!(
+            total_retries > 0,
+            "the lossy link never corrupted an AMR message"
+        );
+        for (ck, _) in &outs {
+            assert_eq!(ck.patches.len(), want.patches.len());
+            for (a, b) in ck.patches.iter().zip(&want.patches) {
+                assert_eq!((a.level, a.lo, a.n), (b.level, b.lo, b.n));
+                for (x, y) in a.data.iter().zip(&b.data) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "corruption slipped through");
+                }
+            }
+        }
+    }
+
+    /// Kill a rank inside the regrid window: survivors must evict it,
+    /// restore from the shared v4 checkpoint, re-partition, and finish
+    /// with composite conservation intact.
+    #[test]
+    fn crash_during_regrid_shrinks_and_conserves() {
+        let dir = std::env::temp_dir().join("rhrsc-amr-dist-regrid-crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        let amr_cfg = AmrConfig {
+            threshold: 0.08,
+            ..AmrConfig::default()
+        };
+        let cfg = DistAmrConfig {
+            amr: amr_cfg,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_interval: 2,
+            ..DistAmrConfig::default()
+        };
+        let t_end = 0.15;
+        let plan = FaultPlan {
+            seed: 9,
+            crash_rank: Some(1),
+            crash_step: 8,
+            crash_site: RankSite::Regrid,
+            ..FaultPlan::disabled()
+        };
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(150));
+        let outs = run_with_faults(4, model, Some(plan), |rank| {
+            let mut d = DistAmrSolver::new(
+                scheme(),
+                bc::uniform(Bc::Periodic),
+                RkOrder::Rk3,
+                64,
+                0.0,
+                1.0,
+                cfg.clone(),
+            );
+            d.init(rank, &pulse_ic);
+            let before = d.composite_totals_gathered(rank).unwrap();
+            match d.advance_to(rank, 0.0, t_end, 0.4) {
+                Ok(stats) => {
+                    let after = d.composite_totals_gathered(rank).unwrap();
+                    Some((stats, before, after))
+                }
+                Err(SolverError::RankFailed { .. }) => None,
+                Err(e) => panic!("rank {}: unexpected error {e}", rank.rank()),
+            }
+        });
+        assert!(outs[1].is_none(), "the victim must die");
+        let survivors: Vec<_> = outs.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3, "all survivors must finish");
+        for (stats, before, after) in &survivors {
+            assert_eq!(stats.shrinks, 1, "exactly one shrinking recovery");
+            assert_eq!(stats.ranks_lost, 1);
+            for c in 0..NCOMP {
+                assert!(
+                    (after[c] - before[c]).abs() <= 1e-11 * before[c].abs().max(1.0),
+                    "component {c}: {} -> {}",
+                    before[c],
+                    after[c]
+                );
+            }
+        }
+    }
+
+    /// Satellite: a v4 checkpoint written by a 4-rank run restores onto a
+    /// 2-rank run; a torn `latest` slot falls back to `prev` and the
+    /// redistribution still completes cleanly.
+    #[test]
+    fn changed_rank_count_restore_survives_torn_latest() {
+        let dir = std::env::temp_dir().join("rhrsc-amr-dist-rerank");
+        let _ = std::fs::remove_dir_all(&dir);
+        let amr_cfg = AmrConfig {
+            threshold: 0.08,
+            ..AmrConfig::default()
+        };
+        let cfg = DistAmrConfig {
+            amr: amr_cfg,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_interval: 2,
+            ..DistAmrConfig::default()
+        };
+        // Phase 1: a 4-rank run writes the shared slots.
+        {
+            let cfg = cfg.clone();
+            run(4, NetworkModel::ideal(), |rank| {
+                let mut d = DistAmrSolver::new(
+                    scheme(),
+                    bc::uniform(Bc::Periodic),
+                    RkOrder::Rk3,
+                    64,
+                    0.0,
+                    1.0,
+                    cfg.clone(),
+                );
+                d.init(rank, &pulse_ic);
+                d.advance_to(rank, 0.0, 0.08, 0.4).unwrap();
+            });
+        }
+        // Tear the newest slot: truncate its last byte.
+        let slots = CheckpointSlots::new(dir.clone()).unwrap();
+        let latest = slots.amr_latest_path();
+        let bytes = std::fs::read(&latest).unwrap();
+        std::fs::write(&latest, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(slots.amr_prev_path().exists(), "prev slot must exist");
+        // Phase 2: a 2-rank run restores (falling back to prev) and
+        // continues; the redistributed hierarchy must keep conserving.
+        let outs = run(2, NetworkModel::ideal(), |rank| {
+            let slots = CheckpointSlots::new(dir.clone()).unwrap();
+            let (ck, fell_back) = slots.load_newest_amr().unwrap();
+            assert!(fell_back, "torn latest must fall back to prev");
+            let mut d = DistAmrSolver::new(
+                scheme(),
+                bc::uniform(Bc::Periodic),
+                RkOrder::Rk3,
+                64,
+                0.0,
+                1.0,
+                cfg.clone(),
+            );
+            d.init(rank, &pulse_ic);
+            d.restore(rank, &ck).unwrap();
+            let before = d.composite_totals_gathered(rank).unwrap();
+            d.advance_to(rank, ck.time, 0.12, 0.4).unwrap();
+            let after = d.composite_totals_gathered(rank).unwrap();
+            let me = rank.rank();
+            assert!(
+                d.owned_patches(me) > 0,
+                "rank {me} owns nothing after restore"
+            );
+            (before, after)
+        });
+        for (before, after) in outs {
+            for c in 0..NCOMP {
+                assert!(
+                    (after[c] - before[c]).abs() <= 1e-11 * before[c].abs().max(1.0),
+                    "component {c}: {} -> {}",
+                    before[c],
+                    after[c]
+                );
+            }
+        }
+    }
+}

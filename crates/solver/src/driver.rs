@@ -1475,8 +1475,9 @@ impl BlockSolver {
 
 /// Map a communication-layer liveness error into the solver's error
 /// space: silence becomes a suspicion (consensus decides), corruption a
-/// retryable step failure, and eviction a terminal rank failure.
-fn comm_err(e: CommError) -> SolverError {
+/// retryable step failure, and eviction a terminal rank failure. Shared
+/// with the distributed AMR driver ([`crate::amr_dist`]).
+pub(crate) fn comm_err(e: CommError) -> SolverError {
     match e {
         CommError::PeerSuspect { rank, .. } => SolverError::PeerSuspect { rank },
         CommError::CorruptPayload { from, .. } => SolverError::HaloCorrupt { from },

@@ -29,6 +29,7 @@
 //!   with a soft anomaly watchdog.
 
 pub mod amr;
+pub mod amr_dist;
 pub mod device_backend;
 pub mod diag;
 pub mod driver;
@@ -41,6 +42,7 @@ pub mod smr;
 pub mod step;
 
 pub use amr::{AmrConfig, AmrSolver};
+pub use amr_dist::{DistAmrConfig, DistAmrSolver, DistAmrStats};
 pub use device_backend::{BreakerConfig, BreakerState, BreakerStats, DevicePatchSolver};
 pub use driver::{ResilienceConfig, ResilienceStats};
 pub use health::{HealthConfig, HealthMonitor, HealthRecord, HealthSummary};

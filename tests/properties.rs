@@ -450,3 +450,61 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sfc_partitioner_covers_contiguously_and_balances(
+        patches in prop::collection::vec((0usize..4, 2usize..33), 48),
+        take in 1usize..49,
+        nparts in 1usize..9,
+    ) {
+        // The distributed-AMR partitioner over randomized hierarchies
+        // (patch = (level, n/2 interior pairs)): every patch lands in
+        // exactly one segment, segments are contiguous in SFC order, and
+        // the heaviest rank carries at most the ideal share plus one
+        // patch (the tight bound for contiguous partitions).
+        use rhrsc::solver::amr_dist::{partition_contiguous, patch_cost};
+        let costs: Vec<f64> = patches[..take]
+            .iter()
+            .map(|&(l, half_n)| patch_cost(l, 2 * half_n))
+            .collect();
+        let parts = partition_contiguous(&costs, nparts);
+        prop_assert_eq!(parts.len(), costs.len(), "every patch assigned once");
+        for w in parts.windows(2) {
+            prop_assert!(w[0] <= w[1], "segments must be contiguous: {:?}", parts);
+        }
+        let mut per = vec![0.0f64; nparts];
+        for (i, &p) in parts.iter().enumerate() {
+            prop_assert!(p < nparts, "part index {p} out of range");
+            per[p] += costs[i];
+        }
+        let total: f64 = costs.iter().sum();
+        let max_item = costs.iter().cloned().fold(0.0, f64::max);
+        let bound = total / nparts as f64 + max_item + 1e-9 * total.max(1.0);
+        for (p, &c) in per.iter().enumerate() {
+            prop_assert!(
+                c <= bound,
+                "part {p} carries {c} > ideal {} + heaviest patch {max_item}",
+                total / nparts as f64
+            );
+        }
+    }
+
+    #[test]
+    fn sfc_key_orders_parents_before_children(
+        lo in 0usize..1000,
+        level in 0usize..7,
+    ) {
+        // A patch's SFC key never exceeds its children's: ancestors sort
+        // first, so contiguous segments keep subtrees together.
+        use rhrsc::solver::amr_dist::sfc_key;
+        let max_levels = 8;
+        let parent = sfc_key(level, lo, max_levels);
+        for child_lo in [2 * lo, 2 * lo + 2] {
+            let child = sfc_key(level + 1, child_lo, max_levels);
+            prop_assert!(parent <= child, "{parent:?} > {child:?}");
+        }
+    }
+}
