@@ -67,7 +67,9 @@ fn main() {
             cfl: 0.4,
             mode: ExchangeMode::BulkSynchronous,
             gang_threads: 0,
-            dt_refresh_interval: 1,
+            // Guarded cadence: coast on 0.9× the cached Δt, refresh on
+            // the AIMD window (violations collapse it — see a3).
+            dt_refresh_interval: 5,
         };
         let stats = run(p, model, |rank| {
             rank.set_metrics(reg.clone());
@@ -95,11 +97,13 @@ fn main() {
     }
     let max_ranks = *ranks.last().unwrap();
     RunReport::new("f5_weak_scaling")
+        .config_str("preset", if opts.toy { "toy" } else { "full" })
         .config_str("model", "virtual_cluster(10us, 10GB/s)")
         .config_num("block_n", block as f64)
         .config_num("nsteps", nsteps as f64)
         .config_num("max_ranks", max_ranks as f64)
         .config_str("mode", "bulk-sync")
+        .config_num("dt_refresh_interval", 5.0)
         .config_str("clock", "virtual")
         .wall_time(wall_total)
         .parallelism(max_ranks as f64)

@@ -6,7 +6,12 @@
 //! `wall_time × parallelism` allows, or — for the fault-tolerance and
 //! AMR benches — is missing the counters that prove the corresponding
 //! machinery actually engaged. Standardized physics benches must also
-//! report a positive `zone_updates` cost figure.
+//! report a positive `zone_updates` cost figure; the scaling benches
+//! (f4/f5) must report `zone_updates_per_sec`, and their `--toy` runs
+//! are held to a throughput floor of 80% of the committed baseline so
+//! hot-loop regressions fail CI. The a3 ablation must publish its
+//! guarded-cadence observability values (refreshes and guard
+//! violations per arm).
 //!
 //! Usage: `validate_reports [dir]` — defaults to the workspace
 //! `results/` directory (or `RHRSC_RESULTS_DIR`).
@@ -65,6 +70,42 @@ const REQUIRED_ZONE_UPDATES: &[&str] = &[
     "a5_smr_efficiency",
 ];
 
+/// Bench ids whose reports must carry a positive `zone_updates_per_sec`
+/// rate — the scaling benches, whose entire point is the hot-loop
+/// throughput.
+const REQUIRED_ZONE_RATE: &[&str] = &["f4_strong_scaling", "f5_weak_scaling"];
+
+/// Committed toy-preset throughput baselines (zone updates/s). A report
+/// whose `config.preset` is `"toy"` must reach at least
+/// `TOY_FLOOR_FRACTION ×` its baseline — a PR that regresses the hot
+/// loop by more than 20% fails the bench-profile job instead of merging
+/// silently. Re-baseline (to the newly measured rate) whenever the hot
+/// loop legitimately changes speed; full-preset runs are exempt because
+/// their wall times are virtual-cluster makespans dominated by the
+/// modeled network. Baselines are set conservatively (below the median
+/// measured rate) because the virtual-cluster ranks time-share the host
+/// and run-to-run noise on a loaded machine approaches ±30%.
+const TOY_THROUGHPUT_BASELINES: &[(&str, f64)] = &[
+    ("f4_strong_scaling", 1_700_000.0),
+    ("f5_weak_scaling", 1_100_000.0),
+];
+
+/// Fraction of the committed toy baseline a report must reach.
+const TOY_FLOOR_FRACTION: f64 = 0.8;
+
+/// Report values (histogram summaries) that must be present for a given
+/// bench id — a3's guarded-cadence arm must publish how many collective
+/// refreshes each interval actually took and how often the coast guard
+/// fired, or the ablation proves nothing about the guard.
+const REQUIRED_VALUES: &[(&str, &[&str])] = &[(
+    "a3_dt_refresh",
+    &[
+        "dt_refresh.makespan_us",
+        "dt_refresh.allreduces",
+        "dt.cadence.violations",
+    ],
+)];
+
 /// Bench-specific check on top of the generic schema: required counters.
 // Negated comparison form deliberately rejects NaN values.
 #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -79,6 +120,45 @@ fn check_required_counters(doc: &Json) -> Result<(), String> {
             .ok_or(format!("`{id}` must report zone_updates"))?;
         if !(z > 0.0) {
             return Err(format!("zone_updates must be positive, got {z}"));
+        }
+    }
+    if REQUIRED_ZONE_RATE.contains(&id) {
+        let rate = doc
+            .get("zone_updates_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or(format!("`{id}` must report zone_updates_per_sec"))?;
+        if !(rate > 0.0) {
+            return Err(format!("zone_updates_per_sec must be positive, got {rate}"));
+        }
+        let preset = doc
+            .get("config")
+            .and_then(|c| c.get("preset"))
+            .and_then(Json::as_str);
+        if preset == Some("toy") {
+            if let Some((_, baseline)) = TOY_THROUGHPUT_BASELINES.iter().find(|(k, _)| *k == id) {
+                let floor = TOY_FLOOR_FRACTION * baseline;
+                if !(rate >= floor) {
+                    return Err(format!(
+                        "`{id}` toy throughput {rate:.0} zu/s is below the \
+                         regression floor {floor:.0} (80% of the committed \
+                         baseline {baseline:.0})"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some((_, required)) = REQUIRED_VALUES.iter().find(|(k, _)| *k == id) {
+        let values = doc
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or(format!("`{id}` must report a values section"))?;
+        for name in *required {
+            if !values
+                .iter()
+                .any(|v| v.get("name").and_then(Json::as_str) == Some(name))
+            {
+                return Err(format!("required value `{name}` missing"));
+            }
         }
     }
     if let Some((_, want)) = REQUIRED_PARALLELISM.iter().find(|(k, _)| *k == id) {

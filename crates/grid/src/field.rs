@@ -137,14 +137,20 @@ impl Field {
                 let base = self.geom.idx(0, t1, t2) + c * self.geom.len();
                 out.copy_from_slice(&self.data[base..base + nt]);
             }
+            // The layout is affine in each index, so strided gathers walk
+            // a constant step instead of recomputing the full index.
             1 => {
+                let base = self.geom.idx(t1, 0, t2) + c * self.geom.len();
+                let stride = self.geom.idx(t1, 1, t2) - self.geom.idx(t1, 0, t2);
                 for (jj, o) in out.iter_mut().enumerate() {
-                    *o = self.at(c, t1, jj, t2);
+                    *o = self.data[base + jj * stride];
                 }
             }
             2 => {
+                let base = self.geom.idx(t1, t2, 0) + c * self.geom.len();
+                let stride = self.geom.idx(t1, t2, 1) - self.geom.idx(t1, t2, 0);
                 for (kk, o) in out.iter_mut().enumerate() {
-                    *o = self.at(c, t1, t2, kk);
+                    *o = self.data[base + kk * stride];
                 }
             }
             _ => unreachable!(),

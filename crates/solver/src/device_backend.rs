@@ -117,6 +117,8 @@ pub struct DevicePatchSolver {
     rk: RkOrder,
     geom: PatchGeom,
     buf_u: BufId,
+    /// Device-resident Δt scalar fed by the fused step+scan kernel.
+    buf_dt: BufId,
     breaker: Option<RefCell<Breaker>>,
     metrics: RefCell<Option<Arc<Registry>>>,
     trace: RefCell<Option<(Arc<Tracer>, Arc<Track>)>>,
@@ -135,6 +137,7 @@ impl DevicePatchSolver {
         assert!(geom.ng >= scheme.required_ghosts());
         let dev = Accelerator::new(cfg);
         let buf_u = dev.alloc(NCOMP * geom.len());
+        let buf_dt = dev.alloc(1);
         DevicePatchSolver {
             dev,
             scheme,
@@ -142,6 +145,7 @@ impl DevicePatchSolver {
             rk,
             geom,
             buf_u,
+            buf_dt,
             breaker: None,
             metrics: RefCell::new(None),
             trace: RefCell::new(None),
@@ -247,6 +251,51 @@ impl DevicePatchSolver {
         })
     }
 
+    /// Fused step + next-Δt kernel: one launch advances the state by `dt`
+    /// and leaves the stable Δt of the *updated* state — exactly what the
+    /// next [`stable_dt`] call would return — in the device-resident Δt
+    /// scalar (read it back with [`next_dt`]). Halves the per-step launch
+    /// count of the two-kernel `stable_dt` + [`enqueue_step`] flow; the
+    /// scan runs on a ghost-filled working copy so the staged bytes stay
+    /// exactly the host path's post-step state, ghosts included.
+    ///
+    /// [`stable_dt`]: DevicePatchSolver::stable_dt
+    /// [`next_dt`]: DevicePatchSolver::next_dt
+    /// [`enqueue_step`]: DevicePatchSolver::enqueue_step
+    pub fn enqueue_step_scan(&self, dt: f64, cfl: f64) -> Future<()> {
+        let (scheme, bcs, rk, geom, buf, out) = (
+            self.scheme,
+            self.bcs,
+            self.rk,
+            self.geom,
+            self.buf_u,
+            self.buf_dt,
+        );
+        self.dev.launch(move |ctx| {
+            let data = ctx.take(buf);
+            let mut u = Field::from_vec(geom, NCOMP, data);
+            let mut solver = PatchSolver::new(scheme, bcs, rk, geom);
+            let gang = ctx.gang();
+            solver
+                .step(&mut u, dt, Some(gang))
+                .expect("device step failed");
+            let mut v = u.clone();
+            rhrsc_grid::fill_ghosts(&mut v, &bcs);
+            let mut prim = Field::new(geom, 5);
+            recover_prims(&scheme, &v, &mut prim).expect("device recovery failed");
+            ctx.buf_mut(out)[0] = max_dt(&scheme, &prim, cfl);
+            ctx.put(buf, u.into_vec());
+        })
+    }
+
+    /// Read back the Δt scalar left by the last [`enqueue_step_scan`]
+    /// launch (one scalar copy; drains the queue up to that kernel).
+    ///
+    /// [`enqueue_step_scan`]: DevicePatchSolver::enqueue_step_scan
+    pub fn next_dt(&self) -> f64 {
+        self.dev.copy_to_host(self.buf_dt).get()[0]
+    }
+
     /// Compute the stable Δt on the device (one kernel + a scalar copy).
     pub fn stable_dt(&self, cfl: f64) -> f64 {
         let (scheme, bcs, geom, buf) = (self.scheme, self.bcs, self.geom, self.buf_u);
@@ -281,20 +330,33 @@ impl DevicePatchSolver {
         let mut t = t;
         let mut steps = 0;
         let Some(breaker) = &self.breaker else {
+            // Fused fast path: after the priming Δt kernel, every step is
+            // a single launch that also scans the next Δt into the
+            // device-resident scalar, so the host's only per-step
+            // synchronization is the one-scalar readback. The Δt
+            // sequence and the staged bytes match the two-kernel flow
+            // bitwise (asserted by the backend tests).
+            let mut dt_next = self.stable_dt(cfl);
             while t < t_end - 1e-14 {
-                let mut dt = self.stable_dt(cfl);
+                let mut dt = dt_next;
                 assert!(dt > 1e-14, "time step collapsed on device: {dt}");
                 if t + dt > t_end {
                     dt = t_end - t;
                 }
-                self.enqueue_step(dt);
+                self.enqueue_step_scan(dt, cfl);
                 t += dt;
                 steps += 1;
+                if t < t_end - 1e-14 {
+                    dt_next = self.next_dt();
+                }
             }
             self.dev.sync();
             return steps;
         };
 
+        // With a breaker armed, steps stay on the two-kernel flow: fault
+        // outcomes are sampled per operation, and fusing the scan into
+        // the step would blur which operation faulted.
         // Host-side quarantine state: populated on trip, drained on probe.
         let mut host_u: Option<Field> = None;
         let mut host_solver: Option<PatchSolver> = None;
@@ -594,5 +656,50 @@ mod tests {
         let dev_steps = dev.advance_to(0.0, 0.1, 0.4);
         assert_eq!(host_steps, dev_steps);
         assert_eq!(u_host.raw(), dev.download().raw());
+    }
+
+    #[test]
+    fn fused_step_scan_halves_launches_and_keeps_bits() {
+        // The fused fast path must reproduce the two-kernel flow exactly
+        // (same Δt sequence, same staged bytes, ghosts included) while
+        // launching once per step plus the priming Δt kernel.
+        let prob = Problem::sod();
+        let scheme = Scheme::default_with_gamma(5.0 / 3.0);
+        let geom = PatchGeom::line(48, 0.0, 1.0, 3);
+        let u0 = init_cons(geom, &prob.eos, &|x| (prob.ic)(x));
+
+        // Two-kernel reference flow, hand-rolled.
+        let reference = DevicePatchSolver::new(fast_cfg(2), scheme, prob.bcs, RkOrder::Rk3, geom);
+        reference.upload(&u0).get();
+        let (mut t, t_end) = (0.0, 0.05);
+        let mut ref_dts = Vec::new();
+        while t < t_end - 1e-14 {
+            let mut dt = reference.stable_dt(0.4);
+            if t + dt > t_end {
+                dt = t_end - t;
+            }
+            reference.enqueue_step(dt);
+            ref_dts.push(dt);
+            t += dt;
+        }
+        reference.dev.sync();
+
+        let dev = DevicePatchSolver::new(fast_cfg(2), scheme, prob.bcs, RkOrder::Rk3, geom);
+        let reg = std::sync::Arc::new(Registry::new());
+        dev.set_metrics(reg.clone());
+        dev.upload(&u0).get();
+        let steps = dev.advance_to(0.0, t_end, 0.4);
+        assert_eq!(steps, ref_dts.len());
+        assert_eq!(
+            dev.download().raw(),
+            reference.download().raw(),
+            "fused step+scan changed the staged bytes"
+        );
+        let launches = reg.snapshot().histograms["phase.dev.launch"].count;
+        assert_eq!(
+            launches as usize,
+            steps + 1,
+            "fused path must launch once per step plus the priming Δt kernel"
+        );
     }
 }

@@ -19,11 +19,11 @@
 use crate::health::{HealthConfig, HealthMonitor};
 use crate::integrate::RkOrder;
 use crate::scheme::{
-    init_cons, max_dt, recover_cell_metered, recover_cells_resilient_metered,
+    dt_from_rates, init_cons, max_dt, recover_cell_metered, recover_cells_resilient_metered,
     recover_prims_metered, recover_prims_resilient_metered, RecoveryPolicy, RecoveryStats, Scheme,
     SolverError,
 };
-use crate::step::{accumulate_rhs_region, Region};
+use crate::step::{accumulate_rhs_region_scan, Region};
 use rhrsc_comm::{CommError, Rank, SUSPECT_FLAG};
 use rhrsc_grid::{fill_face, BcSet, CartDecomp, Field, PatchGeom};
 use rhrsc_io::checkpoint::{
@@ -213,6 +213,59 @@ pub struct BlockSolver {
     /// Optional physics-health monitor (strictly rank-local reads; never
     /// communicates, never changes the numbers).
     health: Option<HealthMonitor>,
+    /// Per-cell CFL rates from the fused wave-speed scan of the most
+    /// recent stage-0 residual sweep (`geom.len()` slots).
+    rate: Vec<f64>,
+    /// Cached global Δt with its guarded refresh cadence.
+    dt_cache: DtCache,
+}
+
+/// Cached global Δt state for the cadenced allreduce.
+///
+/// The refresh `window` adapts AIMD-style within
+/// `1..=cfg.dt_refresh_interval`: any CFL violation reported at a
+/// refresh collapses it to 1 (refresh every step), and each clean
+/// refresh doubles it back toward the configured cadence. All fields
+/// evolve in lockstep across ranks — refreshes are collective, coasting
+/// uses the shared cached value, and invalidation only happens at
+/// collectively-agreed points (retry, restore, shrink) — so the
+/// refresh/coast control flow can never diverge between ranks.
+#[derive(Debug, Clone, Copy)]
+struct DtCache {
+    /// Last allreduced global Δt (unscaled; coasting applies the 0.9
+    /// safety margin on top).
+    dt: f64,
+    /// Steps taken since the last refresh (the refresh step counts as 1).
+    age: usize,
+    /// Current refresh window, in steps.
+    window: usize,
+    /// False when the cached Δt must not be trusted (initially, and
+    /// after a rollback, checkpoint restore, or shrink): the next step
+    /// refreshes unconditionally.
+    valid: bool,
+    /// Local coast-past-the-bound violations since the last refresh;
+    /// piggybacked (negated) on the next Δt allreduce so every rank
+    /// learns about them.
+    violations: u64,
+}
+
+impl DtCache {
+    fn new() -> Self {
+        DtCache {
+            dt: 0.0,
+            age: 0,
+            window: 1,
+            valid: false,
+            violations: 0,
+        }
+    }
+
+    /// Drop the cached value; the next step must refresh. Call only at
+    /// collectively-agreed points so ranks stay in lockstep.
+    fn invalidate(&mut self) {
+        self.valid = false;
+        self.window = 1;
+    }
 }
 
 /// Start marker of an instrumented phase: wall clock plus the rank's
@@ -242,6 +295,8 @@ impl BlockSolver {
                 metrics: None,
                 c2p_hist: None,
                 health: None,
+                rate: vec![0.0; geom.len()],
+                dt_cache: DtCache::new(),
             },
             u,
         )
@@ -626,8 +681,17 @@ impl BlockSolver {
     }
 
     /// One residual evaluation with halo exchange, honoring the mode.
-    fn eval_rhs(&mut self, rank: &mut Rank, u: &mut Field) -> Result<(), SolverError> {
+    ///
+    /// With `scan` set, the sweeps also run the fused wave-speed scan:
+    /// afterwards `self.rate` holds each interior cell's CFL rate (the
+    /// quantity [`max_dt`] maximizes), for free — the pencils are already
+    /// resident in scratch. The stage-0 evaluation of every step scans,
+    /// which is what lets Δt be decided without a separate local pass.
+    fn eval_rhs(&mut self, rank: &mut Rank, u: &mut Field, scan: bool) -> Result<(), SolverError> {
         self.rhs.raw_mut().fill(0.0);
+        if scan {
+            self.rate.fill(0.0);
+        }
         // Wall time inside a `rank.work` closure equals the virtual-clock
         // charge (the closure runs while holding the CPU token), so the
         // nested con2prim sub-phase can use plain `Instant` timing.
@@ -665,11 +729,12 @@ impl BlockSolver {
                         h.record(t0.elapsed().as_nanos() as u64);
                     }
                     let region = Region::interior(&geom);
-                    accumulate_rhs_region(
+                    accumulate_rhs_region_scan(
                         &scheme,
                         &self.prim,
                         &mut self.rhs,
                         &region,
+                        scan.then(|| &mut self.rate[..]),
                         self.gang.as_ref(),
                     );
                     Ok(())
@@ -688,11 +753,12 @@ impl BlockSolver {
                     if let (Some(h), Some(t0)) = (&sub_c2p, t0) {
                         h.record(t0.elapsed().as_nanos() as u64);
                     }
-                    accumulate_rhs_region(
+                    accumulate_rhs_region_scan(
                         &scheme,
                         &self.prim,
                         &mut self.rhs,
                         &deep,
+                        scan.then(|| &mut self.rate[..]),
                         self.gang.as_ref(),
                     );
                     Ok(())
@@ -707,11 +773,12 @@ impl BlockSolver {
                         h.record(t0.elapsed().as_nanos() as u64);
                     }
                     for sh in &shells {
-                        accumulate_rhs_region(
+                        accumulate_rhs_region_scan(
                             &scheme,
                             &self.prim,
                             &mut self.rhs,
                             sh,
+                            scan.then(|| &mut self.rate[..]),
                             self.gang.as_ref(),
                         );
                     }
@@ -735,23 +802,23 @@ impl BlockSolver {
     pub fn step(&mut self, rank: &mut Rank, u: &mut Field, dt: f64) -> Result<(), SolverError> {
         match self.cfg.rk {
             RkOrder::Rk1 => {
-                self.eval_rhs(rank, u)?;
+                self.eval_rhs(rank, u, false)?;
                 self.combine(rank, u, 1.0, None, dt);
             }
             RkOrder::Rk2 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
-                self.eval_rhs(rank, u)?;
+                self.eval_rhs(rank, u, false)?;
                 self.combine(rank, u, 1.0, None, dt);
-                self.eval_rhs(rank, u)?;
+                self.eval_rhs(rank, u, false)?;
                 self.combine(rank, u, 0.5, Some(0.5), 0.5 * dt);
             }
             RkOrder::Rk3 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
-                self.eval_rhs(rank, u)?;
+                self.eval_rhs(rank, u, false)?;
                 self.combine(rank, u, 1.0, None, dt);
-                self.eval_rhs(rank, u)?;
+                self.eval_rhs(rank, u, false)?;
                 self.combine(rank, u, 0.25, Some(0.75), 0.25 * dt);
-                self.eval_rhs(rank, u)?;
+                self.eval_rhs(rank, u, false)?;
                 self.combine(rank, u, 2.0 / 3.0, Some(1.0 / 3.0), 2.0 / 3.0 * dt);
             }
         }
@@ -779,23 +846,23 @@ impl BlockSolver {
         let mut first = None;
         match self.cfg.rk {
             RkOrder::Rk1 => {
-                note(&mut first, self.eval_rhs(rank, u));
+                note(&mut first, self.eval_rhs(rank, u, false));
                 self.combine(rank, u, 1.0, None, dt);
             }
             RkOrder::Rk2 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
-                note(&mut first, self.eval_rhs(rank, u));
+                note(&mut first, self.eval_rhs(rank, u, false));
                 self.combine(rank, u, 1.0, None, dt);
-                note(&mut first, self.eval_rhs(rank, u));
+                note(&mut first, self.eval_rhs(rank, u, false));
                 self.combine(rank, u, 0.5, Some(0.5), 0.5 * dt);
             }
             RkOrder::Rk3 => {
                 self.u_stage.raw_mut().copy_from_slice(u.raw());
-                note(&mut first, self.eval_rhs(rank, u));
+                note(&mut first, self.eval_rhs(rank, u, false));
                 self.combine(rank, u, 1.0, None, dt);
-                note(&mut first, self.eval_rhs(rank, u));
+                note(&mut first, self.eval_rhs(rank, u, false));
                 self.combine(rank, u, 0.25, Some(0.75), 0.25 * dt);
-                note(&mut first, self.eval_rhs(rank, u));
+                note(&mut first, self.eval_rhs(rank, u, false));
                 self.combine(rank, u, 2.0 / 3.0, Some(1.0 / 3.0), 2.0 / 3.0 * dt);
             }
         }
@@ -803,6 +870,15 @@ impl BlockSolver {
     }
 
     /// Globally stable Δt: local CFL bound reduced with allreduce-min.
+    ///
+    /// This is the *unfused* reference path (a dedicated
+    /// primitive-recovery pass plus [`max_dt`], timed as
+    /// `phase.dt.local`). The advance loops no longer call it — they get
+    /// the local bound for free from the fused wave-speed scan of the
+    /// stage-0 residual sweep (see [`BlockSolver::step_auto`]) — but it
+    /// is kept public as the independent cross-check the fused scan is
+    /// tested against, and for callers that need a Δt without taking a
+    /// step.
     pub fn stable_dt(&mut self, rank: &mut Rank, u: &mut Field) -> Result<f64, SolverError> {
         // Local primitives on the interior suffice for the CFL bound.
         let s = self.pstart(rank);
@@ -815,6 +891,148 @@ impl BlockSolver {
         let global = rank.allreduce_min(local);
         self.pend("phase.dt.allreduce", rank, s);
         Ok(global)
+    }
+
+    /// Decide this step's global Δt from the fused scan's local bound.
+    ///
+    /// Refreshes (allreduce-min, piggybacking the negated local
+    /// violation count as a second component on the same message) when
+    /// the cache is invalid or its window has elapsed; otherwise coasts
+    /// on `0.9 ×` the cached value. Returns `(dt, coasted)`.
+    fn decide_dt(&mut self, rank: &mut Rank, local_bound: f64) -> (f64, bool) {
+        let refresh_max = self.cfg.dt_refresh_interval.max(1);
+        if self.dt_cache.valid && self.dt_cache.age < self.dt_cache.window {
+            self.dt_cache.age += 1;
+            // Safety margin while coasting on the cached value.
+            return (0.9 * self.dt_cache.dt, true);
+        }
+        let s = self.pstart(rank);
+        let out = rank.allreduce(&[local_bound, -(self.dt_cache.violations as f64)], f64::min);
+        self.pend("phase.dt.allreduce", rank, s);
+        let dt_g = out[0];
+        let violated = out[1] < 0.0;
+        // AIMD window: collapse to every-step refreshes when any rank
+        // coasted past its bound during the last window; double back
+        // toward the configured cadence on clean windows.
+        self.dt_cache.window = if violated {
+            1
+        } else {
+            (self.dt_cache.window * 2).min(refresh_max)
+        };
+        self.dt_cache.dt = dt_g;
+        self.dt_cache.age = 1;
+        self.dt_cache.valid = true;
+        self.dt_cache.violations = 0;
+        (dt_g, false)
+    }
+
+    /// One RK step where Δt is decided *inside* the step: the stage-0
+    /// residual evaluation runs the fused wave-speed scan, the cadenced
+    /// refresh (or the cached coast) turns this rank's bound into the
+    /// global Δt, and only then do the stage combines apply it. The
+    /// stage-0 residual does not depend on Δt, so with a refresh every
+    /// step this is bitwise the historical "Δt first, then step"
+    /// ordering — minus the separate `phase.dt.local`
+    /// primitive-recovery pass, which the fusion makes redundant.
+    ///
+    /// `limit` clamps `t + dt` to an end time; `scale` multiplies the
+    /// decided Δt (the resilient retry backoff). With `resilient`, stage
+    /// errors are noted and every stage still runs (the
+    /// [`BlockSolver::step_resilient`] contract); otherwise the first
+    /// error aborts. When a *coasted* Δt overruns this rank's freshly
+    /// scanned CFL bound, `dt.cadence.violation` is counted and the
+    /// violation is reported at the next refresh (collapsing the
+    /// window); the Δt itself is not adjusted locally — it must stay
+    /// identical across ranks. Returns the committed Δt.
+    fn step_auto(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        limit: Option<(f64, f64)>,
+        scale: f64,
+        resilient: bool,
+    ) -> Result<f64, SolverError> {
+        fn note(slot: &mut Option<SolverError>, r: Result<(), SolverError>) {
+            if let Err(e) = r {
+                slot.get_or_insert(e);
+            }
+        }
+        let mut first = None;
+        let r0 = self.eval_rhs(rank, u, true);
+        if resilient {
+            note(&mut first, r0);
+        } else {
+            r0?;
+        }
+        // Snapshot u^n *after* the stage-0 evaluation: the recovery
+        // cascade may have repaired poisoned cells in `u` during it, and
+        // those repairs must be part of the state the later combines
+        // reconstruct from (the historical ordering repaired in the
+        // pre-step Δt pass, before the snapshot). Without repairs the
+        // evaluation leaves `u` untouched, so this is bit-identical to
+        // snapshotting first.
+        if self.cfg.rk.stages() > 1 {
+            self.u_stage.raw_mut().copy_from_slice(u.raw());
+        }
+        let local_bound = dt_from_rates(self.cfg.cfl, &self.rate);
+        let (dt_raw, coasted) = self.decide_dt(rank, local_bound);
+        let mut dt = dt_raw * scale;
+        // Negated form deliberately catches NaN as a collapse. The
+        // decision is identical on every rank (refreshed Δt comes from
+        // the allreduce, coasted Δt from the lockstep cache), so this
+        // early return is collective-consistent.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(dt > 1e-14) {
+            return Err(SolverError::TimestepCollapse { dt });
+        }
+        if let Some((t, t_end)) = limit {
+            if t + dt > t_end {
+                dt = t_end - t;
+            }
+        }
+        if coasted && dt > local_bound {
+            self.dt_cache.violations += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("dt.cadence.violation").add(1);
+            }
+            rank.trace_instant("driver.dt_violation", dt / local_bound);
+        }
+        match self.cfg.rk {
+            RkOrder::Rk1 => {
+                self.combine(rank, u, 1.0, None, dt);
+            }
+            RkOrder::Rk2 => {
+                self.combine(rank, u, 1.0, None, dt);
+                let r = self.eval_rhs(rank, u, false);
+                if resilient {
+                    note(&mut first, r);
+                } else {
+                    r?;
+                }
+                self.combine(rank, u, 0.5, Some(0.5), 0.5 * dt);
+            }
+            RkOrder::Rk3 => {
+                self.combine(rank, u, 1.0, None, dt);
+                let r = self.eval_rhs(rank, u, false);
+                if resilient {
+                    note(&mut first, r);
+                } else {
+                    r?;
+                }
+                self.combine(rank, u, 0.25, Some(0.75), 0.25 * dt);
+                let r = self.eval_rhs(rank, u, false);
+                if resilient {
+                    note(&mut first, r);
+                } else {
+                    r?;
+                }
+                self.combine(rank, u, 2.0 / 3.0, Some(1.0 / 3.0), 2.0 / 3.0 * dt);
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(dt),
+        }
     }
 
     /// Advance a fixed number of steps (each at the CFL-stable Δt);
@@ -830,26 +1048,13 @@ impl BlockSolver {
         let bytes0 = rank.bytes_sent();
         let vtime0 = rank.vtime();
         let mut stats = DistStats::default();
-        let refresh = self.cfg.dt_refresh_interval.max(1);
-        let mut dt_cached = 0.0;
+        self.dt_cache = DtCache::new();
         if let Some(mon) = &mut self.health {
             mon.ensure_baseline(u);
         }
         let mut t = 0.0;
-        for step in 0..nsteps {
-            let dt = if step % refresh == 0 {
-                dt_cached = self.stable_dt(rank, u)?;
-                dt_cached
-            } else {
-                // Safety margin while coasting on the cached value.
-                0.9 * dt_cached
-            };
-            // Negated form deliberately catches NaN as a collapse.
-            #[allow(clippy::neg_cmp_op_on_partial_ord)]
-            if !(dt > 1e-14) {
-                return Err(SolverError::TimestepCollapse { dt });
-            }
-            self.step(rank, u, dt)?;
+        for _ in 0..nsteps {
+            let dt = self.step_auto(rank, u, None, 1.0, false)?;
             t += dt;
             stats.steps += 1;
             stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
@@ -874,20 +1079,12 @@ impl BlockSolver {
         let vtime0 = rank.vtime();
         let mut t = t0;
         let mut stats = DistStats::default();
+        self.dt_cache = DtCache::new();
         if let Some(mon) = &mut self.health {
             mon.ensure_baseline(u);
         }
         while t < t_end - 1e-14 {
-            let mut dt = self.stable_dt(rank, u)?;
-            // Negated form deliberately catches NaN as a collapse.
-            #[allow(clippy::neg_cmp_op_on_partial_ord)]
-            if !(dt > 1e-14) {
-                return Err(SolverError::TimestepCollapse { dt });
-            }
-            if t + dt > t_end {
-                dt = t_end - t;
-            }
-            self.step(rank, u, dt)?;
+            let dt = self.step_auto(rank, u, Some((t, t_end)), 1.0, false)?;
             t += dt;
             stats.steps += 1;
             stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
@@ -899,8 +1096,12 @@ impl BlockSolver {
         Ok(stats)
     }
 
-    /// One attempt of a resilient step: Δt allreduce at `scale`× the
-    /// configured CFL, then a full (never-deadlocking) step. Returns the
+    /// One attempt of a resilient step: the fused-scan Δt decision (at
+    /// `scale`× the configured CFL) inside a full (never-deadlocking)
+    /// step. A coasted Δt that overran this rank's local CFL bound is
+    /// reported as [`SolverError::CflViolation`] so the collective
+    /// agreement round rolls the step back and retries with a fresh
+    /// allreduce — the Δt cache is invalidated here. Returns the
     /// committed Δt.
     fn try_step(
         &mut self,
@@ -910,16 +1111,13 @@ impl BlockSolver {
         t_end: f64,
         scale: f64,
     ) -> Result<f64, SolverError> {
-        let mut dt = self.stable_dt(rank, u)? * scale;
-        // Negated form deliberately catches NaN as a collapse.
-        #[allow(clippy::neg_cmp_op_on_partial_ord)]
-        if !(dt > 1e-14) {
-            return Err(SolverError::TimestepCollapse { dt });
+        let v0 = self.dt_cache.violations;
+        let dt = self.step_auto(rank, u, Some((t, t_end)), scale, true)?;
+        if self.dt_cache.violations > v0 {
+            self.dt_cache.invalidate();
+            let bound = dt_from_rates(self.cfg.cfl, &self.rate);
+            return Err(SolverError::CflViolation { dt, bound });
         }
-        if t + dt > t_end {
-            dt = t_end - t;
-        }
-        self.step_resilient(rank, u, dt)?;
         Ok(dt)
     }
 
@@ -1007,6 +1205,10 @@ impl BlockSolver {
         self.prim = Field::new(self.geom, 5);
         self.rhs = Field::cons(self.geom);
         self.u_stage = Field::cons(self.geom);
+        // New block geometry and a restored (older) state: the scan
+        // buffer must match the new patch and the cached Δt is stale.
+        self.rate = vec![0.0; self.geom.len()];
+        self.dt_cache.invalidate();
         let ck_err = |e: rhrsc_io::checkpoint::CheckpointError| SolverError::Checkpoint {
             msg: e.to_string(),
         };
@@ -1138,6 +1340,7 @@ impl BlockSolver {
                 SolverError::PeerSuspect { .. } => "peer_suspect",
                 SolverError::Checkpoint { .. } => "checkpoint",
                 SolverError::TimestepCollapse { .. } => "timestep_collapse",
+                SolverError::CflViolation { .. } => "cfl_violation",
                 SolverError::Con2Prim { .. } => "con2prim",
                 SolverError::HaloMismatch { .. } => "halo_mismatch",
                 SolverError::HaloCorrupt { .. } => "halo_corrupt",
@@ -1185,6 +1388,7 @@ impl BlockSolver {
         let mut cfl_scale = 1.0f64;
         let mut restarts_left = res.max_restarts;
         let mut backup = Field::cons(self.geom);
+        self.dt_cache = DtCache::new();
         if let Some(slots) = &slots {
             // Always write an initial checkpoint so a restore target
             // exists from the very first step.
@@ -1375,8 +1579,14 @@ impl BlockSolver {
                     }
                     outcome => {
                         // Roll back; the backup state is untouched by the
-                        // failed attempt.
+                        // failed attempt. The cached Δt was computed from
+                        // (or aged against) the discarded trajectory, so
+                        // it must not survive the rollback — every rank
+                        // reaches this arm together (the outcome flag is
+                        // allreduced), so the invalidation stays in
+                        // lockstep.
                         u.raw_mut().copy_from_slice(backup.raw());
+                        self.dt_cache.invalidate();
                         if attempt < res.max_step_retries {
                             if attempt == 0 {
                                 rstats.retried_steps += 1;
@@ -1447,6 +1657,9 @@ impl BlockSolver {
                         u.raw_mut().copy_from_slice(ckp.field.raw());
                         t = ckp.time;
                         step_no = ckp.step;
+                        // The state just jumped back in time: a Δt cached
+                        // on the abandoned trajectory is stale.
+                        self.dt_cache.invalidate();
                         rstats.restarts += 1;
                         restarts_left -= 1;
                         self.pend("driver.restart_restore", rank, s);
@@ -1490,15 +1703,36 @@ pub(crate) fn comm_err(e: CommError) -> SolverError {
 /// floating-point addition is not associative, and the distributed solver
 /// guarantees bit-identity with the serial one.
 fn lincomb(u: &mut Field, a: f64, u0: Option<(&Field, f64)>, r: &Field, c: f64) {
+    // Component-major over contiguous interior x-runs: per element the
+    // expression is `(f0*b) + (u*a) + (r*c)` with left-associated adds,
+    // exactly the per-component parse of the historical `Cons`-vector
+    // form (scalar·vector then componentwise adds).
     let geom = *u.geom();
-    for (i, j, k) in geom.interior_iter() {
-        let v = match u0 {
-            Some((f0, b)) => {
-                f0.get_cons(i, j, k) * b + u.get_cons(i, j, k) * a + r.get_cons(i, j, k) * c
+    let n = geom.len();
+    let (ngx, ngy, ngz) = (geom.ng_of(0), geom.ng_of(1), geom.ng_of(2));
+    let nx = geom.n[0];
+    let ur = u.raw_mut();
+    let rr = r.raw();
+    for k in ngz..ngz + geom.n[2] {
+        for j in ngy..ngy + geom.n[1] {
+            let base = geom.idx(ngx, j, k);
+            for comp in 0..NCOMP {
+                let o = comp * n + base;
+                match u0 {
+                    Some((f0, b)) => {
+                        let fr = f0.raw();
+                        for x in 0..nx {
+                            ur[o + x] = fr[o + x] * b + ur[o + x] * a + rr[o + x] * c;
+                        }
+                    }
+                    None => {
+                        for x in 0..nx {
+                            ur[o + x] = ur[o + x] * a + rr[o + x] * c;
+                        }
+                    }
+                }
             }
-            None => u.get_cons(i, j, k) * a + r.get_cons(i, j, k) * c,
-        };
-        u.set_cons(i, j, k, v);
+        }
     }
 }
 
@@ -2043,8 +2277,9 @@ mod tests {
             "instrumentation must not change the numbers"
         );
         let snap = reg.snapshot();
+        // `phase.dt.local` is gone by design: the local CFL bound now
+        // falls out of the fused stage-0 wave-speed scan.
         for phase in [
-            "phase.dt.local",
             "phase.dt.allreduce",
             "phase.halo.pack",
             "phase.halo.send",
@@ -2139,6 +2374,164 @@ mod tests {
         }
         l1 /= cells;
         assert!(l1 < 0.02, "L1 drift after shrink too large: {l1}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dt_cadence_coasts_and_guard_forces_early_refresh() {
+        // White-box walk of the cadenced-Δt state machine: refresh →
+        // AIMD window growth → coast at 0.9× → violation detection when
+        // the cache goes stale → window collapse at the next refresh.
+        let mut cfg = sod_cfg(1, ExchangeMode::BulkSynchronous);
+        cfg.dt_refresh_interval = 8;
+        // A low-amplitude smooth wave: the CFL bound drifts ≪ 10% per
+        // step, so the 0.9× coast margin absorbs it and only the
+        // deliberately poisoned cache below may trip the guard. (On a
+        // developing shock the bound can legitimately shrink past the
+        // margin in one step — that's the guard's job, not this test's.)
+        let ic = |x: [f64; 3]| Prim {
+            rho: 1.0 + 0.01 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+            vel: [0.1, 0.0, 0.0],
+            p: 1.0,
+        };
+        let reg = Arc::new(Registry::new());
+        let outs = {
+            let (reg, cfg) = (reg.clone(), &cfg);
+            run(1, NetworkModel::ideal(), move |rank| {
+                let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+                solver.set_metrics(reg.clone());
+
+                // Step 1: the cache starts invalid, so this refreshes and
+                // the clean window doubles (1 → 2).
+                let dt0 = solver.step_auto(rank, &mut u, None, 1.0, false).unwrap();
+                assert!(solver.dt_cache.valid);
+                assert_eq!((solver.dt_cache.age, solver.dt_cache.window), (1, 2));
+                assert_eq!(dt0.to_bits(), solver.dt_cache.dt.to_bits());
+
+                // Step 2: coasts on 0.9× the cached value; the safety
+                // margin keeps the smooth evolution inside the bound.
+                let dt1 = solver.step_auto(rank, &mut u, None, 1.0, false).unwrap();
+                assert_eq!(dt1.to_bits(), (0.9 * solver.dt_cache.dt).to_bits());
+                assert_eq!(solver.dt_cache.age, 2);
+                assert_eq!(solver.dt_cache.violations, 0);
+
+                // Poison the cache: a stale 2× Δt mid-window, as a
+                // recovery path that forgot to invalidate would leave
+                // behind. The coasted 0.9 × 2 × Δt overruns the freshly
+                // scanned local bound and must trip the guard (the step
+                // itself still runs — effective CFL 0.72 is SSP-RK3
+                // stable — and Δt must not be adjusted locally).
+                let stale = 2.0 * solver.dt_cache.dt;
+                solver.dt_cache.dt = stale;
+                solver.dt_cache.age = 1;
+                solver.dt_cache.window = 8;
+                let dt2 = solver.step_auto(rank, &mut u, None, 1.0, false).unwrap();
+                assert_eq!(dt2.to_bits(), (0.9 * stale).to_bits());
+                assert_eq!(solver.dt_cache.violations, 1, "stale coast not detected");
+
+                // Force the window to elapse: the next refresh reports
+                // the violation on the piggybacked allreduce component
+                // and collapses the window to every-step refreshes.
+                solver.dt_cache.age = solver.dt_cache.window;
+                solver.step_auto(rank, &mut u, None, 1.0, false).unwrap();
+                assert_eq!(solver.dt_cache.window, 1, "violation must collapse window");
+                assert_eq!(solver.dt_cache.violations, 0);
+                assert!(u.raw().iter().all(|v| v.is_finite()));
+            })
+        };
+        drop(outs);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters.get("dt.cadence.violation").copied(),
+            Some(1),
+            "violation counter must record exactly the poisoned coast"
+        );
+        // 4 steps, but only 2 allreduces (steps 1 and 4): coasting
+        // actually skipped the collective.
+        assert_eq!(snap.histograms["phase.dt.allreduce"].count, 2);
+    }
+
+    #[test]
+    fn rank_crash_mid_cadence_window_recovers_with_fresh_dt() {
+        use rhrsc_comm::{run_with_faults, FaultPlan};
+        // Regression for the stale-Δt-cache bug: rank 0 dies *inside* a
+        // coast window (`dt_refresh_interval > 1`), so at the moment of
+        // the crash every survivor holds a cached Δt that was allreduced
+        // with the dead rank over pre-rollback state. The shrink path
+        // must invalidate that cache when it restores the checkpoint —
+        // before the fix the survivors coasted on it and diverged.
+        let mut cfg = sod_cfg(3, ExchangeMode::BulkSynchronous);
+        cfg.dt_refresh_interval = 5;
+        let ic = |x: [f64; 3]| {
+            if x[0] < 0.5 {
+                Prim::new_1d(1.0, 0.0, 1.0)
+            } else {
+                Prim::new_1d(0.125, 0.0, 0.1)
+            }
+        };
+        let dir = std::env::temp_dir().join("rhrsc-shrink-cadence-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let res = ResilienceConfig {
+            checkpoint_interval: 2,
+            checkpoint_dir: Some(dir.clone()),
+            ..ResilienceConfig::default()
+        };
+        let plan = FaultPlan {
+            seed: 5,
+            crash_rank: Some(0),
+            crash_step: 4,
+            ..FaultPlan::disabled()
+        };
+        let model = NetworkModel::ideal().with_suspect_after(Duration::from_millis(150));
+        let reference = serial_reference(&cfg, &ic, 0.1);
+        let outs = run_with_faults(3, model, Some(plan), |rank| {
+            let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
+            match solver.advance_to_with_restart(rank, &mut u, 0.0, 0.1, &res) {
+                Ok((_, rstats)) => {
+                    // The restored run must never trip the coast guard:
+                    // a tripped guard means a stale cached Δt survived
+                    // the restore.
+                    assert_eq!(
+                        solver.dt_cache.violations,
+                        0,
+                        "rank {}: stale Δt cache coasted past the bound after recovery",
+                        rank.rank()
+                    );
+                    let g = solver.gather_interior(rank, &u).unwrap();
+                    Some((rstats, g))
+                }
+                Err(SolverError::RankFailed { .. }) => None,
+                Err(e) => panic!("rank {}: unexpected error {e}", rank.rank()),
+            }
+        });
+        assert!(outs[0].is_none(), "the victim must report RankFailed");
+        let survivors: Vec<_> = outs.iter().flatten().collect();
+        assert_eq!(survivors.len(), 2, "both survivors must finish");
+        for (rstats, _) in &survivors {
+            assert_eq!(rstats.shrinks, 1, "{rstats:?}");
+            assert_eq!(rstats.ranks_lost, 1);
+        }
+        let global = survivors
+            .iter()
+            .find_map(|(_, g)| g.clone())
+            .expect("the new block rank 0 must gather");
+        let g = reference.geom();
+        let mut l1 = 0.0f64;
+        let cells = (g.n[0] * g.n[1] * g.n[2] * NCOMP) as f64;
+        for c in 0..NCOMP {
+            for k in 0..g.n[2] {
+                for j in 0..g.n[1] {
+                    for i in 0..g.n[0] {
+                        let a = global.at(c, i, j, k);
+                        let b = reference.at(c, i + g.ng_of(0), j + g.ng_of(1), k + g.ng_of(2));
+                        assert!(a.is_finite());
+                        l1 += (a - b).abs();
+                    }
+                }
+            }
+        }
+        l1 /= cells;
+        assert!(l1 < 0.02, "L1 drift after cadenced shrink too large: {l1}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -30,7 +30,7 @@
 use crate::integrate::RkOrder;
 use crate::scheme::{Scheme, PRIM_P, PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ};
 use rhrsc_grid::Field;
-use rhrsc_srhd::{Cons, Dir, Prim, NCOMP};
+use rhrsc_srhd::{Cons, Dir, NCOMP};
 
 /// Per-stage `(a, b, c)` combine coefficients, effective flux weights,
 /// and stage times of an SSP-RK form.
@@ -164,36 +164,27 @@ pub fn rhs_1d_with_fluxes(scheme: &Scheme, prim: &Field, rhs: &mut Field, flux: 
     let nt = geom.ntot(0);
     let inv_dx = 1.0 / geom.dx[0];
 
-    let mut q = [const { Vec::new() }; NCOMP];
-    let mut wl = [const { Vec::new() }; NCOMP];
-    let mut wr = [const { Vec::new() }; NCOMP];
-    for c in 0..NCOMP {
-        q[c] = vec![0.0; nt];
-        wl[c] = vec![0.0; nt + 1];
-        wr[c] = vec![0.0; nt + 1];
-    }
-    for (c, comp) in [PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ, PRIM_P]
-        .into_iter()
-        .enumerate()
-    {
-        prim.read_pencil(comp, 0, 0, 0, &mut q[c]);
-        scheme
-            .recon
-            .pencil(&q[c], ng, ng + n + 1, &mut wl[c], &mut wr[c]);
-    }
-    for j in ng..=ng + n {
-        let left = scheme.sanitize(Prim {
-            rho: wl[0][j],
-            vel: [wl[1][j], wl[2][j], wl[3][j]],
-            p: wl[4][j],
-        });
-        let right = scheme.sanitize(Prim {
-            rho: wr[0][j],
-            vel: [wr[1][j], wr[2][j], wr[3][j]],
-            p: wr[4][j],
-        });
-        flux[j] = scheme.riemann.flux(&scheme.eos, &left, &right, Dir::X);
-    }
+    // Shared fused interface kernel (same scratch banks and expression
+    // trees as the block sweeps — see the module header's bit-identity
+    // guarantee).
+    crate::step::with_pencil_scratch(nt, |s| {
+        for (c, comp) in [PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ, PRIM_P]
+            .into_iter()
+            .enumerate()
+        {
+            prim.read_pencil(comp, 0, 0, 0, s.q_mut(c));
+        }
+        crate::step::reconstruct_and_flux(scheme, s, Dir::X, ng, ng + n + 1);
+        for (j, fj) in flux.iter_mut().enumerate().skip(ng).take(n + 1) {
+            *fj = Cons::from_array([
+                s.flux(0)[j],
+                s.flux(1)[j],
+                s.flux(2)[j],
+                s.flux(3)[j],
+                s.flux(4)[j],
+            ]);
+        }
+    });
     rhs.raw_mut().fill(0.0);
     for i in ng..ng + n {
         rhs.set_cons(i, 0, 0, -(flux[i + 1] - flux[i]) * inv_dx);

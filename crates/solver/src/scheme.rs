@@ -101,6 +101,15 @@ pub enum SolverError {
         /// The offending Δt.
         dt: f64,
     },
+    /// A coasted (cached) Δt exceeded this rank's freshly scanned local
+    /// CFL bound. Recoverable: the resilient driver rolls the step back,
+    /// invalidates the Δt cache, and retries with a fresh allreduce.
+    CflViolation {
+        /// The Δt the step was taken with.
+        dt: f64,
+        /// The local CFL bound it exceeded.
+        bound: f64,
+    },
     /// A halo message did not have the expected length (truncated or
     /// corrupted in flight). Recoverable: the step can be rolled back and
     /// retried, which resends the exchange.
@@ -145,6 +154,12 @@ impl std::fmt::Display for SolverError {
                 write!(f, "primitive recovery failed at cell {cell:?}: {err}")
             }
             SolverError::TimestepCollapse { dt } => write!(f, "time step collapsed to {dt:.3e}"),
+            SolverError::CflViolation { dt, bound } => {
+                write!(
+                    f,
+                    "cached time step {dt:.3e} exceeded the local CFL bound {bound:.3e}"
+                )
+            }
             SolverError::HaloMismatch { expected, got } => {
                 write!(
                     f,
@@ -655,6 +670,21 @@ pub fn max_dt(scheme: &Scheme, prim: &Field, cfl: f64) -> f64 {
             rate += lm.abs().max(lp.abs()) / geom.dx[d];
         }
         max_rate = max_rate.max(rate);
+    }
+    cfl / max_rate.max(1e-30)
+}
+
+/// Δt from a per-cell wave-rate bank filled by the fused RHS scan
+/// ([`crate::step::accumulate_rhs_region_scan`]).
+///
+/// The bank holds `Σ_d max(|λ−|,|λ+|)/Δx_d` per interior cell (ghost
+/// slots stay zero), so the fold and the final `cfl / max(rate, 1e-30)`
+/// reproduce [`max_dt`] bitwise: `f64::max` is insensitive to the extra
+/// zeros and to fold order for the non-NaN rates both paths produce.
+pub fn dt_from_rates(cfl: f64, rates: &[f64]) -> f64 {
+    let mut max_rate = 0.0f64;
+    for &r in rates {
+        max_rate = max_rate.max(r);
     }
     cfl / max_rate.max(1e-30)
 }

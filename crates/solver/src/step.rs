@@ -15,9 +15,29 @@
 //! halos are in flight, and the remaining boundary *shell* afterwards.
 
 use crate::scheme::{prim_at, Geometry, Scheme, PRIM_P, PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ};
+use rhrsc_eos::Eos;
 use rhrsc_grid::{Field, PatchGeom};
 use rhrsc_runtime::WorkStealingPool;
+use rhrsc_srhd::riemann::RiemannSolver;
 use rhrsc_srhd::{Cons, Dir, Prim, NCOMP};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+/// Lane-chunk width for the structure-of-arrays interface kernels, read
+/// once from `RHRSC_SIMD_LANES`. The inner loops process interfaces in
+/// chunks of this many lanes so the autovectorizer sees short,
+/// fixed-bound trip counts; the arithmetic (and therefore the result
+/// bits) is independent of the chunk width.
+pub fn simd_lanes() -> usize {
+    static LANES: OnceLock<usize> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::env::var("RHRSC_SIMD_LANES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| (1..=4096).contains(&v))
+            .unwrap_or(64)
+    })
+}
 
 /// A rectangular sub-region of a patch, in ghost-inclusive cell indices
 /// (`lo` inclusive, `hi` exclusive).
@@ -113,6 +133,28 @@ pub fn accumulate_rhs_region(
     region: &Region,
     pool: Option<&WorkStealingPool>,
 ) {
+    accumulate_rhs_region_scan(scheme, prim, rhs, region, None, pool);
+}
+
+/// [`accumulate_rhs_region`] with an optional fused wave-speed scan.
+///
+/// When `rates` is given (one slot per ghost-inclusive cell,
+/// `geom.len()` long) the sweep also accumulates the per-cell CFL rate
+/// `Σ_d max(|λ−|, |λ+|) / Δx_d` into it, reusing the cell pencils
+/// already resident in scratch. Accumulating over regions that tile the
+/// interior leaves `rates` holding exactly the quantity
+/// [`crate::scheme::max_dt`] maximizes — same expression tree, same
+/// per-cell summation order — so `cfl / rates.max()` reproduces the
+/// two-pass Δt bitwise while `phase.dt.local` disappears as a separate
+/// pass. The caller must zero `rates` before the first region of a scan.
+pub fn accumulate_rhs_region_scan(
+    scheme: &Scheme,
+    prim: &Field,
+    rhs: &mut Field,
+    region: &Region,
+    rates: Option<&mut [f64]>,
+    pool: Option<&WorkStealingPool>,
+) {
     if region.is_empty() {
         return;
     }
@@ -127,6 +169,12 @@ pub fn accumulate_rhs_region(
         ptr: rhs.raw_mut().as_mut_ptr(),
         comp_stride: geom.len(),
     };
+    let rate_raw = rates.map(|r| {
+        assert_eq!(r.len(), geom.len(), "rate bank / geometry mismatch");
+        RawRate {
+            ptr: r.as_mut_ptr(),
+        }
+    });
     for d in 0..3 {
         if !geom.active(d) {
             continue;
@@ -142,9 +190,9 @@ pub fn accumulate_rhs_region(
         let task = |p: usize| {
             let ta = region.lo[a] + p % na;
             let tb = region.lo[b] + p / na;
-            // SAFETY: each pencil writes only the rhs cells on its own
-            // (d, ta, tb) line; pencils within one sweep are disjoint.
-            unsafe { sweep_pencil(scheme, prim, &geom, d, a, b, ta, tb, region, &raw) };
+            // SAFETY: each pencil writes only the rhs/rate cells on its
+            // own (d, ta, tb) line; pencils within one sweep are disjoint.
+            unsafe { sweep_pencil(scheme, prim, &geom, d, a, b, ta, tb, region, &raw, rate_raw) };
         };
         match pool {
             Some(pool) if npencils > 1 => pool.par_for(npencils, 1, &task),
@@ -202,13 +250,376 @@ struct RawRhs {
 unsafe impl Send for RawRhs {}
 unsafe impl Sync for RawRhs {}
 
+/// Raw pointer to the per-cell wave-rate bank (fused Δt scan). Same
+/// disjointness argument as [`RawRhs`].
+#[derive(Clone, Copy)]
+struct RawRate {
+    ptr: *mut f64,
+}
+
+unsafe impl Send for RawRate {}
+unsafe impl Sync for RawRate {}
+
+/// Reusable structure-of-arrays pencil workspace, one per worker thread.
+///
+/// Holds the cell pencils (`q`), reconstructed interface states
+/// (`wl`/`wr`), the per-side conserved/flux/speed banks produced by
+/// [`prepare_side`], and the interface flux bank. Reuse is stale-safe:
+/// every slot that a kernel reads is written earlier in the same pencil
+/// (`read_pencil` fills `q` completely; `Recon::pencil` writes exactly
+/// `[lo, hi1)`; the banks and fluxes are written over `[lo, hi1)` before
+/// the divergence loop reads them).
+#[derive(Default)]
+pub(crate) struct PencilScratch {
+    q: [Vec<f64>; NCOMP],
+    wl: [Vec<f64>; NCOMP],
+    wr: [Vec<f64>; NCOMP],
+    /// Left/right interface conserved states `(D, Sx, Sy, Sz, τ)`.
+    ul: [Vec<f64>; NCOMP],
+    ur: [Vec<f64>; NCOMP],
+    /// Left/right physical fluxes.
+    fl: [Vec<f64>; NCOMP],
+    fr: [Vec<f64>; NCOMP],
+    /// Per-side characteristic speeds λ∓.
+    lm_l: Vec<f64>,
+    lp_l: Vec<f64>,
+    lm_r: Vec<f64>,
+    lp_r: Vec<f64>,
+    /// Sanitized normal velocity and pressure per side (HLLC star state).
+    vn_l: Vec<f64>,
+    p_l: Vec<f64>,
+    vn_r: Vec<f64>,
+    p_r: Vec<f64>,
+    /// Interface flux bank.
+    flux: [Vec<f64>; NCOMP],
+}
+
+impl PencilScratch {
+    /// Mutable cell pencil of primitive component `c` (load target).
+    pub(crate) fn q_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.q[c]
+    }
+
+    /// Interface flux bank of component `c` (valid over the range passed
+    /// to [`reconstruct_and_flux`]).
+    pub(crate) fn flux(&self, c: usize) -> &[f64] {
+        &self.flux[c]
+    }
+
+    fn ensure(&mut self, nt: usize) {
+        let n1 = nt + 1;
+        for c in 0..NCOMP {
+            self.q[c].resize(nt, 0.0);
+            self.wl[c].resize(n1, 0.0);
+            self.wr[c].resize(n1, 0.0);
+            self.ul[c].resize(n1, 0.0);
+            self.ur[c].resize(n1, 0.0);
+            self.fl[c].resize(n1, 0.0);
+            self.fr[c].resize(n1, 0.0);
+            self.flux[c].resize(n1, 0.0);
+        }
+        for v in [
+            &mut self.lm_l,
+            &mut self.lp_l,
+            &mut self.lm_r,
+            &mut self.lp_r,
+            &mut self.vn_l,
+            &mut self.p_l,
+            &mut self.vn_r,
+            &mut self.p_r,
+        ] {
+            v.resize(n1, 0.0);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PencilScratch> = RefCell::new(PencilScratch::default());
+}
+
+/// Run `f` with this thread's pencil scratch sized for `nt` cells.
+/// Entry point for the shared-kernel users outside this module
+/// (`refine::rhs_1d_with_fluxes`).
+pub(crate) fn with_pencil_scratch<R>(nt: usize, f: impl FnOnce(&mut PencilScratch) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        s.ensure(nt);
+        f(s)
+    })
+}
+
+/// Sanitize one side's reconstructed interface states and precompute its
+/// conserved state, physical flux, characteristic speeds, and the
+/// sanitized `(v_n, p)` pair over `[lo, hi1)`.
+///
+/// The arithmetic is the exact composition of `Scheme::sanitize`,
+/// `Prim::to_cons`, `physical_flux_from`, and `signal_speeds` on each
+/// lane — the only change from the AoS path is that `v²` (identical
+/// expression in `vsq`/`lorentz`) is computed once per lane instead of
+/// per callee, which cannot change its value.
+#[allow(clippy::too_many_arguments)]
+fn prepare_side(
+    eos: &Eos,
+    rho_floor: f64,
+    p_floor: f64,
+    n: usize,
+    w: &[Vec<f64>; NCOMP],
+    lo: usize,
+    hi1: usize,
+    u: &mut [Vec<f64>; NCOMP],
+    f: &mut [Vec<f64>; NCOMP],
+    lm: &mut [f64],
+    lp: &mut [f64],
+    vn_out: &mut [f64],
+    p_out: &mut [f64],
+) {
+    const V2_MAX: f64 = 1.0 - 1e-12;
+    let lanes = simd_lanes();
+    let mut j0 = lo;
+    while j0 < hi1 {
+        let j1 = (j0 + lanes).min(hi1);
+        for j in j0..j1 {
+            // Scheme::sanitize, in place on the lane.
+            let rho = w[0][j].max(rho_floor);
+            let p = w[4][j].max(p_floor);
+            let mut vx = w[1][j];
+            let mut vy = w[2][j];
+            let mut vz = w[3][j];
+            let v2 = vx * vx + vy * vy + vz * vz;
+            if v2 >= V2_MAX {
+                let scale = (V2_MAX / v2).sqrt();
+                vx *= scale;
+                vy *= scale;
+                vz *= scale;
+            }
+            // Prim::vsq / lorentz on the sanitized velocity.
+            let v2 = vx * vx + vy * vy + vz * vz;
+            let wlor = 1.0 / (1.0 - v2).sqrt();
+            // Prim::to_cons.
+            let h = eos.enthalpy(rho, p);
+            let rhw2 = rho * h * wlor * wlor;
+            let d = rho * wlor;
+            let sx = rhw2 * vx;
+            let sy = rhw2 * vy;
+            let sz = rhw2 * vz;
+            let tau = rhw2 - p - d;
+            u[0][j] = d;
+            u[1][j] = sx;
+            u[2][j] = sy;
+            u[3][j] = sz;
+            u[4][j] = tau;
+            // physical_flux_from.
+            let vel = [vx, vy, vz];
+            let vn = vel[n];
+            let mut fs = [sx * vn, sy * vn, sz * vn];
+            fs[n] += p;
+            f[0][j] = d * vn;
+            f[1][j] = fs[0];
+            f[2][j] = fs[1];
+            f[3][j] = fs[2];
+            f[4][j] = (tau + p) * vn;
+            // signal_speeds.
+            let cs2 = eos.sound_speed_sq(rho, p).clamp(0.0, 1.0 - 1e-15);
+            let den = 1.0 - v2 * cs2;
+            let disc = ((1.0 - v2) * (1.0 - v2 * cs2 - vn * vn * (1.0 - cs2))).max(0.0);
+            let root = disc.sqrt();
+            let cs = cs2.sqrt();
+            lm[j] = ((vn * (1.0 - cs2) - cs * root) / den).clamp(-1.0, 1.0);
+            lp[j] = ((vn * (1.0 - cs2) + cs * root) / den).clamp(-1.0, 1.0);
+            vn_out[j] = vn;
+            p_out[j] = p;
+        }
+        j0 = j1;
+    }
+}
+
+/// Fill `s.flux[..][lo..hi1]` from the prepared side banks with the
+/// Rusanov flux (exact expression tree of `rusanov_flux`).
+fn combine_rusanov(s: &mut PencilScratch, lo: usize, hi1: usize) {
+    for j in lo..hi1 {
+        let a = s.lm_l[j]
+            .abs()
+            .max(s.lp_l[j].abs())
+            .max(s.lm_r[j].abs())
+            .max(s.lp_r[j].abs());
+        let half_a = 0.5 * a;
+        for c in 0..NCOMP {
+            s.flux[c][j] = (s.fl[c][j] + s.fr[c][j]) * 0.5 - (s.ur[c][j] - s.ul[c][j]) * half_a;
+        }
+    }
+}
+
+/// Fill `s.flux[..][lo..hi1]` with the HLL flux (exact expression tree
+/// of `hll_flux` with Davis speeds).
+fn combine_hll(s: &mut PencilScratch, lo: usize, hi1: usize) {
+    for j in lo..hi1 {
+        let lam_l = s.lm_l[j].min(s.lm_r[j]);
+        let lam_r = s.lp_l[j].max(s.lp_r[j]);
+        if lam_l >= 0.0 {
+            for c in 0..NCOMP {
+                s.flux[c][j] = s.fl[c][j];
+            }
+        } else if lam_r <= 0.0 {
+            for c in 0..NCOMP {
+                s.flux[c][j] = s.fr[c][j];
+            }
+        } else {
+            let inv = 1.0 / (lam_r - lam_l);
+            let ll_lr = lam_l * lam_r;
+            for c in 0..NCOMP {
+                s.flux[c][j] = (s.fl[c][j] * lam_r - s.fr[c][j] * lam_l
+                    + (s.ur[c][j] - s.ul[c][j]) * ll_lr)
+                    * inv;
+            }
+        }
+    }
+}
+
+/// Fill `s.flux[..][lo..hi1]` with the HLLC flux (exact expression tree
+/// of `hllc_flux`, Mignone & Bodo 2005).
+fn combine_hllc(s: &mut PencilScratch, n: usize, lo: usize, hi1: usize) {
+    let sn = 1 + n;
+    for j in lo..hi1 {
+        let lam_l = s.lm_l[j].min(s.lm_r[j]);
+        let lam_r = s.lp_l[j].max(s.lp_r[j]);
+        // Supersonic cases: pure upwinding.
+        if lam_l >= 0.0 {
+            for c in 0..NCOMP {
+                s.flux[c][j] = s.fl[c][j];
+            }
+            continue;
+        }
+        if lam_r <= 0.0 {
+            for c in 0..NCOMP {
+                s.flux[c][j] = s.fr[c][j];
+            }
+            continue;
+        }
+        // HLL fan state/flux; only the (D, S_n, τ) components feed the
+        // contact-speed quadratic.
+        let inv = 1.0 / (lam_r - lam_l);
+        let ll_lr = lam_l * lam_r;
+        let fan_u = |c: usize, s: &PencilScratch| {
+            (s.ur[c][j] * lam_r - s.ul[c][j] * lam_l + (s.fl[c][j] - s.fr[c][j])) * inv
+        };
+        let fan_f = |c: usize, s: &PencilScratch| {
+            (s.fl[c][j] * lam_r - s.fr[c][j] * lam_l + (s.ur[c][j] - s.ul[c][j]) * ll_lr) * inv
+        };
+        let e_hll = fan_u(4, s) + fan_u(0, s);
+        let m_hll = fan_u(sn, s);
+        let fe_hll = fan_f(4, s) + fan_f(0, s);
+        let fm_hll = fan_f(sn, s);
+
+        let b = -(e_hll + fm_hll);
+        let lam_star = if fe_hll.abs() < 1e-12 * (e_hll.abs() + fm_hll.abs()).max(1e-300) {
+            // Quadratic degenerates to linear.
+            -m_hll / b
+        } else {
+            let disc = (b * b - 4.0 * fe_hll * m_hll).max(0.0);
+            // Numerically stable "minus" root via the q-formula.
+            let q = -0.5 * (b - b.signum() * disc.sqrt());
+            let r1 = q / fe_hll;
+            let r2 = m_hll / q;
+            if r1 > lam_l && r1 < lam_r {
+                r1
+            } else {
+                r2
+            }
+        };
+        let lam_star = lam_star.clamp(lam_l, lam_r);
+
+        // Star state on the side containing the interface (ξ = 0).
+        let (u, f, vn, p, lam) = if lam_star >= 0.0 {
+            (&s.ul, &s.fl, s.vn_l[j], s.p_l[j], lam_l)
+        } else {
+            (&s.ur, &s.fr, s.vn_r[j], s.p_r[j], lam_r)
+        };
+
+        let e = u[4][j] + u[0][j];
+        let m = u[sn][j];
+        let a_coef = lam * e - m;
+        let b_coef = m * (lam - vn) - p;
+        let p_star = (a_coef * lam_star - b_coef) / (1.0 - lam * lam_star);
+        let p_star = p_star.max(0.0);
+
+        // Jump conditions across the outer wave.
+        let k = (lam - vn) / (lam - lam_star);
+        let e_star = (lam * e - m + p_star * lam_star) / (lam - lam_star);
+        let m_star = (e_star + p_star) * lam_star;
+        let d_star = u[0][j] * k;
+        let mut s_star = [u[1][j] * k, u[2][j] * k, u[3][j] * k];
+        s_star[n] = m_star;
+        let u_star = [d_star, s_star[0], s_star[1], s_star[2], e_star - d_star];
+
+        // F* = F + λ (U* − U).
+        for c in 0..NCOMP {
+            s.flux[c][j] = f[c][j] + (u_star[c] - u[c][j]) * lam;
+        }
+    }
+}
+
+/// Reconstruct the loaded cell pencils to interfaces, sanitize, and
+/// compute the interface flux bank `s.flux[..][lo..hi1]` with the
+/// scheme's Riemann solver dispatched once per pencil.
+///
+/// `s.q` must already hold the five primitive component pencils.
+pub(crate) fn reconstruct_and_flux(
+    scheme: &Scheme,
+    s: &mut PencilScratch,
+    dir: Dir,
+    lo: usize,
+    hi1: usize,
+) {
+    let n = dir.axis();
+    for c in 0..NCOMP {
+        scheme
+            .recon
+            .pencil(&s.q[c], lo, hi1, &mut s.wl[c], &mut s.wr[c]);
+    }
+    prepare_side(
+        &scheme.eos,
+        scheme.c2p.rho_floor,
+        scheme.c2p.p_floor,
+        n,
+        &s.wl,
+        lo,
+        hi1,
+        &mut s.ul,
+        &mut s.fl,
+        &mut s.lm_l,
+        &mut s.lp_l,
+        &mut s.vn_l,
+        &mut s.p_l,
+    );
+    prepare_side(
+        &scheme.eos,
+        scheme.c2p.rho_floor,
+        scheme.c2p.p_floor,
+        n,
+        &s.wr,
+        lo,
+        hi1,
+        &mut s.ur,
+        &mut s.fr,
+        &mut s.lm_r,
+        &mut s.lp_r,
+        &mut s.vn_r,
+        &mut s.p_r,
+    );
+    match scheme.riemann {
+        RiemannSolver::Rusanov => combine_rusanov(s, lo, hi1),
+        RiemannSolver::Hll => combine_hll(s, lo, hi1),
+        RiemannSolver::Hllc => combine_hllc(s, n, lo, hi1),
+    }
+}
+
 /// Process one pencil: reconstruct, solve Riemann problems, accumulate
 /// flux differences along direction `d` at transverse coordinates
-/// `(ta, tb)` (dims `a`, `b`).
+/// `(ta, tb)` (dims `a`, `b`), plus the optional fused wave-rate scan.
 ///
 /// # Safety
 /// The caller must guarantee that no other thread concurrently accesses
-/// the rhs cells on this pencil.
+/// the rhs (or rate) cells on this pencil.
 #[allow(clippy::too_many_arguments)]
 unsafe fn sweep_pencil(
     scheme: &Scheme,
@@ -221,66 +632,75 @@ unsafe fn sweep_pencil(
     tb: usize,
     region: &Region,
     raw: &RawRhs,
+    rate: Option<RawRate>,
 ) {
     let nt = geom.ntot(d);
     let dir = Dir::ALL[d];
     let inv_dx = 1.0 / geom.dx[d];
     let (lo, hi) = (region.lo[d], region.hi[d]);
 
-    // Scratch: five component pencils, left/right interface states, fluxes.
-    let mut q = [const { Vec::new() }; NCOMP];
-    let mut wl = [const { Vec::new() }; NCOMP];
-    let mut wr = [const { Vec::new() }; NCOMP];
-    for c in 0..NCOMP {
-        q[c] = vec![0.0; nt];
-        wl[c] = vec![0.0; nt + 1];
-        wr[c] = vec![0.0; nt + 1];
-    }
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        s.ensure(nt);
 
-    // `read_pencil` wants transverse indices in ascending dim order.
-    let (t1, t2) = (ta, tb);
-    for (c, comp) in [PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ, PRIM_P]
-        .into_iter()
-        .enumerate()
-    {
-        prim.read_pencil(comp, d, t1, t2, &mut q[c]);
-        scheme
-            .recon
-            .pencil(&q[c], lo, hi + 1, &mut wl[c], &mut wr[c]);
-    }
+        // `read_pencil` wants transverse indices in ascending dim order.
+        let (t1, t2) = (ta, tb);
+        for (c, comp) in [PRIM_RHO, PRIM_VX, PRIM_VY, PRIM_VZ, PRIM_P]
+            .into_iter()
+            .enumerate()
+        {
+            prim.read_pencil(comp, d, t1, t2, &mut s.q[c]);
+        }
 
-    // Interface fluxes for j in lo..=hi.
-    let mut flux = vec![Cons::ZERO; nt + 1];
-    for j in lo..=hi {
-        let left = scheme.sanitize(Prim {
-            rho: wl[0][j],
-            vel: [wl[1][j], wl[2][j], wl[3][j]],
-            p: wl[4][j],
-        });
-        let right = scheme.sanitize(Prim {
-            rho: wr[0][j],
-            vel: [wr[1][j], wr[2][j], wr[3][j]],
-            p: wr[4][j],
-        });
-        flux[j] = scheme.riemann.flux(&scheme.eos, &left, &right, dir);
-    }
+        reconstruct_and_flux(scheme, s, dir, lo, hi + 1);
 
-    // Accumulate -dF/dx into rhs along the pencil.
-    for i in lo..hi {
-        let df = (flux[i + 1] - flux[i]) * inv_dx;
-        let (ii, jj, kk) = match d {
-            0 => (i, ta, tb),
-            1 => (ta, i, tb),
-            _ => (ta, tb, i),
+        // Linear index of cell `lo` on this pencil and the step per cell
+        // along dimension `d` (the layout is affine in each index).
+        let cell_of = |i: usize| -> (usize, usize, usize) {
+            match d {
+                0 => (i, ta, tb),
+                1 => (ta, i, tb),
+                _ => (ta, tb, i),
+            }
         };
-        let ix = geom.idx(ii, jj, kk);
-        let arr = df.to_array();
-        for (c, v) in arr.into_iter().enumerate() {
-            unsafe {
-                *raw.ptr.add(c * raw.comp_stride + ix) -= v;
+        let (i0, j0, k0) = cell_of(lo);
+        let base = geom.idx(i0, j0, k0);
+        let stride = if hi > lo + 1 {
+            let (i1, j1, k1) = cell_of(lo + 1);
+            geom.idx(i1, j1, k1) - base
+        } else {
+            1
+        };
+
+        // Accumulate -dF/dx into rhs along the pencil, component-major.
+        for c in 0..NCOMP {
+            let fc = &s.flux[c];
+            let cbase = unsafe { raw.ptr.add(c * raw.comp_stride + base) };
+            for (step, i) in (lo..hi).enumerate() {
+                let df = (fc[i + 1] - fc[i]) * inv_dx;
+                unsafe {
+                    *cbase.add(step * stride) -= df;
+                }
             }
         }
-    }
+
+        // Fused Δt scan: cell-centered characteristic rates from the
+        // unsanitized cell pencil, exactly as `max_dt` computes them.
+        if let Some(rate) = rate {
+            let rbase = unsafe { rate.ptr.add(base) };
+            for (step, i) in (lo..hi).enumerate() {
+                let w = Prim {
+                    rho: s.q[0][i],
+                    vel: [s.q[1][i], s.q[2][i], s.q[3][i]],
+                    p: s.q[4][i],
+                };
+                let (lm, lp) = rhrsc_srhd::flux::signal_speeds(&scheme.eos, &w, dir);
+                unsafe {
+                    *rbase.add(step * stride) += lm.abs().max(lp.abs()) / geom.dx[d];
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]

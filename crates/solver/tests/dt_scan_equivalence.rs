@@ -1,0 +1,120 @@
+//! The fused wave-speed scan must reproduce the two-pass Δt *bitwise*.
+//!
+//! The driver's hot loop no longer runs a dedicated primitive-recovery +
+//! `max_dt` pass: the stage-0 residual sweep accumulates each cell's CFL
+//! rate `Σ_d max(|λ−|, |λ+|) / Δx_d` into a rate bank as a side effect
+//! ([`accumulate_rhs_region_scan`]), and [`dt_from_rates`] folds it into
+//! the step. These tests pin the fused scan to the historical two-pass
+//! [`max_dt`] down to the last bit, including when the interior is
+//! tiled into multiple regions (the gang-parallel decomposition).
+
+use rhrsc_grid::{bc, fill_ghosts, Bc, Field, PatchGeom};
+use rhrsc_solver::scheme::{dt_from_rates, init_cons, max_dt, recover_prims};
+use rhrsc_solver::step::{accumulate_rhs_region_scan, Region};
+use rhrsc_solver::Scheme;
+use rhrsc_srhd::recon::Recon;
+use rhrsc_srhd::Prim;
+
+fn prepared(s: &Scheme, geom: PatchGeom, ic: &dyn Fn([f64; 3]) -> Prim) -> Field {
+    let mut u = init_cons(geom, &s.eos, ic);
+    fill_ghosts(&mut u, &bc::uniform(Bc::Periodic));
+    let mut prim = Field::new(geom, 5);
+    recover_prims(s, &u, &mut prim).unwrap();
+    prim
+}
+
+fn scanned_rates(s: &Scheme, prim: &Field, regions: &[Region]) -> Vec<f64> {
+    let geom = *prim.geom();
+    let mut rhs = Field::cons(geom);
+    let mut rates = vec![0.0; geom.len()];
+    for r in regions {
+        accumulate_rhs_region_scan(s, prim, &mut rhs, r, Some(&mut rates[..]), None);
+    }
+    rates
+}
+
+fn check_bitwise(s: &Scheme, geom: PatchGeom, ic: &dyn Fn([f64; 3]) -> Prim) {
+    let cfl = 0.4;
+    let prim = prepared(s, geom, ic);
+    let two_pass = max_dt(s, &prim, cfl);
+    let rates = scanned_rates(s, &prim, &[Region::interior(&geom)]);
+    let fused = dt_from_rates(cfl, &rates);
+    assert_eq!(
+        fused.to_bits(),
+        two_pass.to_bits(),
+        "fused {fused:e} vs two-pass {two_pass:e}"
+    );
+}
+
+fn wavy(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.4 * (5.0 * x[0]).sin() * (3.0 * x[1]).cos(),
+        vel: [
+            0.5 * (2.0 * x[1]).sin(),
+            -0.4 * (4.0 * x[0]).cos(),
+            0.2 * (3.0 * x[2]).sin(),
+        ],
+        p: 1.0 + 0.3 * (4.0 * x[2]).cos() * (2.0 * x[0]).sin(),
+    }
+}
+
+#[test]
+fn fused_scan_matches_two_pass_1d() {
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    check_bitwise(&s, PatchGeom::line(64, 0.0, 1.0, 3), &wavy);
+}
+
+#[test]
+fn fused_scan_matches_two_pass_2d() {
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    check_bitwise(&s, PatchGeom::rect([20, 14], [0.0; 2], [1.0; 2], 3), &wavy);
+}
+
+#[test]
+fn fused_scan_matches_two_pass_3d() {
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    check_bitwise(
+        &s,
+        PatchGeom::cube([10, 8, 6], [0.0; 3], [1.0; 3], 3),
+        &wavy,
+    );
+}
+
+#[test]
+fn fused_scan_matches_two_pass_weno5_hll() {
+    let s = Scheme {
+        recon: Recon::Weno5,
+        riemann: rhrsc_srhd::riemann::RiemannSolver::Hll,
+        ..Scheme::default_with_gamma(5.0 / 3.0)
+    };
+    check_bitwise(&s, PatchGeom::rect([16, 12], [0.0; 2], [1.0; 2], 3), &wavy);
+}
+
+#[test]
+fn region_tiling_leaves_rates_intact() {
+    // Tiling the interior (as the work-stealing gang does) must leave the
+    // rate bank bitwise identical to the single-region sweep: every
+    // cell's dimension-sum completes inside its own tile.
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    let geom = PatchGeom::rect([20, 14], [0.0; 2], [1.0; 2], 3);
+    let prim = prepared(&s, geom, &wavy);
+    let whole = Region::interior(&geom);
+    let single = scanned_rates(&s, &prim, &[whole]);
+    let mid = whole.lo[0] + (whole.hi[0] - whole.lo[0]) / 2;
+    let left = Region {
+        lo: whole.lo,
+        hi: [mid, whole.hi[1], whole.hi[2]],
+    };
+    let right = Region {
+        lo: [mid, whole.lo[1], whole.lo[2]],
+        hi: whole.hi,
+    };
+    let tiled = scanned_rates(&s, &prim, &[left, right]);
+    for (i, (a, b)) in single.iter().zip(&tiled).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "rate mismatch at flat index {i}");
+    }
+    assert_eq!(
+        dt_from_rates(0.4, &single).to_bits(),
+        dt_from_rates(0.4, &tiled).to_bits()
+    );
+}

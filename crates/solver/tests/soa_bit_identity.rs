@@ -1,0 +1,118 @@
+//! Golden bit-identity pins for the SoA hot-loop refactor.
+//!
+//! The fused structure-of-arrays kernels (pencil scratch reuse, fused
+//! HLLC interface kernel, fused wave-speed scan, component-major RK
+//! combines) must reproduce the pre-refactor floating-point behaviour
+//! **exactly** on the scalar path. These constants were recorded from
+//! the AoS `Cons`/`Prim` implementation immediately before the refactor;
+//! any deviation means a kernel rewrite altered an expression tree.
+//!
+//! The checksum folds every `f64` bit pattern of the output with a
+//! rotate-xor so a single-ULP change anywhere flips the digest.
+
+use rhrsc_grid::{bc, fill_ghosts, Bc, Field, PatchGeom};
+use rhrsc_solver::scheme::{init_cons, recover_prims};
+use rhrsc_solver::step::compute_rhs;
+use rhrsc_solver::{PatchSolver, RkOrder, Scheme};
+use rhrsc_srhd::recon::Recon;
+use rhrsc_srhd::Prim;
+
+/// Rotate-xor digest over the raw IEEE-754 bit patterns of a field.
+fn digest(raw: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in raw {
+        h = h.rotate_left(7) ^ v.to_bits();
+    }
+    h
+}
+
+fn smooth_2d(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.3 * (6.0 * x[0]).sin() * (4.0 * x[1]).cos(),
+        vel: [0.2 * (3.0 * x[1]).sin(), -0.3 * (5.0 * x[0]).cos(), 0.0],
+        p: 1.0 + 0.1 * (5.0 * x[1]).sin() * (2.0 * x[0]).cos(),
+    }
+}
+
+fn smooth_3d(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.3 * (7.0 * x[0] + 3.0 * x[1]).sin() * (2.0 * x[2]).cos(),
+        vel: [0.3 * (4.0 * x[1]).sin(), -0.2, 0.1 * (3.0 * x[0]).cos()],
+        p: 1.0 + 0.2 * (3.0 * x[2]).cos(),
+    }
+}
+
+/// Residual digest for one scheme/geometry/IC combination on the scalar
+/// (poolless) path.
+fn rhs_digest(s: &Scheme, geom: PatchGeom, ic: &dyn Fn([f64; 3]) -> Prim) -> u64 {
+    let mut u = init_cons(geom, &s.eos, ic);
+    fill_ghosts(&mut u, &bc::uniform(Bc::Periodic));
+    let mut prim = Field::new(geom, 5);
+    recover_prims(s, &u, &mut prim).unwrap();
+    let mut rhs = Field::cons(geom);
+    compute_rhs(s, &prim, &mut rhs, None);
+    digest(rhs.raw())
+}
+
+#[test]
+fn rhs_ppm_hllc_2d_golden() {
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    let geom = PatchGeom::rect([16, 12], [0.0; 2], [1.0; 2], 3);
+    assert_eq!(
+        rhs_digest(&s, geom, &smooth_2d),
+        GOLD_RHS_PPM_HLLC_2D,
+        "PPM+HLLC 2D residual bits drifted"
+    );
+}
+
+#[test]
+fn rhs_ppm_hllc_3d_golden() {
+    // Covers the strided d=1/d=2 pencil gather paths.
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    let geom = PatchGeom::cube([10, 8, 6], [0.0; 3], [1.0; 3], 3);
+    assert_eq!(
+        rhs_digest(&s, geom, &smooth_3d),
+        GOLD_RHS_PPM_HLLC_3D,
+        "PPM+HLLC 3D residual bits drifted"
+    );
+}
+
+#[test]
+fn rhs_weno5_hll_2d_golden() {
+    // A second recon/Riemann pair so the non-HLLC dispatch path is pinned
+    // too.
+    let s = Scheme {
+        recon: Recon::Weno5,
+        riemann: rhrsc_srhd::riemann::RiemannSolver::Hll,
+        ..Scheme::default_with_gamma(5.0 / 3.0)
+    };
+    let geom = PatchGeom::rect([12, 10], [0.0; 2], [1.0; 2], 3);
+    assert_eq!(
+        rhs_digest(&s, geom, &smooth_2d),
+        GOLD_RHS_WENO5_HLL_2D,
+        "WENO5+HLL 2D residual bits drifted"
+    );
+}
+
+#[test]
+fn patch_advance_2d_golden() {
+    // Full RK2 advance through PatchSolver: pins the fused Δt scan,
+    // sanitize-in-place, and component-major combines end to end.
+    let s = Scheme::default_with_gamma(5.0 / 3.0);
+    let geom = PatchGeom::rect([16, 12], [0.0; 2], [1.0; 2], 3);
+    let mut u = init_cons(geom, &s.eos, &smooth_2d);
+    fill_ghosts(&mut u, &bc::uniform(Bc::Periodic));
+    let mut solver = PatchSolver::new(s, bc::uniform(Bc::Periodic), RkOrder::Rk2, geom);
+    solver.advance_to(&mut u, 0.0, 0.05, 0.4, None).unwrap();
+    assert_eq!(
+        digest(u.raw()),
+        GOLD_PATCH_ADVANCE_2D,
+        "RK2 patch advance bits drifted"
+    );
+}
+
+// Recorded from the pre-refactor AoS implementation (see module docs).
+const GOLD_RHS_PPM_HLLC_2D: u64 = 13870554578895400533;
+const GOLD_RHS_PPM_HLLC_3D: u64 = 4489079224270625668;
+const GOLD_RHS_WENO5_HLL_2D: u64 = 7171657146777795118;
+const GOLD_PATCH_ADVANCE_2D: u64 = 6270256117186819669;
