@@ -5,7 +5,9 @@
 //! non-positive phase totals, claims more phase time than
 //! `wall_time × parallelism` allows, or — for the fault-tolerance and
 //! AMR benches — is missing the counters that prove the corresponding
-//! machinery actually engaged. Standardized physics benches must also
+//! machinery actually engaged. The multi-level checkpoint bench (f14)
+//! must additionally report `sdc.undetected` exactly zero: one missed
+//! flip is a correctness failure of the scrubbing subsystem. Standardized physics benches must also
 //! report a positive `zone_updates` cost figure; the scaling benches
 //! (f4/f5) must report `zone_updates_per_sec`, and their `--toy` runs
 //! are held to a throughput floor of 80% of the committed baseline so
@@ -45,7 +47,22 @@ const REQUIRED_COUNTERS: &[(&str, &[&str])] = &[
             "amr.dist.shrinks",
         ],
     ),
+    (
+        "f14_multilevel_ckp",
+        &[
+            "sdc.detected",
+            "sdc.scrubs",
+            "ckp.tier.local.restore",
+            "ckp.tier.buddy.restore",
+        ],
+    ),
 ];
+
+/// Counters that must be present *and exactly zero* for a given bench id
+/// — f14's SDC arm counts every injected flip the ABFT verify missed; a
+/// single undetected flip is a correctness failure of the scrubbing
+/// subsystem, and an absent counter means the accounting never ran.
+const REQUIRED_ZERO_COUNTERS: &[(&str, &[&str])] = &[("f14_multilevel_ckp", &["sdc.undetected"])];
 
 /// Bench ids whose reports must state the rank count they ran on via an
 /// explicit `parallelism` field matching the bench's published
@@ -55,6 +72,7 @@ const REQUIRED_PARALLELISM: &[(&str, f64)] = &[
     ("f11_rank_failure", 4.0),
     ("f12_amr", 1.0),
     ("f13_distributed_amr", 4.0),
+    ("f14_multilevel_ckp", 4.0),
 ];
 
 /// Bench ids whose reports must carry a positive `zone_updates` figure —
@@ -168,6 +186,20 @@ fn check_required_counters(doc: &Json) -> Result<(), String> {
             .ok_or(format!("`{id}` must report its rank count as parallelism"))?;
         if p != *want {
             return Err(format!("`{id}` must report parallelism = {want}, got {p}"));
+        }
+    }
+    if let Some((_, required)) = REQUIRED_ZERO_COUNTERS.iter().find(|(k, _)| *k == id) {
+        let counters = doc
+            .get("counters")
+            .ok_or("missing key `counters`".to_string())?;
+        for name in *required {
+            let v = counters
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("required zero-counter `{name}` missing"))?;
+            if v != 0.0 {
+                return Err(format!("counter `{name}` must be exactly 0, got {v}"));
+            }
         }
     }
     let Some((_, required)) = REQUIRED_COUNTERS.iter().find(|(k, _)| *k == id) else {

@@ -18,6 +18,7 @@ pub mod rank;
 
 pub use rank::{
     run, run_with_faults, CommError, LivenessStats, NetworkModel, Rank, AMR_DESCEND_TAG_BASE,
-    AMR_REFLUX_TAG_BASE, AMR_REGRID_TAG, AMR_SYNC_TAG_BASE, SUSPECT_FLAG,
+    AMR_REFLUX_TAG_BASE, AMR_REGRID_TAG, AMR_SYNC_TAG_BASE, BUDDY_CKP_TAG, BUDDY_RESTORE_TAG,
+    BUDDY_SHRINK_TAG, SUSPECT_FLAG,
 };
 pub use rhrsc_runtime::fault::{FaultInjector, FaultPlan, FaultStats};

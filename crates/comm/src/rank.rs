@@ -64,6 +64,23 @@ pub const AMR_SYNC_TAG_BASE: u64 = 24;
 /// Tag of the distributed-AMR regrid allgather (still halo class).
 pub const AMR_REGRID_TAG: u64 = 32;
 
+/// Diskless-checkpoint tag block. These carry frozen snapshot buffers
+/// between buddy ranks and ride the *data* class (`>= 64`): the payloads
+/// are FNV-stamped end to end by the snapshot layer itself, so the
+/// halo-class CRC trailer + retransmit machinery would only duplicate
+/// that armor (and fault-injected truncation of a checkpoint replica is a
+/// scrub-layer concern, not a link-layer one).
+///
+/// Tag of the steady-state buddy replica exchange (each rank ships its
+/// freshly captured local snapshot to its guardian).
+pub const BUDDY_CKP_TAG: u64 = 1100;
+/// Tag on which a guardian ships a replica back to a rank (or a shrink
+/// root) that lost its own tiers.
+pub const BUDDY_RESTORE_TAG: u64 = 1101;
+/// Tag of the shrink-path replica collection and redistribution (buddy
+/// restore of *dead* ranks' state onto the survivor decomposition).
+pub const BUDDY_SHRINK_TAG: u64 = 1102;
+
 /// Errors from the deadline-aware receive paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommError {

@@ -53,6 +53,17 @@ pub enum CheckpointError {
     Format(String),
     /// Data-section checksum mismatch (truncated/corrupted file).
     Corrupt,
+    /// Both slots of a rotating store were unusable. Carries each slot's
+    /// own failure so the operator can tell "no checkpoint was ever
+    /// written" (two `Io` not-found errors) from "both generations
+    /// rotted" (`Corrupt`/`Format`) — the old fallback discarded the
+    /// `latest` error and reported only whatever happened to `prev`.
+    Slots {
+        /// Why the `latest` slot could not be loaded.
+        latest: Box<CheckpointError>,
+        /// Why the `prev` slot could not be loaded either.
+        prev: Box<CheckpointError>,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -61,6 +72,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             CheckpointError::Format(m) => write!(f, "bad checkpoint format: {m}"),
             CheckpointError::Corrupt => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::Slots { latest, prev } => write!(
+                f,
+                "both checkpoint slots unusable: latest slot: {latest}; prev slot: {prev}"
+            ),
         }
     }
 }
@@ -128,8 +143,55 @@ pub fn encode(ckp: &Checkpoint) -> Vec<u8> {
     buf.to_vec()
 }
 
+/// Integrity passes a decoder runs before trusting the bytes.
+///
+/// * [`Checks::Full`] — bitwise whole-file CRC-32 plus the payload FNV:
+///   the disk tier, where torn writes and media rot are real.
+/// * [`Checks::SkipCrc`] — payload FNV only: buffers that never crossed
+///   a device boundary but whose provenance is not re-verified.
+/// * [`Checks::Trusted`] — pure parsing: the caller has just re-hashed
+///   the *entire* buffer against an external stamp (e.g.
+///   [`crate::MemorySnapshot::verify`], which covers every byte
+///   including the header — strictly stronger than the payload FNV), so
+///   either armor pass would verify the same bits twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Checks {
+    Full,
+    SkipCrc,
+    Trusted,
+}
+
+/// Parse `len` little-endian f64s in one pass. `chunks_exact` lets the
+/// compiler hoist the per-element bounds checks out of the loop — this is
+/// the bulk of a decode once the CRC is skipped, so the memory-restore
+/// tier's latency is essentially this loop plus one FNV pass. The caller
+/// must have length-checked `bytes` already.
+fn get_f64_payload(bytes: &mut &[u8], len: usize) -> Vec<f64> {
+    let (head, rest) = bytes.split_at(len * 8);
+    let data = head
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    *bytes = rest;
+    data
+}
+
 /// Deserialize a checkpoint from bytes.
 pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    decode_with(bytes, true)
+}
+
+/// Deserialize a checkpoint from bytes, skipping the bitwise whole-file
+/// CRC-32 (the FNV data checksum still runs). For buffers that never
+/// crossed a device boundary: the CRC is the disk tier's armor against
+/// torn writes and media rot, and by far the slowest part of a decode.
+/// The in-memory checkpoint tiers go one step further — see the
+/// `decode_*_trusted` variants.
+pub fn decode_fast(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    decode_with(bytes, false)
+}
+
+fn decode_with(bytes: &[u8], check_crc: bool) -> Result<Checkpoint, CheckpointError> {
     let orig = bytes;
     let mut bytes = bytes;
     if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
@@ -172,22 +234,21 @@ pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     }
     // Whole-file CRC first: catches header corruption the per-section FNV
     // checksum cannot see.
-    let footer_off = orig.len() - 4;
-    let stored = u32::from_le_bytes([
-        orig[footer_off],
-        orig[footer_off + 1],
-        orig[footer_off + 2],
-        orig[footer_off + 3],
-    ]);
-    if crc32(&orig[..footer_off]) != stored {
-        return Err(CheckpointError::Corrupt);
+    if check_crc {
+        let footer_off = orig.len() - 4;
+        let stored = u32::from_le_bytes([
+            orig[footer_off],
+            orig[footer_off + 1],
+            orig[footer_off + 2],
+            orig[footer_off + 3],
+        ]);
+        if crc32(&orig[..footer_off]) != stored {
+            return Err(CheckpointError::Corrupt);
+        }
     }
     let data_bytes = &bytes[..len * 8];
     let crc_expected = fnv1a(data_bytes);
-    let mut data = Vec::with_capacity(len);
-    for _ in 0..len {
-        data.push(bytes.get_f64_le());
-    }
+    let data = get_f64_payload(&mut bytes, len);
     let crc = bytes.get_u64_le();
     if crc != crc_expected {
         return Err(CheckpointError::Corrupt);
@@ -318,6 +379,28 @@ pub fn encode_global(ckp: &GlobalCheckpoint) -> Vec<u8> {
 
 /// Deserialize a global checkpoint from bytes.
 pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> {
+    decode_global_with(bytes, Checks::Full)
+}
+
+/// Like [`decode_global`] but without the bitwise whole-file CRC-32 —
+/// see [`decode_fast`] for when that is sound.
+pub fn decode_global_fast(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> {
+    decode_global_with(bytes, Checks::SkipCrc)
+}
+
+/// Like [`decode_global`] but with *both* integrity passes (CRC-32 and
+/// the payload FNV) skipped: pure parsing. Sound **only** when the caller
+/// has just re-hashed the entire byte buffer against an external stamp —
+/// [`crate::MemorySnapshot::verify`] covers every byte including the
+/// header, which is strictly stronger than the payload FNV — so running
+/// either armor pass again would verify the same bits twice. This is
+/// what makes the diskless restore tier cheap: one FNV pass plus
+/// parsing, against the disk tier's read + FNV + bitwise CRC.
+pub fn decode_global_trusted(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> {
+    decode_global_with(bytes, Checks::Trusted)
+}
+
+fn decode_global_with(bytes: &[u8], checks: Checks) -> Result<GlobalCheckpoint, CheckpointError> {
     let orig = bytes;
     let mut bytes = bytes;
     if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
@@ -334,15 +417,17 @@ pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> 
         return Err(CheckpointError::Format("truncated header".into()));
     }
     // Whole-file CRC first: a bit flip anywhere is fatal to a restart.
-    let footer_off = orig.len() - 4;
-    let stored = u32::from_le_bytes([
-        orig[footer_off],
-        orig[footer_off + 1],
-        orig[footer_off + 2],
-        orig[footer_off + 3],
-    ]);
-    if crc32(&orig[..footer_off]) != stored {
-        return Err(CheckpointError::Corrupt);
+    if checks == Checks::Full {
+        let footer_off = orig.len() - 4;
+        let stored = u32::from_le_bytes([
+            orig[footer_off],
+            orig[footer_off + 1],
+            orig[footer_off + 2],
+            orig[footer_off + 3],
+        ]);
+        if crc32(&orig[..footer_off]) != stored {
+            return Err(CheckpointError::Corrupt);
+        }
     }
     let time = bytes.get_f64_le();
     let step = bytes.get_u64_le();
@@ -353,7 +438,7 @@ pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> 
     let ncomp = bytes.get_u64_le() as usize;
     let nblocks = bytes.get_u64_le() as usize;
     let data_len = bytes.remaining().saturating_sub(8 + 4);
-    let fnv_expected = fnv1a(&bytes[..data_len]);
+    let fnv_expected = (checks != Checks::Trusted).then(|| fnv1a(&bytes[..data_len]));
     let mut blocks = Vec::with_capacity(nblocks.min(4096));
     for _ in 0..nblocks {
         if bytes.remaining() < 56 + 8 + 4 {
@@ -376,10 +461,7 @@ pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> 
         if bytes.remaining() < len * 8 + 8 + 4 {
             return Err(CheckpointError::Format("truncated block data".into()));
         }
-        let mut data = Vec::with_capacity(len);
-        for _ in 0..len {
-            data.push(bytes.get_f64_le());
-        }
+        let data = get_f64_payload(&mut bytes, len);
         blocks.push(BlockRecord {
             id,
             offset,
@@ -390,7 +472,8 @@ pub fn decode_global(bytes: &[u8]) -> Result<GlobalCheckpoint, CheckpointError> 
     if bytes.remaining() != 8 + 4 {
         return Err(CheckpointError::Format("trailing bytes".into()));
     }
-    if fnv_expected != bytes.get_u64_le() {
+    let fnv_stored = bytes.get_u64_le();
+    if fnv_expected.is_some_and(|f| f != fnv_stored) {
         return Err(CheckpointError::Corrupt);
     }
     Ok(GlobalCheckpoint {
@@ -464,6 +547,23 @@ pub fn encode_amr(ckp: &AmrCheckpoint) -> Vec<u8> {
 
 /// Deserialize an AMR checkpoint from bytes.
 pub fn decode_amr(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
+    decode_amr_with(bytes, Checks::Full)
+}
+
+/// Like [`decode_amr`] but without the bitwise whole-file CRC-32 —
+/// see [`decode_fast`] for when that is sound.
+pub fn decode_amr_fast(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
+    decode_amr_with(bytes, Checks::SkipCrc)
+}
+
+/// Like [`decode_amr`] but with no integrity passes at all — sound only
+/// when the caller has *just* verified the whole buffer against an
+/// external stamp; see [`decode_global_trusted`].
+pub fn decode_amr_trusted(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
+    decode_amr_with(bytes, Checks::Trusted)
+}
+
+fn decode_amr_with(bytes: &[u8], checks: Checks) -> Result<AmrCheckpoint, CheckpointError> {
     let orig = bytes;
     let mut bytes = bytes;
     if bytes.len() < 8 + 4 || &bytes[..8] != MAGIC {
@@ -480,15 +580,17 @@ pub fn decode_amr(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
         return Err(CheckpointError::Format("truncated header".into()));
     }
     // Whole-file CRC first: a bit flip anywhere is fatal to a restart.
-    let footer_off = orig.len() - 4;
-    let stored = u32::from_le_bytes([
-        orig[footer_off],
-        orig[footer_off + 1],
-        orig[footer_off + 2],
-        orig[footer_off + 3],
-    ]);
-    if crc32(&orig[..footer_off]) != stored {
-        return Err(CheckpointError::Corrupt);
+    if checks == Checks::Full {
+        let footer_off = orig.len() - 4;
+        let stored = u32::from_le_bytes([
+            orig[footer_off],
+            orig[footer_off + 1],
+            orig[footer_off + 2],
+            orig[footer_off + 3],
+        ]);
+        if crc32(&orig[..footer_off]) != stored {
+            return Err(CheckpointError::Corrupt);
+        }
     }
     let time = bytes.get_f64_le();
     let step = bytes.get_u64_le();
@@ -496,7 +598,7 @@ pub fn decode_amr(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
     let ncomp = bytes.get_u64_le() as usize;
     let npatches = bytes.get_u64_le() as usize;
     let data_len = bytes.remaining().saturating_sub(8 + 4);
-    let fnv_expected = fnv1a(&bytes[..data_len]);
+    let fnv_expected = (checks != Checks::Trusted).then(|| fnv1a(&bytes[..data_len]));
     let mut patches = Vec::with_capacity(npatches.min(4096));
     for _ in 0..npatches {
         if bytes.remaining() < 20 + 8 + 4 {
@@ -511,16 +613,14 @@ pub fn decode_amr(bytes: &[u8]) -> Result<AmrCheckpoint, CheckpointError> {
         if bytes.remaining() < len * 8 + 8 + 4 {
             return Err(CheckpointError::Format("truncated patch data".into()));
         }
-        let mut data = Vec::with_capacity(len);
-        for _ in 0..len {
-            data.push(bytes.get_f64_le());
-        }
+        let data = get_f64_payload(&mut bytes, len);
         patches.push(AmrPatchRecord { level, lo, n, data });
     }
     if bytes.remaining() != 8 + 4 {
         return Err(CheckpointError::Format("trailing bytes".into()));
     }
-    if fnv_expected != bytes.get_u64_le() {
+    let fnv_stored = bytes.get_u64_le();
+    if fnv_expected.is_some_and(|f| f != fnv_stored) {
         return Err(CheckpointError::Corrupt);
     }
     Ok(AmrCheckpoint {
@@ -542,6 +642,7 @@ pub fn save_amr_checkpoint(path: &Path, ckp: &AmrCheckpoint) -> Result<(), Check
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    fsync_parent_dir(path)?;
     Ok(())
 }
 
@@ -562,6 +663,7 @@ pub fn save_global_checkpoint(path: &Path, ckp: &GlobalCheckpoint) -> Result<(),
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    fsync_parent_dir(path)?;
     Ok(())
 }
 
@@ -579,6 +681,26 @@ fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// Fsync the directory containing `path`, making renames into it durable.
+///
+/// `rename` only updates directory entries; until the directory inode
+/// itself is flushed, a crash can lose *both* the slot rotation and the
+/// freshly renamed checkpoint even though the file data was fsynced. One
+/// directory fsync after the final rename commits every rename performed
+/// in that directory. Platforms where directories cannot be opened for
+/// sync are tolerated (the open error is swallowed); an actual sync
+/// failure on an opened directory is reported.
+fn fsync_parent_dir(path: &Path) -> Result<(), CheckpointError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match std::fs::File::open(parent) {
+        Ok(d) => d.sync_all().map_err(CheckpointError::from),
+        Err(_) => Ok(()),
+    }
+}
+
 /// Write a checkpoint file atomically.
 ///
 /// The payload goes to a sibling `<path>.tmp`, is fsynced, and renamed
@@ -593,6 +715,7 @@ pub fn save_checkpoint(path: &Path, ckp: &Checkpoint) -> Result<(), CheckpointEr
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    fsync_parent_dir(path)?;
     Ok(())
 }
 
@@ -641,8 +764,8 @@ impl CheckpointSlots {
     }
 
     /// Load the newest valid checkpoint: `latest` if it decodes cleanly,
-    /// otherwise `prev`. Returns the last error if both slots are missing
-    /// or corrupt.
+    /// otherwise `prev`. When both slots are missing or corrupt the
+    /// returned [`CheckpointError::Slots`] carries *both* per-slot errors.
     pub fn load_newest(&self) -> Result<Checkpoint, CheckpointError> {
         self.load_newest_with_fallback().map(|(ckp, _)| ckp)
     }
@@ -653,14 +776,19 @@ impl CheckpointSlots {
     pub fn load_newest_with_fallback(&self) -> Result<(Checkpoint, bool), CheckpointError> {
         match load_checkpoint(&self.latest_path()) {
             Ok(ckp) => Ok((ckp, false)),
-            Err(err) => {
-                let ckp = load_checkpoint(&self.prev_path())?;
-                eprintln!(
-                    "checkpoint: latest slot unusable ({err}), fell back to {}",
-                    self.prev_path().display()
-                );
-                Ok((ckp, true))
-            }
+            Err(latest_err) => match load_checkpoint(&self.prev_path()) {
+                Ok(ckp) => {
+                    eprintln!(
+                        "checkpoint: latest slot unusable ({latest_err}), fell back to {}",
+                        self.prev_path().display()
+                    );
+                    Ok((ckp, true))
+                }
+                Err(prev_err) => Err(CheckpointError::Slots {
+                    latest: Box::new(latest_err),
+                    prev: Box::new(prev_err),
+                }),
+            },
         }
     }
 
@@ -688,14 +816,19 @@ impl CheckpointSlots {
     pub fn load_newest_global(&self) -> Result<(GlobalCheckpoint, bool), CheckpointError> {
         match load_global_checkpoint(&self.global_latest_path()) {
             Ok(ckp) => Ok((ckp, false)),
-            Err(err) => {
-                let ckp = load_global_checkpoint(&self.global_prev_path())?;
-                eprintln!(
-                    "checkpoint: global latest slot unusable ({err}), fell back to {}",
-                    self.global_prev_path().display()
-                );
-                Ok((ckp, true))
-            }
+            Err(latest_err) => match load_global_checkpoint(&self.global_prev_path()) {
+                Ok(ckp) => {
+                    eprintln!(
+                        "checkpoint: global latest slot unusable ({latest_err}), fell back to {}",
+                        self.global_prev_path().display()
+                    );
+                    Ok((ckp, true))
+                }
+                Err(prev_err) => Err(CheckpointError::Slots {
+                    latest: Box::new(latest_err),
+                    prev: Box::new(prev_err),
+                }),
+            },
         }
     }
 
@@ -724,14 +857,19 @@ impl CheckpointSlots {
     pub fn load_newest_amr(&self) -> Result<(AmrCheckpoint, bool), CheckpointError> {
         match load_amr_checkpoint(&self.amr_latest_path()) {
             Ok(ckp) => Ok((ckp, false)),
-            Err(err) => {
-                let ckp = load_amr_checkpoint(&self.amr_prev_path())?;
-                eprintln!(
-                    "checkpoint: AMR latest slot unusable ({err}), fell back to {}",
-                    self.amr_prev_path().display()
-                );
-                Ok((ckp, true))
-            }
+            Err(latest_err) => match load_amr_checkpoint(&self.amr_prev_path()) {
+                Ok(ckp) => {
+                    eprintln!(
+                        "checkpoint: AMR latest slot unusable ({latest_err}), fell back to {}",
+                        self.amr_prev_path().display()
+                    );
+                    Ok((ckp, true))
+                }
+                Err(prev_err) => Err(CheckpointError::Slots {
+                    latest: Box::new(latest_err),
+                    prev: Box::new(prev_err),
+                }),
+            },
         }
     }
 }
@@ -1128,5 +1266,99 @@ mod tests {
         assert_eq!((got.step, fell_back), (1, true));
         assert_eq!(got, a);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn both_slots_failing_surfaces_both_errors() {
+        let dir = std::env::temp_dir().join("rhrsc-ckp-both-slots-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let slots = CheckpointSlots::new(&dir).unwrap();
+
+        // Empty directory: both slots are missing → two Io errors, each
+        // attributed to its slot.
+        match slots.load_newest() {
+            Err(CheckpointError::Slots { latest, prev }) => {
+                assert!(matches!(*latest, CheckpointError::Io(_)));
+                assert!(matches!(*prev, CheckpointError::Io(_)));
+            }
+            other => panic!("expected Slots error, got {other:?}"),
+        }
+
+        // Corrupt latest + missing prev: the error classes differ and both
+        // must survive into the combined error (and its message).
+        let ckp = sample();
+        slots.save(&ckp).unwrap();
+        let mut bytes = std::fs::read(slots.latest_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(slots.latest_path(), &bytes).unwrap();
+        match slots.load_newest() {
+            Err(err @ CheckpointError::Slots { .. }) => {
+                let msg = format!("{err}");
+                assert!(msg.contains("latest slot"), "message was: {msg}");
+                assert!(msg.contains("prev slot"), "message was: {msg}");
+                if let CheckpointError::Slots { latest, prev } = err {
+                    assert!(matches!(*latest, CheckpointError::Corrupt));
+                    assert!(matches!(*prev, CheckpointError::Io(_)));
+                }
+            }
+            other => panic!("expected Slots error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fast_decoders_match_full_decoders_on_clean_bytes() {
+        let ckp = sample();
+        let bytes = encode(&ckp);
+        assert_eq!(decode_fast(&bytes).unwrap(), decode(&bytes).unwrap());
+
+        let g = sample_global();
+        let gb = encode_global(&g);
+        assert_eq!(
+            decode_global_fast(&gb).unwrap(),
+            decode_global(&gb).unwrap()
+        );
+
+        let a = sample_amr();
+        let ab = encode_amr(&a);
+        assert_eq!(decode_amr_fast(&ab).unwrap(), decode_amr(&ab).unwrap());
+    }
+
+    #[test]
+    fn fast_decoders_still_reject_payload_corruption_via_fnv() {
+        // decode_fast skips only the whole-file CRC-32; the per-section
+        // FNV still guards the payload, so a flipped data byte is caught.
+        let g = sample_global();
+        let mut gb = encode_global(&g);
+        let mid = gb.len() / 2;
+        gb[mid] ^= 0x01;
+        assert!(matches!(
+            decode_global_fast(&gb),
+            Err(CheckpointError::Corrupt)
+        ));
+
+        let a = sample_amr();
+        let mut ab = encode_amr(&a);
+        let mid = ab.len() / 2;
+        ab[mid] ^= 0x01;
+        assert!(matches!(
+            decode_amr_fast(&ab),
+            Err(CheckpointError::Corrupt)
+        ));
+    }
+
+    #[test]
+    fn trusted_decoders_match_full_decoders_on_clean_bytes() {
+        let g = sample_global();
+        let gb = encode_global(&g);
+        assert_eq!(
+            decode_global_trusted(&gb).unwrap(),
+            decode_global(&gb).unwrap()
+        );
+
+        let a = sample_amr();
+        let ab = encode_amr(&a);
+        assert_eq!(decode_amr_trusted(&ab).unwrap(), decode_amr(&ab).unwrap());
     }
 }

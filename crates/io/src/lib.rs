@@ -7,13 +7,18 @@
 //! * [`checkpoint`] — versioned little-endian binary checkpoints of the
 //!   solver state (time, step, conserved field) with exact round-trip:
 //!   a restarted run continues **bit-identically** (asserted by the
-//!   integration tests).
+//!   integration tests),
+//! * [`snapshot`] — the diskless checkpoint tiers: FNV-stamped in-memory
+//!   snapshot buffers (local + buddy replica) and ABFT state checksums
+//!   for silent-data-corruption scrubbing.
 
 pub mod checkpoint;
 pub mod image;
+pub mod snapshot;
 pub mod vtk;
 
 pub use checkpoint::{
     load_amr_checkpoint, load_checkpoint, save_amr_checkpoint, save_checkpoint, AmrCheckpoint,
     AmrPatchRecord, Checkpoint, CheckpointError, CheckpointSlots,
 };
+pub use snapshot::{MemorySnapshot, StateChecksum};

@@ -30,6 +30,23 @@ pub enum RankSite {
     Regrid,
 }
 
+/// Which in-memory snapshot tier a scheduled bit flip targets.
+///
+/// The multi-level checkpoint stack keeps two frozen buffers per rank —
+/// its own local snapshot (L1) and a buddy replica of a partner rank's
+/// snapshot (L2). Rotting them selectively lets tests walk the recovery
+/// ladder tier by tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotTarget {
+    /// The rank's own local snapshot buffer.
+    #[default]
+    Local,
+    /// The buddy replica held for a partner rank.
+    Buddy,
+    /// Both tiers (each probe of either tier may fire).
+    Both,
+}
+
 /// What to inject, and how often. All probabilities are per opportunity
 /// (per message, per launch, per copy, per step) in `[0, 1]`.
 #[derive(Debug, Clone)]
@@ -63,6 +80,16 @@ pub struct FaultPlan {
     /// Window where the straggler's slowdown applies (`Step` = everywhere,
     /// matching the historical behaviour).
     pub stall_site: RankSite,
+    /// Probability per step that one bit of the evolved conserved state
+    /// flips silently (SDC — the flip passes through con2prim unnoticed;
+    /// only the ABFT scrub can catch it).
+    pub bitflip_prob: f64,
+    /// Probability per scrub opportunity that one bit of a frozen
+    /// in-memory snapshot buffer flips (models memory rot in the diskless
+    /// checkpoint tiers).
+    pub snapshot_bitflip_prob: f64,
+    /// Which snapshot tier [`FaultPlan::snapshot_bitflip_prob`] targets.
+    pub snapshot_flip_target: SnapshotTarget,
 }
 
 impl FaultPlan {
@@ -82,6 +109,9 @@ impl FaultPlan {
             stall_rank: None,
             stall_factor: 1.0,
             stall_site: RankSite::Step,
+            bitflip_prob: 0.0,
+            snapshot_bitflip_prob: 0.0,
+            snapshot_flip_target: SnapshotTarget::Local,
         }
     }
 
@@ -94,6 +124,8 @@ impl FaultPlan {
             || self.cell_poison_prob > 0.0
             || self.crash_rank.is_some()
             || (self.stall_rank.is_some() && self.stall_factor != 1.0)
+            || self.bitflip_prob > 0.0
+            || self.snapshot_bitflip_prob > 0.0
     }
 }
 
@@ -114,6 +146,10 @@ pub struct FaultStats {
     pub ranks_crashed: u64,
     /// Stall multipliers applied to straggler work/comm sections.
     pub stall_events: u64,
+    /// Silent bit flips injected into live conserved state.
+    pub bits_flipped: u64,
+    /// Bit flips injected into frozen in-memory snapshot buffers.
+    pub snapshot_bits_flipped: u64,
 }
 
 /// Independent draw sites, so adding one fault class never perturbs the
@@ -126,9 +162,11 @@ enum Site {
     Copy = 3,
     Poison = 4,
     Retry = 5,
+    BitFlip = 6,
+    SnapshotFlip = 7,
 }
 
-const NSITES: usize = 6;
+const NSITES: usize = 8;
 
 /// Thread-safe deterministic fault source. Each holder (rank, device)
 /// gets its own injector salted by its identity; draws advance a per-site
@@ -146,6 +184,8 @@ pub struct FaultInjector {
     poisoned: AtomicU64,
     crashed: AtomicU64,
     stalled: AtomicU64,
+    flipped: AtomicU64,
+    snapshot_flipped: AtomicU64,
 }
 
 /// splitmix64: cheap, high-quality 64-bit mixing.
@@ -171,6 +211,8 @@ impl FaultInjector {
             poisoned: AtomicU64::new(0),
             crashed: AtomicU64::new(0),
             stalled: AtomicU64::new(0),
+            flipped: AtomicU64::new(0),
+            snapshot_flipped: AtomicU64::new(0),
         }
     }
 
@@ -254,6 +296,43 @@ impl FaultInjector {
         }
     }
 
+    /// Should one bit of the evolved conserved state flip this step?
+    /// Returns a deterministic 64-bit selector the caller reduces to a
+    /// victim (element, bit) pair. Unlike [`should_poison_cell`], the
+    /// flipped value is *not* non-finite or out of range in general — it
+    /// models SDC that con2prim cannot see, so only an ABFT checksum
+    /// comparison against the last committed stamp detects it.
+    ///
+    /// [`should_poison_cell`]: FaultInjector::should_poison_cell
+    pub fn should_flip_bit(&self) -> Option<u64> {
+        let v = self.draw(Site::BitFlip);
+        if v < self.plan.bitflip_prob {
+            self.flipped.fetch_add(1, Ordering::Relaxed);
+            Some(splitmix64((v.to_bits()).wrapping_add(self.salt)))
+        } else {
+            None
+        }
+    }
+
+    /// Should a frozen in-memory snapshot buffer of `tier` rot? Only
+    /// fires when the plan's [`FaultPlan::snapshot_flip_target`] covers
+    /// `tier` ([`SnapshotTarget::Both`] covers either); probes for
+    /// non-targeted tiers still consume a draw so the stream position is
+    /// a pure function of the probe count, not of the configured target.
+    pub fn should_flip_snapshot_bit(&self, tier: SnapshotTarget) -> Option<u64> {
+        let v = self.draw(Site::SnapshotFlip);
+        let targeted = self.plan.snapshot_flip_target == SnapshotTarget::Both
+            || self.plan.snapshot_flip_target == tier;
+        if targeted && v < self.plan.snapshot_bitflip_prob {
+            self.snapshot_flipped.fetch_add(1, Ordering::Relaxed);
+            Some(splitmix64(
+                (v.to_bits()).wrapping_add(self.salt.rotate_left(17)),
+            ))
+        } else {
+            None
+        }
+    }
+
     /// Should `rank` crash at `step`? Rank-level faults are *scheduled*
     /// rather than probabilistic — "rank r dies at step s" — so the
     /// predicate is a pure function of the plan and consumes no draws
@@ -316,6 +395,8 @@ impl FaultInjector {
             cells_poisoned: self.poisoned.load(Ordering::Relaxed),
             ranks_crashed: self.crashed.load(Ordering::Relaxed),
             stall_events: self.stalled.load(Ordering::Relaxed),
+            bits_flipped: self.flipped.load(Ordering::Relaxed),
+            snapshot_bits_flipped: self.snapshot_flipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -504,6 +585,77 @@ mod tests {
             assert_eq!(a.should_truncate_msg(), b.should_truncate_msg());
             assert_eq!(a.should_fail_launch(), b.should_fail_launch());
         }
+    }
+
+    #[test]
+    fn bitflip_sites_do_not_perturb_existing_streams() {
+        // Enabling (and drawing from) the SDC sites must leave every
+        // pre-existing site's sequence untouched — same guarantee the
+        // rank-level sites give.
+        let mut with_flips = plan(7);
+        with_flips.bitflip_prob = 0.5;
+        with_flips.snapshot_bitflip_prob = 0.5;
+        with_flips.snapshot_flip_target = SnapshotTarget::Both;
+        let a = FaultInjector::new(plan(7), 0);
+        let b = FaultInjector::new(with_flips, 0);
+        for _ in 0..64 {
+            let _ = b.should_flip_bit();
+            let _ = b.should_flip_snapshot_bit(SnapshotTarget::Local);
+            let _ = b.should_flip_snapshot_bit(SnapshotTarget::Buddy);
+            assert_eq!(a.should_truncate_msg(), b.should_truncate_msg());
+            assert_eq!(a.should_fail_launch(), b.should_fail_launch());
+            assert_eq!(
+                a.should_poison_cell().is_some(),
+                b.should_poison_cell().is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn bitflips_are_deterministic_and_counted() {
+        let mut p = plan(11);
+        p.bitflip_prob = 0.5;
+        let a = FaultInjector::new(p.clone(), 4);
+        let b = FaultInjector::new(p, 4);
+        let sa: Vec<Option<u64>> = (0..128).map(|_| a.should_flip_bit()).collect();
+        let sb: Vec<Option<u64>> = (0..128).map(|_| b.should_flip_bit()).collect();
+        assert_eq!(sa, sb);
+        let hits = sa.iter().filter(|s| s.is_some()).count() as u64;
+        assert!(hits > 0, "p=0.5 over 128 draws must hit");
+        assert_eq!(a.stats().bits_flipped, hits);
+        assert_eq!(a.stats().snapshot_bits_flipped, 0);
+    }
+
+    #[test]
+    fn snapshot_flip_target_gates_tiers() {
+        let mut p = plan(13);
+        p.snapshot_bitflip_prob = 1.0;
+        p.snapshot_flip_target = SnapshotTarget::Buddy;
+        let inj = FaultInjector::new(p.clone(), 0);
+        for _ in 0..16 {
+            assert!(inj
+                .should_flip_snapshot_bit(SnapshotTarget::Local)
+                .is_none());
+            assert!(inj
+                .should_flip_snapshot_bit(SnapshotTarget::Buddy)
+                .is_some());
+        }
+        assert_eq!(inj.stats().snapshot_bits_flipped, 16);
+        // `Both` hits either tier's probes.
+        p.snapshot_flip_target = SnapshotTarget::Both;
+        let inj = FaultInjector::new(p, 0);
+        assert!(inj
+            .should_flip_snapshot_bit(SnapshotTarget::Local)
+            .is_some());
+        assert!(inj
+            .should_flip_snapshot_bit(SnapshotTarget::Buddy)
+            .is_some());
+        // Flip plans register as active.
+        let only_flips = FaultPlan {
+            bitflip_prob: 0.01,
+            ..FaultPlan::disabled()
+        };
+        assert!(only_flips.is_active());
     }
 
     #[test]

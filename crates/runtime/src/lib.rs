@@ -34,7 +34,7 @@ pub mod trace;
 
 pub use device::{Accelerator, AcceleratorConfig, BufId};
 pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
-pub use fault::{FaultInjector, FaultPlan, FaultStats, RankSite};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, RankSite, SnapshotTarget};
 pub use future::{promise, Future, Promise};
 pub use metrics::{Counter, HistSnapshot, Histogram, PhaseTimer, Registry, Snapshot};
 pub use pool::{await_job, await_job_for, pool_timeout, WorkStealingPool};

@@ -65,8 +65,11 @@ use rhrsc_comm::{
     SUSPECT_FLAG,
 };
 use rhrsc_grid::{BcSet, Field};
-use rhrsc_io::checkpoint::{AmrCheckpoint, CheckpointError, CheckpointSlots};
-use rhrsc_runtime::fault::{FaultInjector, RankSite};
+use rhrsc_io::checkpoint::{
+    decode_amr_trusted, encode_amr, AmrCheckpoint, CheckpointError, CheckpointSlots,
+};
+use rhrsc_io::snapshot::MemorySnapshot;
+use rhrsc_runtime::fault::{FaultInjector, RankSite, SnapshotTarget};
 use rhrsc_runtime::Registry;
 use rhrsc_srhd::{Cons, Prim, NCOMP};
 use std::collections::{BTreeMap, BTreeSet};
@@ -152,6 +155,15 @@ pub struct DistAmrConfig {
     /// Base steps between global checkpoints (0 disables periodic saves;
     /// the initial save still happens).
     pub checkpoint_interval: usize,
+    /// Base steps between diskless in-memory checkpoints (0 disables the
+    /// memory tier). The hierarchy is fully replicated after the
+    /// allgather, so the memory tier is trivially n-way redundant: every
+    /// rank freezes the identical serialized checkpoint. Overridable via
+    /// `RHRSC_CKP_LOCAL_INTERVAL`.
+    pub local_interval: usize,
+    /// Base steps between FNV scrubs of the frozen memory snapshot (0
+    /// disables scrubbing). Overridable via `RHRSC_SDC_SCRUB_INTERVAL`.
+    pub scrub_interval: usize,
     /// In-place retries (with halved CFL) before the restore tier.
     pub max_step_retries: usize,
     /// Checkpoint restores before giving up.
@@ -174,6 +186,8 @@ impl Default for DistAmrConfig {
             amr: AmrConfig::default(),
             checkpoint_dir: None,
             checkpoint_interval: 4,
+            local_interval: crate::driver::env_usize("RHRSC_CKP_LOCAL_INTERVAL", 2),
+            scrub_interval: crate::driver::env_usize("RHRSC_SDC_SCRUB_INTERVAL", 5),
             max_step_retries: 2,
             max_restores: 4,
             rebalance_threshold: thresh,
@@ -212,6 +226,12 @@ pub struct DistAmrStats {
     pub checkpoints_saved: u64,
     /// Restores that fell back to the `prev` slot (torn `latest`).
     pub ckpt_fallbacks: u64,
+    /// Diskless in-memory snapshots frozen.
+    pub local_snapshots: u64,
+    /// Restores served from the memory tier (no disk I/O).
+    pub local_restores: u64,
+    /// Frozen snapshots dropped after failing their FNV scrub.
+    pub snapshots_rotted: u64,
 }
 
 // ----- the distributed solver --------------------------------------------
@@ -266,6 +286,11 @@ pub struct DistAmrSolver {
     injector: Option<Arc<FaultInjector>>,
     metrics: Option<Arc<Registry>>,
     stats: DistAmrStats,
+    /// Frozen diskless checkpoint (the L1 memory tier). Identical bytes
+    /// on every rank at freeze time — the allgathered hierarchy is fully
+    /// replicated — so restore only needs a validity agreement, no
+    /// buddy transfer.
+    mem_ckp: Option<MemorySnapshot>,
 }
 
 fn ck_err(e: CheckpointError) -> SolverError {
@@ -323,6 +348,7 @@ impl DistAmrSolver {
             injector: None,
             metrics: None,
             stats: DistAmrStats::default(),
+            mem_ckp: None,
         }
     }
 
@@ -977,8 +1003,94 @@ impl DistAmrSolver {
         self.stats.checkpoints_saved += 1;
         if let Some(m) = &self.metrics {
             m.counter("amr.dist.checkpoints").inc();
+            m.counter("ckp.tier.disk.save").inc();
         }
+        // The state is already fully replicated: refreshing the memory
+        // tier here costs only the serialization, no extra messages.
+        self.freeze_memory(rank, t);
         Ok(())
+    }
+
+    /// Allgather and freeze the diskless memory tier (no disk I/O) — the
+    /// faster-cadence L1 save.
+    fn save_memory(&mut self, rank: &mut Rank, t: f64) -> Result<(), SolverError> {
+        self.allgather_state(rank, ExKind::Gather)?;
+        self.freeze_memory(rank, t);
+        Ok(())
+    }
+
+    /// Serialize the (replicated) hierarchy into the frozen memory slot,
+    /// applying any injected snapshot rot *after* the FNV stamp so the
+    /// scrub/restore verifies can catch it.
+    fn freeze_memory(&mut self, rank: &Rank, t: f64) {
+        let mut snap = MemorySnapshot::new(
+            self.inner.steps,
+            t,
+            encode_amr(&self.inner.to_checkpoint(t)),
+        );
+        if let Some(inj) = &self.injector {
+            if let Some(sel) = inj.should_flip_snapshot_bit(SnapshotTarget::Local) {
+                snap.flip_bit(sel);
+                rank.trace_instant("amr.dist.snapshot_rot_injected", 0.0);
+            }
+        }
+        self.mem_ckp = Some(snap);
+        self.stats.local_snapshots += 1;
+        if let Some(m) = &self.metrics {
+            m.counter("ckp.tier.local.save").inc();
+        }
+    }
+
+    /// Verify the frozen snapshot against its stamped FNV hash, dropping
+    /// it if the bits have rotted (so a later restore round never offers
+    /// a corrupt copy).
+    fn scrub_memory(&mut self, rank: &Rank) {
+        if let Some(m) = &self.metrics {
+            m.counter("sdc.scrubs").inc();
+        }
+        if self.mem_ckp.as_ref().is_some_and(|s| !s.verify()) {
+            self.mem_ckp = None;
+            self.stats.snapshots_rotted += 1;
+            rank.trace_instant("amr.dist.snapshot_rot_detected", 0.0);
+            if let Some(m) = &self.metrics {
+                m.counter("sdc.snapshot_rot").inc();
+            }
+        }
+    }
+
+    /// Collective memory-tier restore. Returns `Ok(None)` when the tier
+    /// cannot serve a globally consistent state — a rank's copy is
+    /// missing, rotted, or from a different capture round — in which case
+    /// the caller falls through to the shared disk slot. Every snapshot is
+    /// a full-hierarchy checkpoint, so this also serves shrinking
+    /// recoveries: survivors restore and re-partition with zero disk I/O.
+    fn restore_memory(&mut self, rank: &mut Rank) -> Result<Option<f64>, SolverError> {
+        let valid = self.mem_ckp.as_ref().is_some_and(|s| s.verify());
+        let contrib = match &self.mem_ckp {
+            Some(s) if valid => [s.step as f64, -(s.step as f64)],
+            _ => [f64::INFINITY, f64::INFINITY],
+        };
+        let steps = rank.allreduce(&contrib, f64::min);
+        let all_valid = rank.allreduce_min(if valid { 1.0 } else { 0.0 }) > 0.5;
+        if !all_valid || !steps[0].is_finite() || steps[0] != -steps[1] {
+            return Ok(None);
+        }
+        let snap = self.mem_ckp.take().expect("validated above");
+        let decoded = decode_amr_trusted(snap.bytes()).ok();
+        self.mem_ckp = Some(snap);
+        // Decode before committing anywhere; a half-restored universe is
+        // worse than falling through to disk on every rank.
+        let all_decoded = rank.allreduce_min(if decoded.is_some() { 1.0 } else { 0.0 }) > 0.5;
+        let Some(ck) = decoded.filter(|_| all_decoded) else {
+            return Ok(None);
+        };
+        self.restore(rank, &ck)?;
+        self.stats.local_restores += 1;
+        rank.trace_instant("amr.dist.memory_restore", ck.step as f64);
+        if let Some(m) = &self.metrics {
+            m.counter("ckp.tier.local.restore").inc();
+        }
+        Ok(Some(ck.time))
     }
 
     /// Load the newest readable shared slot (falling back past a torn
@@ -1114,8 +1226,12 @@ impl DistAmrSolver {
         self.cur_step = self.inner.steps;
         if let Some(slots) = &slots {
             // Always write an initial checkpoint so a shrink/restore
-            // target exists from the very first step.
+            // target exists from the very first step (this also freezes
+            // the initial memory-tier snapshot).
             self.save_gathered(rank, slots, t)?;
+        } else if self.cfg.local_interval > 0 {
+            // Diskless runs still arm the memory tier from step 0.
+            self.save_memory(rank, t)?;
         }
         while t < t_end - 1e-14 {
             self.cur_step = self.inner.steps;
@@ -1154,14 +1270,26 @@ impl DistAmrSolver {
                                 step: self.cur_step,
                             })?;
                     if newly_dead != 0 {
-                        let slots_ref = slots.as_ref().ok_or_else(|| SolverError::Checkpoint {
-                            msg: "rank death confirmed but no checkpoint directory is \
-                                  configured for a shrinking recovery"
-                                .into(),
-                        })?;
                         self.stats.shrinks += 1;
                         self.stats.ranks_lost += u64::from(newly_dead.count_ones());
-                        t = self.restore_newest(rank, slots_ref)?;
+                        // Memory tier first: every survivor holds a full
+                        // replicated checkpoint, so a shrink needs no disk.
+                        t = match self.restore_memory(rank)? {
+                            Some(t) => t,
+                            None => {
+                                let slots_ref =
+                                    slots.as_ref().ok_or_else(|| SolverError::Checkpoint {
+                                        msg: "rank death confirmed but neither the memory \
+                                              tier nor a checkpoint directory can serve a \
+                                              shrinking recovery"
+                                            .into(),
+                                    })?;
+                                if let Some(m) = &self.metrics {
+                                    m.counter("ckp.tier.disk.restore").inc();
+                                }
+                                self.restore_newest(rank, slots_ref)?
+                            }
+                        };
                         self.cur_step = self.inner.steps;
                         cfl_scale = 0.25;
                         rank.trace_instant("amr.dist.shrink", newly_dead.count_ones() as f64);
@@ -1190,17 +1318,32 @@ impl DistAmrSolver {
                         cfl_scale = if attempt > 0 { scale } else { cfl_scale };
                         cfl_scale = (cfl_scale * 2.0).min(1.0);
                         let iv = self.cfg.checkpoint_interval as u64;
-                        if iv > 0 && self.inner.steps.is_multiple_of(iv) {
-                            if let Some(slots) = &slots {
-                                match self.save_gathered(rank, slots, t) {
-                                    Ok(()) => {}
-                                    // A peer died mid-gather: the latched
-                                    // suspicion routes into the next
-                                    // step's consensus tier.
-                                    Err(SolverError::PeerSuspect { .. }) => {}
-                                    Err(e) => return Err(e),
-                                }
-                            }
+                        let liv = self.cfg.local_interval as u64;
+                        let disk_due =
+                            iv > 0 && self.inner.steps.is_multiple_of(iv) && slots.is_some();
+                        let mem_due = liv > 0 && self.inner.steps.is_multiple_of(liv);
+                        // A disk save refreshes the memory tier for free
+                        // (the allgather already replicated the state), so
+                        // the standalone memory save runs only when the
+                        // slower disk cadence is not also due.
+                        let saved = if disk_due {
+                            self.save_gathered(rank, slots.as_ref().expect("disk_due"), t)
+                        } else if mem_due {
+                            self.save_memory(rank, t)
+                        } else {
+                            Ok(())
+                        };
+                        match saved {
+                            Ok(()) => {}
+                            // A peer died mid-gather: the latched
+                            // suspicion routes into the next
+                            // step's consensus tier.
+                            Err(SolverError::PeerSuspect { .. }) => {}
+                            Err(e) => return Err(e),
+                        }
+                        let sv = self.cfg.scrub_interval as u64;
+                        if sv > 0 && self.inner.steps.is_multiple_of(sv) {
+                            self.scrub_memory(rank);
                         }
                         break 'attempts;
                     }
@@ -1215,21 +1358,38 @@ impl DistAmrSolver {
                             }
                             continue;
                         }
-                        // Retries exhausted: restore from the shared slot.
-                        // The attempt/restore counters march in lockstep
-                        // on every rank, so this decision is collective.
-                        let slots_ref = match &slots {
-                            Some(s) if restores_left > 0 => s,
-                            _ => {
-                                return Err(outcome.err().unwrap_or(SolverError::Checkpoint {
-                                    msg: "step failed on a peer rank; retries and restores \
-                                          exhausted"
-                                        .into(),
-                                }))
+                        // Retries exhausted: restore, memory tier first.
+                        // The restore counter marches in lockstep on every
+                        // rank, so this decision is collective; whether the
+                        // memory tier can serve is agreed inside
+                        // `restore_memory` itself.
+                        if restores_left == 0 {
+                            return Err(outcome.err().unwrap_or(SolverError::Checkpoint {
+                                msg: "step failed on a peer rank; retries and restores \
+                                      exhausted"
+                                    .into(),
+                            }));
+                        }
+                        restores_left -= 1;
+                        t = match self.restore_memory(rank)? {
+                            Some(t) => t,
+                            None => {
+                                let slots_ref = match &slots {
+                                    Some(s) => s,
+                                    None => {
+                                        return Err(SolverError::Checkpoint {
+                                            msg: "memory tier rotted and no checkpoint \
+                                                  directory is configured"
+                                                .into(),
+                                        })
+                                    }
+                                };
+                                if let Some(m) = &self.metrics {
+                                    m.counter("ckp.tier.disk.restore").inc();
+                                }
+                                self.restore_newest(rank, slots_ref)?
                             }
                         };
-                        restores_left -= 1;
-                        t = self.restore_newest(rank, slots_ref)?;
                         self.cur_step = self.inner.steps;
                         self.stats.restores += 1;
                         cfl_scale = 0.25;

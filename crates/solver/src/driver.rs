@@ -24,11 +24,16 @@ use crate::scheme::{
     SolverError,
 };
 use crate::step::{accumulate_rhs_region_scan, Region};
-use rhrsc_comm::{CommError, Rank, SUSPECT_FLAG};
+use rhrsc_comm::{
+    CommError, Rank, BUDDY_CKP_TAG, BUDDY_RESTORE_TAG, BUDDY_SHRINK_TAG, SUSPECT_FLAG,
+};
 use rhrsc_grid::{fill_face, BcSet, CartDecomp, Field, PatchGeom};
 use rhrsc_io::checkpoint::{
-    load_checkpoint, BlockRecord, Checkpoint, CheckpointSlots, GlobalCheckpoint,
+    decode_global_trusted, encode_global, load_checkpoint, BlockRecord, Checkpoint,
+    CheckpointSlots, GlobalCheckpoint,
 };
+use rhrsc_io::snapshot::{MemorySnapshot, StateChecksum};
+use rhrsc_runtime::fault::SnapshotTarget;
 use rhrsc_runtime::metrics::{Histogram, Registry};
 use rhrsc_runtime::WorkStealingPool;
 use rhrsc_srhd::{Prim, NCOMP};
@@ -145,6 +150,32 @@ pub struct ResilienceConfig {
     /// Directory for per-rank checkpoint slots (`<dir>/rank<r>/`).
     /// `None` disables checkpointing — and with it the restart tier.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Capture an in-memory (diskless) snapshot every this many committed
+    /// steps: the L1 tier each rank keeps of its own state, plus the L2
+    /// buddy replica it ships to its guardian. `0` disables the memory
+    /// tiers entirely (pre-hierarchy behaviour). Unlike the disk tier the
+    /// memory tiers need no `checkpoint_dir`. Env: `RHRSC_CKP_LOCAL_INTERVAL`.
+    pub local_interval: usize,
+    /// Buddy pairing stride: block `b`'s replica is guarded by block
+    /// `(b + offset) mod nblocks`. An offset of `0` (or a single-block
+    /// run) disables the replica exchange, leaving only the L1 local
+    /// tier. Env: `RHRSC_BUDDY_OFFSET`.
+    pub buddy_offset: usize,
+    /// Scrub the *frozen* snapshot buffers (re-hash local + replica
+    /// against their capture-time stamps) every this many committed
+    /// steps; `0` leaves rot to be caught at restore time. The *live*
+    /// state is ABFT-verified every step regardless — that check is what
+    /// keeps a silent flip out of every checkpoint write. Env:
+    /// `RHRSC_SDC_SCRUB_INTERVAL`.
+    pub scrub_interval: usize,
+}
+
+/// Read a `usize` knob from the environment, with a default.
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Default for ResilienceConfig {
@@ -153,8 +184,11 @@ impl Default for ResilienceConfig {
             recovery: RecoveryPolicy::Cascade,
             max_step_retries: 3,
             max_restarts: 2,
-            checkpoint_interval: 10,
+            checkpoint_interval: env_usize("RHRSC_CKP_DISK_INTERVAL", 10),
             checkpoint_dir: None,
+            local_interval: env_usize("RHRSC_CKP_LOCAL_INTERVAL", 5),
+            buddy_offset: env_usize("RHRSC_BUDDY_OFFSET", 1),
+            scrub_interval: env_usize("RHRSC_SDC_SCRUB_INTERVAL", 5),
         }
     }
 }
@@ -183,6 +217,27 @@ pub struct ResilienceStats {
     pub false_suspicions: u64,
     /// Stall-injection events applied to this rank (straggler mode).
     pub stalls: u64,
+    /// In-memory (L1) snapshots captured by this rank.
+    pub local_snapshots: u64,
+    /// Buddy replica exchanges completed (one send + one receive each).
+    pub buddy_exchanges: u64,
+    /// Restores served from this rank's own L1 snapshot.
+    pub local_restores: u64,
+    /// Restores served from a buddy replica (shipped back by the
+    /// guardian because this rank's own tiers were dead or rotted).
+    pub buddy_restores: u64,
+    /// Restores that had to fall all the way through to the disk tier.
+    pub disk_restores: u64,
+    /// Shrinking recoveries whose survivor state was assembled from
+    /// buddy replicas instead of a disk checkpoint.
+    pub buddy_shrinks: u64,
+    /// Silent-data-corruption detections (live-state ABFT stamp
+    /// mismatches) on this rank.
+    pub sdc_detected: u64,
+    /// Scrub passes over the frozen snapshot buffers.
+    pub scrubs: u64,
+    /// Frozen snapshot buffers found rotted by a scrub (and dropped).
+    pub snapshots_rotted: u64,
     /// Cells repaired by the primitive-recovery cascade, by tier.
     pub recovery: RecoveryStats,
 }
@@ -266,6 +321,86 @@ impl DtCache {
         self.valid = false;
         self.window = 1;
     }
+}
+
+/// Agreement value signaling "this rank detected silent data corruption
+/// in its live state". Sits between the ordinary step-failure flag (1.0,
+/// retry tier) and [`SUSPECT_FLAG`] (2.0, consensus tier): an SDC hit
+/// cannot be retried — the rollback backup is corrupt too — so the agreed
+/// response is a collective restore from the cheapest valid snapshot
+/// tier, but nobody is suspected dead.
+pub const SDC_FLAG: f64 = 1.5;
+
+/// The in-memory checkpoint tiers one rank holds: its own L1 snapshot
+/// and (optionally) the L2 replica it guards for its *ward*. Pairing is
+/// a fixed ring: block `b` ships its snapshot to guardian
+/// `(b + offset) % n` and guards the ward `(b + n - offset) % n`, so one
+/// dead or rotted rank never takes both copies of any block with it
+/// (for `0 < offset < n`).
+struct CkpTiers {
+    /// Buddy pairing stride (already reduced mod the block count).
+    offset: usize,
+    /// This rank's own snapshot (a single-block [`GlobalCheckpoint`]).
+    local: Option<MemorySnapshot>,
+    /// `(ward_block, replica)` — the partner snapshot this rank guards.
+    replica: Option<(usize, MemorySnapshot)>,
+}
+
+impl CkpTiers {
+    fn new(offset: usize, nblocks: usize) -> Self {
+        CkpTiers {
+            offset: if nblocks > 1 { offset % nblocks } else { 0 },
+            local: None,
+            replica: None,
+        }
+    }
+}
+
+/// Wire format of a snapshot shipped between buddies (data-class tags,
+/// so the payload rides the reliable path; integrity is the snapshot's
+/// own end-to-end FNV stamp): `[len_bytes, fnv_hi32, fnv_lo32, step,
+/// time, word0, word1, ...]` with the byte buffer packed little-endian
+/// into f64 bit patterns, 8 bytes per word.
+fn pack_snapshot_msg(snap: &MemorySnapshot) -> Vec<f64> {
+    let bytes = snap.bytes();
+    let nwords = bytes.len().div_ceil(8);
+    let mut msg = Vec::with_capacity(5 + nwords);
+    msg.push(bytes.len() as f64);
+    msg.push((snap.fnv() >> 32) as f64);
+    msg.push((snap.fnv() & 0xffff_ffff) as f64);
+    msg.push(snap.step as f64);
+    msg.push(snap.time);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        msg.push(f64::from_bits(u64::from_le_bytes(w)));
+    }
+    msg
+}
+
+/// Inverse of [`pack_snapshot_msg`]. The rebuilt snapshot carries the
+/// *sender's* stamp, so any damage in flight or in the replica buffer is
+/// caught by [`MemorySnapshot::verify`] at scrub or restore time.
+fn unpack_snapshot_msg(msg: &[f64]) -> Result<MemorySnapshot, SolverError> {
+    let bad = |why: &str| SolverError::Checkpoint {
+        msg: format!("malformed buddy snapshot message: {why}"),
+    };
+    if msg.len() < 5 {
+        return Err(bad("truncated header"));
+    }
+    let len = msg[0] as usize;
+    let fnv = ((msg[1] as u64) << 32) | (msg[2] as u64);
+    let step = msg[3] as u64;
+    let time = msg[4];
+    if msg.len() != 5 + len.div_ceil(8) {
+        return Err(bad("payload length mismatch"));
+    }
+    let mut bytes = Vec::with_capacity(len);
+    for w in &msg[5..] {
+        bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    bytes.truncate(len);
+    Ok(MemorySnapshot::from_parts(step, time, bytes, fnv))
 }
 
 /// Start marker of an instrumented phase: wall clock plus the rank's
@@ -1182,16 +1317,11 @@ impl BlockSolver {
             .map_err(|e| SolverError::Checkpoint { msg: e.to_string() })
     }
 
-    /// Shrink onto the survivors after a confirmed rank death: re-run the
-    /// decomposition over the live communicator ranks, rebuild this
-    /// solver's block, and restore the state from the newest global
-    /// checkpoint. Returns the restored `(time, step)`.
-    fn shrink_and_restore(
-        &mut self,
-        rank: &mut Rank,
-        u: &mut Field,
-        gslots: &CheckpointSlots,
-    ) -> Result<(f64, u64), SolverError> {
+    /// Re-run the decomposition over the live communicator ranks and
+    /// rebuild this solver's block (geometry, work buffers, Δt cache).
+    /// The state itself is *not* restored — pair with
+    /// [`BlockSolver::fill_from_global`].
+    fn rebuild_for_survivors(&mut self, rank: &Rank) -> Result<(), SolverError> {
         let survivors = rank.live_ranks().to_vec();
         let my_block = survivors
             .iter()
@@ -1209,18 +1339,22 @@ impl BlockSolver {
         // buffer must match the new patch and the cached Δt is stale.
         self.rate = vec![0.0; self.geom.len()];
         self.dt_cache.invalidate();
-        let ck_err = |e: rhrsc_io::checkpoint::CheckpointError| SolverError::Checkpoint {
-            msg: e.to_string(),
-        };
-        // The filesystem is shared (ranks are threads): every survivor
-        // loads the global state directly and cuts out its own span.
-        let (gckp, _fell_back) = gslots.load_newest_global().map_err(ck_err)?;
+        Ok(())
+    }
+
+    /// Cut this block's span out of a global checkpoint and overwrite the
+    /// interior of `u` with it. Returns the checkpoint's `(time, step)`.
+    fn fill_from_global(
+        &self,
+        u: &mut Field,
+        gckp: &GlobalCheckpoint,
+    ) -> Result<(f64, u64), SolverError> {
         if gckp.global_n != self.cfg.global_n || gckp.ncomp != NCOMP {
             return Err(SolverError::Checkpoint {
                 msg: "global checkpoint does not match this run's grid".into(),
             });
         }
-        let (offset, size) = self.cfg.decomp.local_span(self.cfg.global_n, my_block);
+        let (offset, size) = self.cfg.decomp.local_span(self.cfg.global_n, self.my_rank);
         let data = gckp
             .extract_span(offset, size)
             .ok_or_else(|| SolverError::Checkpoint {
@@ -1236,6 +1370,510 @@ impl BlockSolver {
         }
         *u = restored;
         Ok((gckp.time, gckp.step))
+    }
+
+    /// Shrink onto the survivors after a confirmed rank death: re-run the
+    /// decomposition over the live communicator ranks, rebuild this
+    /// solver's block, and restore the state from the newest global
+    /// checkpoint. Returns the restored `(time, step)`.
+    fn shrink_and_restore(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        gslots: &CheckpointSlots,
+    ) -> Result<(f64, u64), SolverError> {
+        self.rebuild_for_survivors(rank)?;
+        let ck_err = |e: rhrsc_io::checkpoint::CheckpointError| SolverError::Checkpoint {
+            msg: e.to_string(),
+        };
+        // The filesystem is shared (ranks are threads): every survivor
+        // loads the global state directly and cuts out its own span.
+        let (gckp, _fell_back) = gslots.load_newest_global().map_err(ck_err)?;
+        self.fill_from_global(u, &gckp)
+    }
+
+    /// Freeze this block's interior as a single-block global checkpoint
+    /// (the L1 diskless tier). Using the v3 global format means any
+    /// collection of snapshots can later be merged into a full
+    /// [`GlobalCheckpoint`] and re-tiled onto a *different* decomposition
+    /// — which is exactly what the buddy-shrink path does.
+    fn capture_local_snapshot(&self, u: &Field, t: f64, step: u64) -> MemorySnapshot {
+        let (offset, size) = self.cfg.decomp.local_span(self.cfg.global_n, self.my_rank);
+        let gckp = GlobalCheckpoint {
+            time: t,
+            step,
+            global_n: self.cfg.global_n,
+            ncomp: NCOMP,
+            blocks: vec![BlockRecord {
+                id: self.my_rank as u64,
+                offset,
+                size,
+                data: self.pack_interior(u),
+            }],
+        };
+        MemorySnapshot::new(step, t, encode_global(&gckp))
+    }
+
+    /// Ship this rank's fresh snapshot to its guardian and receive the
+    /// ward's snapshot in return (both on the reliable data-class
+    /// [`BUDDY_CKP_TAG`]). Returns the `(ward_block, replica)` pair, or
+    /// `None` when the pairing is degenerate (single block / zero
+    /// offset). Sends are asynchronous, so the symmetric send-then-recv
+    /// cannot deadlock.
+    fn exchange_buddy(
+        &self,
+        rank: &mut Rank,
+        tiers: &CkpTiers,
+        snap: &MemorySnapshot,
+    ) -> Result<Option<(usize, MemorySnapshot)>, SolverError> {
+        let n = self.cfg.decomp.nranks();
+        if n < 2 || tiers.offset == 0 {
+            return Ok(None);
+        }
+        let guardian = (self.my_rank + tiers.offset) % n;
+        let ward = (self.my_rank + n - tiers.offset) % n;
+        rank.send(
+            self.comm_of(guardian),
+            BUDDY_CKP_TAG,
+            &pack_snapshot_msg(snap),
+        );
+        let raw = rank
+            .recv_deadline(self.comm_of(ward), BUDDY_CKP_TAG)
+            .map_err(comm_err)?;
+        Ok(Some((ward, unpack_snapshot_msg(&raw)?)))
+    }
+
+    /// Collective memory-tier restore (L1 local + L2 buddy). Returns
+    /// `Ok(None)` — with `u` untouched on every rank — when the memory
+    /// tiers cannot serve a consistent global state (missing/rotted
+    /// snapshots with no valid replica, or a capture-round mismatch), so
+    /// the caller falls through to the disk tier. On success every rank's
+    /// interior is overwritten and the common `(time, step)` returned.
+    fn memory_restore(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        tiers: &CkpTiers,
+        rstats: &mut ResilienceStats,
+    ) -> Result<Option<(f64, u64)>, SolverError> {
+        let n = self.cfg.decomp.nranks();
+        let own_ok = tiers.local.as_ref().is_some_and(|s| s.verify());
+        let rep_ok = tiers.replica.as_ref().is_some_and(|(_, r)| r.verify());
+        // Round 1 (max-reduce): who still holds a valid copy of which
+        // block — `[own_ok(n), rep_ok(n)]`, where the guardian speaks for
+        // its ward's replica slot.
+        let mut flags = vec![0.0; 2 * n];
+        if own_ok {
+            flags[self.my_rank] = 1.0;
+        }
+        if let Some((ward, _)) = &tiers.replica {
+            if rep_ok {
+                flags[n + ward] = 1.0;
+            }
+        }
+        let flags = rank.allreduce(&flags, f64::max);
+        let covered = (0..n).all(|b| flags[b] > 0.5 || flags[n + b] > 0.5);
+        // Round 2 (min-reduce): agree on one capture round. Ranks with no
+        // valid snapshot of their own contribute neutrally; `[s, -s]`
+        // yields both the min and the max in one reduce.
+        let my_step = match (&tiers.local, &tiers.replica) {
+            (Some(s), _) if own_ok => s.step as f64,
+            (_, Some((_, r))) if rep_ok => r.step as f64,
+            _ => f64::INFINITY,
+        };
+        let contrib = if my_step.is_finite() {
+            [my_step, -my_step]
+        } else {
+            [f64::INFINITY, f64::INFINITY]
+        };
+        let steps = rank.allreduce(&contrib, f64::min);
+        let consistent = steps[0].is_finite() && steps[0] == -steps[1];
+        if !covered || !consistent {
+            return Ok(None);
+        }
+        // Guardians ship replicas back to wards whose own snapshot died.
+        if let Some((ward, rep)) = &tiers.replica {
+            if rep_ok && flags[*ward] < 0.5 {
+                rank.send(
+                    self.comm_of(*ward),
+                    BUDDY_RESTORE_TAG,
+                    &pack_snapshot_msg(rep),
+                );
+            }
+        }
+        let (snap, from_buddy) = if own_ok {
+            (tiers.local.clone().unwrap(), false)
+        } else {
+            let guardian = (self.my_rank + tiers.offset) % n;
+            let raw = rank
+                .recv_deadline(self.comm_of(guardian), BUDDY_RESTORE_TAG)
+                .map_err(comm_err)?;
+            (unpack_snapshot_msg(&raw)?, true)
+        };
+        // Decode and cut the span, but do not touch `u` until every rank
+        // has confirmed success — a half-restored universe is worse than
+        // falling through to disk with clean state.
+        let restored = (snap.verify() && snap.step == steps[0] as u64)
+            .then(|| decode_global_trusted(snap.bytes()).ok())
+            .flatten()
+            .and_then(|gckp| self.fill_global_span(&gckp));
+        let all_ok = rank.allreduce_min(if restored.is_some() { 1.0 } else { 0.0 }) > 0.5;
+        let Some((data, time, step)) = restored.filter(|_| all_ok) else {
+            return Ok(None);
+        };
+        // Rebuild from a fresh field so ghosts are zeroed exactly like the
+        // disk-restore path — keeps no-fault and restored runs bit-identical.
+        let mut restored_f = Field::cons(self.geom);
+        let mut idx = 0;
+        for c in 0..NCOMP {
+            for (i, j, k) in self.geom.interior_iter() {
+                restored_f.set(c, i, j, k, data[idx]);
+                idx += 1;
+            }
+        }
+        u.raw_mut().copy_from_slice(restored_f.raw());
+        if from_buddy {
+            rstats.buddy_restores += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("ckp.tier.buddy.restore").add(1);
+            }
+        } else {
+            rstats.local_restores += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("ckp.tier.local.restore").add(1);
+            }
+        }
+        Ok(Some((time, step)))
+    }
+
+    /// Extract this block's span (and the checkpoint's time/step) without
+    /// committing it to the state — the validation half of
+    /// [`BlockSolver::fill_from_global`].
+    fn fill_global_span(&self, gckp: &GlobalCheckpoint) -> Option<(Vec<f64>, f64, u64)> {
+        if gckp.global_n != self.cfg.global_n || gckp.ncomp != NCOMP {
+            return None;
+        }
+        let (offset, size) = self.cfg.decomp.local_span(self.cfg.global_n, self.my_rank);
+        let data = gckp.extract_span(offset, size)?;
+        Some((data, gckp.time, gckp.step))
+    }
+
+    /// Collective shrink onto the survivors with the lost blocks restored
+    /// from buddy replicas — no disk involved. Returns `Ok(None)` (state
+    /// and decomposition untouched) when the replicas cannot cover every
+    /// dead block, so the caller falls back to the disk shrink path.
+    ///
+    /// Protocol (all in the *old* block space, before the rebuild): the
+    /// survivors agree which blocks are covered and at which capture
+    /// round, ship their snapshots — own blocks plus dead wards' replicas
+    /// — to a root survivor, the root merges the single-block snapshots
+    /// into one full [`GlobalCheckpoint`] and redistributes it, and only
+    /// then does every survivor re-run the decomposition and cut its new
+    /// span out of the merged state.
+    fn shrink_from_buddies(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        tiers: &CkpTiers,
+        rstats: &mut ResilienceStats,
+    ) -> Result<Option<(f64, u64)>, SolverError> {
+        let n = self.comm_ranks.len();
+        if tiers.offset == 0 {
+            return Ok(None);
+        }
+        let live = rank.live_ranks().to_vec();
+        let alive = |b: usize| live.contains(&self.comm_ranks[b]);
+        let own_ok = tiers.local.as_ref().is_some_and(|s| s.verify());
+        let rep_ok = tiers.replica.as_ref().is_some_and(|(_, r)| r.verify());
+        // Coverage agreement over the old blocks: survivors need their own
+        // snapshot, dead blocks need a live guardian with a valid replica.
+        let mut flags = vec![0.0; 2 * n];
+        if own_ok {
+            flags[self.my_rank] = 1.0;
+        }
+        if let Some((ward, _)) = &tiers.replica {
+            if rep_ok {
+                flags[n + ward] = 1.0;
+            }
+        }
+        let flags = rank.allreduce(&flags, f64::max);
+        let covered = (0..n).all(|b| {
+            if alive(b) {
+                flags[b] > 0.5
+            } else {
+                flags[n + b] > 0.5
+            }
+        });
+        let my_step = if own_ok {
+            tiers.local.as_ref().unwrap().step as f64
+        } else {
+            f64::INFINITY
+        };
+        let contrib = if my_step.is_finite() {
+            [my_step, -my_step]
+        } else {
+            [f64::INFINITY, f64::INFINITY]
+        };
+        let steps = rank.allreduce(&contrib, f64::min);
+        if !covered || !steps[0].is_finite() || steps[0] != -steps[1] {
+            return Ok(None);
+        }
+        // Collect at the root survivor: every survivor ships its own
+        // block, then (if its ward died) the ward's replica — a
+        // deterministic per-sender order, so the root can receive by
+        // walking the old block list.
+        let root_comm = live[0];
+        let dead_ward = tiers
+            .replica
+            .as_ref()
+            .filter(|(w, _)| !alive(*w) && rep_ok)
+            .map(|(w, r)| (*w, r.clone()));
+        let merged_bytes = if rank.rank() != root_comm {
+            if let Some(s) = tiers.local.as_ref().filter(|_| own_ok) {
+                rank.send(root_comm, BUDDY_SHRINK_TAG, &pack_snapshot_msg(s));
+            }
+            if let Some((_, rep)) = &dead_ward {
+                rank.send(root_comm, BUDDY_SHRINK_TAG, &pack_snapshot_msg(rep));
+            }
+            rank.recv_deadline(root_comm, BUDDY_SHRINK_TAG)
+                .map_err(comm_err)?
+        } else {
+            // The root knows exactly which snapshots each survivor holds
+            // (the coverage flags are global state), so the receive
+            // pattern is deterministic: per sender, own block first, dead
+            // ward second.
+            let mut records = Vec::new();
+            let take = |snap: MemorySnapshot, records: &mut Vec<BlockRecord>| {
+                if snap.verify() {
+                    if let Ok(g) = decode_global_trusted(snap.bytes()) {
+                        records.extend(g.blocks);
+                    }
+                }
+            };
+            if let Some(s) = tiers.local.as_ref().filter(|_| own_ok) {
+                take(s.clone(), &mut records);
+            }
+            if let Some((_, rep)) = &dead_ward {
+                take(rep.clone(), &mut records);
+            }
+            for b in 0..n {
+                let from = self.comm_ranks[b];
+                if from == root_comm || !alive(b) {
+                    continue;
+                }
+                // Own block (guaranteed by coverage)...
+                let raw = rank
+                    .recv_deadline(from, BUDDY_SHRINK_TAG)
+                    .map_err(comm_err)?;
+                take(unpack_snapshot_msg(&raw)?, &mut records);
+                // ...then the dead ward's replica, if this sender guards
+                // one (readable off the coverage flags).
+                let ward = (b + n - tiers.offset) % n;
+                if !alive(ward) && flags[n + ward] > 0.5 {
+                    let raw = rank
+                        .recv_deadline(from, BUDDY_SHRINK_TAG)
+                        .map_err(comm_err)?;
+                    take(unpack_snapshot_msg(&raw)?, &mut records);
+                }
+            }
+            records.sort_by_key(|r| r.id);
+            records.dedup_by_key(|r| r.id);
+            let merged = GlobalCheckpoint {
+                time: tiers
+                    .local
+                    .as_ref()
+                    .map(|s| s.time)
+                    .unwrap_or(f64::INFINITY),
+                step: steps[0] as u64,
+                global_n: self.cfg.global_n,
+                ncomp: NCOMP,
+                blocks: records,
+            };
+            let msg = pack_snapshot_msg(&MemorySnapshot::new(
+                merged.step,
+                merged.time,
+                encode_global(&merged),
+            ));
+            for &r in &live {
+                if r != root_comm {
+                    rank.send(r, BUDDY_SHRINK_TAG, &msg);
+                }
+            }
+            msg
+        };
+        let snap = unpack_snapshot_msg(&merged_bytes)?;
+        let gckp = (snap.verify())
+            .then(|| decode_global_trusted(snap.bytes()).ok())
+            .flatten();
+        let all_ok = rank.allreduce_min(if gckp.is_some() { 1.0 } else { 0.0 }) > 0.5;
+        let Some(gckp) = gckp.filter(|_| all_ok) else {
+            return Ok(None);
+        };
+        // Everyone holds the merged pre-shrink state: now it is safe to
+        // re-cut the domain over the survivors and fill from it.
+        self.rebuild_for_survivors(rank)?;
+        let restored = self.fill_from_global(u, &gckp)?;
+        rstats.buddy_shrinks += 1;
+        if let Some(m) = &self.metrics {
+            m.counter("ckp.tier.buddy.shrink").add(1);
+        }
+        Ok(Some(restored))
+    }
+
+    /// The recovery ladder's restore rung: try the memory tiers (own L1
+    /// snapshot, then a buddy replica), and only if they cannot serve a
+    /// consistent state fall through to the per-rank disk slots. Every
+    /// branch decision is collectively agreed, so all ranks walk the same
+    /// rungs.
+    fn tier_restore(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        tiers: &Option<CkpTiers>,
+        slots: Option<&CheckpointSlots>,
+        rstats: &mut ResilienceStats,
+    ) -> Result<(f64, u64), SolverError> {
+        if let Some(tz) = tiers {
+            let s = self.pstart(rank);
+            let served = self.memory_restore(rank, u, tz, rstats)?;
+            self.pend("driver.tier_restore.memory", rank, s);
+            if let Some(restored) = served {
+                return Ok(restored);
+            }
+        }
+        let slots_ref = slots.ok_or_else(|| SolverError::Checkpoint {
+            msg: "no memory tier could serve a restore and no checkpoint \
+                  directory is configured for the disk tier"
+                .into(),
+        })?;
+        let s = self.pstart(rank);
+        let restored = self.disk_restore(rank, u, slots_ref)?;
+        self.pend("driver.tier_restore.disk", rank, s);
+        rstats.disk_restores += 1;
+        if let Some(m) = &self.metrics {
+            m.counter("ckp.tier.disk.restore").add(1);
+        }
+        Ok(restored)
+    }
+
+    /// Disk-tier restore from the per-rank rotating slots, with the
+    /// cross-rank step agreement (ranks may disagree on the newest valid
+    /// slot when one rank's `latest` was lost — restart from the oldest
+    /// agreed step).
+    fn disk_restore(
+        &mut self,
+        rank: &mut Rank,
+        u: &mut Field,
+        slots: &CheckpointSlots,
+    ) -> Result<(f64, u64), SolverError> {
+        let ck_err = |e: rhrsc_io::checkpoint::CheckpointError| SolverError::Checkpoint {
+            msg: e.to_string(),
+        };
+        let loaded = slots.load_newest();
+        let all_loaded = rank.allreduce_min(if loaded.is_ok() { 1.0 } else { 0.0 }) > 0.5;
+        let ckp = match (loaded, all_loaded) {
+            (Ok(c), true) => c,
+            (loaded, _) => {
+                return Err(loaded.err().map(ck_err).unwrap_or(SolverError::Checkpoint {
+                    msg: "checkpoint restore failed on a peer rank".into(),
+                }))
+            }
+        };
+        let agreed = rank.allreduce_min(ckp.step as f64);
+        let ckp = if (ckp.step as f64) > agreed {
+            load_checkpoint(&slots.prev_path())
+                .ok()
+                .filter(|c| (c.step as f64) == agreed)
+        } else {
+            Some(ckp)
+        };
+        let all_agreed = rank.allreduce_min(if ckp.is_some() { 1.0 } else { 0.0 }) > 0.5;
+        let ckp = match (ckp, all_agreed) {
+            (Some(c), true) => c,
+            _ => {
+                return Err(SolverError::Checkpoint {
+                    msg: "ranks could not agree on a common restart checkpoint".into(),
+                })
+            }
+        };
+        if ckp.field.geom() != &self.geom || ckp.field.ncomp() != u.ncomp() {
+            return Err(SolverError::Checkpoint {
+                msg: "checkpoint geometry does not match this rank's block".into(),
+            });
+        }
+        u.raw_mut().copy_from_slice(ckp.field.raw());
+        Ok((ckp.time, ckp.step))
+    }
+
+    /// Capture a fresh L1 snapshot, ship the *clean* copy to the guardian
+    /// (so rot injected into the local tier never contaminates the
+    /// replica), then apply any injected snapshot rot and install both
+    /// tiers.
+    #[allow(clippy::too_many_arguments)]
+    fn refresh_memory_tiers(
+        &self,
+        rank: &mut Rank,
+        tiers: &mut CkpTiers,
+        u: &Field,
+        t: f64,
+        step: u64,
+        injector: &Option<Arc<rhrsc_comm::FaultInjector>>,
+        rstats: &mut ResilienceStats,
+    ) -> Result<(), SolverError> {
+        let mut snap = self.capture_local_snapshot(u, t, step);
+        rstats.local_snapshots += 1;
+        if let Some(m) = &self.metrics {
+            m.counter("ckp.tier.local.save").add(1);
+        }
+        let rep = self.exchange_buddy(rank, tiers, &snap)?;
+        if let Some(inj) = injector {
+            if let Some(sel) = inj.should_flip_snapshot_bit(SnapshotTarget::Local) {
+                snap.flip_bit(sel);
+                rank.trace_instant("driver.snapshot_rot_injected", 0.0);
+            }
+        }
+        tiers.local = Some(snap);
+        if let Some((ward, mut rep)) = rep {
+            if let Some(inj) = injector {
+                if let Some(sel) = inj.should_flip_snapshot_bit(SnapshotTarget::Buddy) {
+                    rep.flip_bit(sel);
+                    rank.trace_instant("driver.snapshot_rot_injected", 1.0);
+                }
+            }
+            rstats.buddy_exchanges += 1;
+            if let Some(m) = &self.metrics {
+                m.counter("ckp.tier.buddy.save").add(1);
+            }
+            tiers.replica = Some((ward, rep));
+        }
+        Ok(())
+    }
+
+    /// Verify the frozen memory tiers against their stamped FNV hashes,
+    /// dropping any snapshot whose bits have rotted so a later restore
+    /// never trusts it (it would fail its own verify anyway — scrubbing
+    /// just finds out *early*, while the disk tier is still fresh).
+    fn scrub_tiers(&self, rank: &Rank, tiers: &mut CkpTiers, rstats: &mut ResilienceStats) {
+        rstats.scrubs += 1;
+        if let Some(m) = &self.metrics {
+            m.counter("sdc.scrubs").add(1);
+        }
+        if tiers.local.as_ref().is_some_and(|s| !s.verify()) {
+            tiers.local = None;
+            rstats.snapshots_rotted += 1;
+            rank.trace_instant("driver.snapshot_rot_detected", 0.0);
+            if let Some(m) = &self.metrics {
+                m.counter("sdc.snapshot_rot").add(1);
+            }
+        }
+        if tiers.replica.as_ref().is_some_and(|(_, r)| !r.verify()) {
+            tiers.replica = None;
+            rstats.snapshots_rotted += 1;
+            rank.trace_instant("driver.snapshot_rot_detected", 1.0);
+            if let Some(m) = &self.metrics {
+                m.counter("sdc.snapshot_rot").add(1);
+            }
+        }
     }
 
     /// Gather the interiors onto block rank 0 through the current
@@ -1412,6 +2050,27 @@ impl BlockSolver {
             mon.ensure_baseline(u);
         }
         let injector = rank.fault_injector().cloned();
+        // Arm the diskless tiers and the live-state ABFT stamp. The
+        // initial snapshot (and its buddy replica) is captured up front,
+        // mirroring the initial disk checkpoint: a memory restore target
+        // exists from the very first step.
+        let arm_stamp = res.local_interval > 0 || res.scrub_interval > 0;
+        let mut tiers = (res.local_interval > 0 && self.cfg.decomp.nranks() >= 1)
+            .then(|| CkpTiers::new(res.buddy_offset, self.cfg.decomp.nranks()));
+        if let Some(tz) = &mut tiers {
+            let s = self.pstart(rank);
+            self.refresh_memory_tiers(rank, tz, u, t, step_no, &injector, &mut rstats)?;
+            self.pend("phase.ckp.memory", rank, s);
+        }
+        let mut stamp = arm_stamp.then(|| StateChecksum::stamp(u.raw(), NCOMP));
+        if arm_stamp {
+            if let Some(m) = &self.metrics {
+                // Materialize the undetected-corruption counter at zero:
+                // its *presence* (and staying zero) is the acceptance
+                // signal the report validator checks.
+                m.counter("sdc.undetected").add(0);
+            }
+        }
         while t < t_end - 1e-14 {
             // Rank-level crash injection: the victim stops participating
             // entirely (no farewell message — the survivors must detect
@@ -1420,6 +2079,54 @@ impl BlockSolver {
                 if inj.should_crash_rank(rank.rank(), step_no) {
                     rank.trace_instant("driver.rank_failed", step_no as f64);
                     return Err(SolverError::RankFailed { step: step_no });
+                }
+            }
+            // Silent bit-flip injection (SDC): unlike poisoning below,
+            // the flipped value generally stays finite and physical-
+            // looking, so con2prim sails right through it — only the
+            // ABFT stamp comparison can catch it.
+            if let Some(inj) = &injector {
+                if let Some(sel) = inj.should_flip_bit() {
+                    let cells: Vec<_> = self.geom.interior_iter().collect();
+                    let pick = sel as usize % (NCOMP * cells.len());
+                    let (i, j, k) = cells[pick % cells.len()];
+                    let c = pick / cells.len();
+                    let bit = ((sel >> 33) % 64) as u32;
+                    let v = u.at(c, i, j, k);
+                    u.set(c, i, j, k, f64::from_bits(v.to_bits() ^ (1u64 << bit)));
+                    rank.trace_instant("driver.bitflip_injected", step_no as f64);
+                    if let Some(m) = &self.metrics {
+                        m.counter("sdc.injected").add(1);
+                    }
+                }
+            }
+            // Live-state scrub against the last committed stamp — every
+            // step, so a flip can never survive into a checkpoint write
+            // (every write this iteration happens after this check, and
+            // nothing else mutates the state in between except the step
+            // itself). The detecting rank still runs the step to keep
+            // the collectives aligned, then escalates via the agreement.
+            let mut sdc_hit = false;
+            if let Some(st) = &stamp {
+                if !st.verify(u.raw()) {
+                    sdc_hit = true;
+                    rstats.sdc_detected += 1;
+                    let comp = st.corrupted_component(u.raw());
+                    rank.trace_instant(
+                        "driver.sdc_detected",
+                        comp.map(|c| c as f64).unwrap_or(-1.0),
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.counter("sdc.detected").add(1);
+                    }
+                }
+            }
+            // Frozen-buffer scrub on its own (slower) cadence: re-hash
+            // the idle local snapshot and buddy replica, dropping any
+            // that rotted so a restore never trusts them.
+            if res.scrub_interval > 0 && step_no.is_multiple_of(res.scrub_interval as u64) {
+                if let Some(tz) = &mut tiers {
+                    self.scrub_tiers(rank, tz, &mut rstats);
                 }
             }
             // Deterministic state corruption, if the fault plan asks for
@@ -1456,13 +2163,17 @@ impl BlockSolver {
                 // treats collective timeouts as the suspicion flag, so a
                 // dead rank surfaces here even for the ranks that never
                 // exchanged a halo with it: 0 = clean, 1 = step failure
-                // (retry/restore tier), ≥2 = a peer looks dead (consensus
-                // tier).
+                // (retry/restore tier), 1.5 = silent corruption detected
+                // (snapshot-restore tier — retrying is useless, the
+                // rollback backup is corrupt too), ≥2 = a peer looks
+                // dead (consensus tier).
                 let flag = if rank.evicted().is_some()
                     || rank.suspected_mask() != 0
                     || matches!(outcome, Err(SolverError::PeerSuspect { .. }))
                 {
                     SUSPECT_FLAG
+                } else if sdc_hit {
+                    SDC_FLAG
                 } else if outcome.is_err() {
                     1.0
                 } else {
@@ -1480,16 +2191,35 @@ impl BlockSolver {
                         .suspicion_consensus()
                         .map_err(|_| SolverError::RankFailed { step: step_no })?;
                     if newly_dead != 0 {
-                        let gslots_ref =
-                            gslots.as_ref().ok_or_else(|| SolverError::Checkpoint {
-                                msg: "rank death confirmed but no checkpoint directory \
-                                      is configured for a shrinking recovery"
-                                    .into(),
-                            })?;
                         rstats.shrinks += 1;
                         rstats.ranks_lost += u64::from(newly_dead.count_ones());
                         let s = self.pstart(rank);
-                        let (t_r, s_r) = self.shrink_and_restore(rank, u, gslots_ref)?;
+                        // Cheapest rung first: reassemble the dead blocks
+                        // from their guardians' buddy replicas, entirely
+                        // in memory. Only if the replicas cannot cover
+                        // every lost block does the shrink touch disk.
+                        let from_buddies = match &tiers {
+                            Some(tz) => self.shrink_from_buddies(rank, u, tz, &mut rstats)?,
+                            None => None,
+                        };
+                        let (t_r, s_r) = match from_buddies {
+                            Some(restored) => restored,
+                            None => {
+                                let gslots_ref =
+                                    gslots.as_ref().ok_or_else(|| SolverError::Checkpoint {
+                                        msg: "rank death confirmed but neither buddy \
+                                              replicas nor a checkpoint directory can \
+                                              serve a shrinking recovery"
+                                            .into(),
+                                    })?;
+                                let restored = self.shrink_and_restore(rank, u, gslots_ref)?;
+                                rstats.disk_restores += 1;
+                                if let Some(m) = &self.metrics {
+                                    m.counter("ckp.tier.disk.restore").add(1);
+                                }
+                                restored
+                            }
+                        };
                         self.pend("driver.shrink_restore", rank, s);
                         t = t_r;
                         step_no = s_r;
@@ -1517,6 +2247,27 @@ impl BlockSolver {
                             rstats.checkpoints_saved += 1;
                             slots = Some(s);
                         }
+                        // The decomposition changed: pre-shrink snapshots
+                        // must never serve another restore. Rebuild the
+                        // tier state for the new world and re-seed it
+                        // immediately so the memory rungs stay armed.
+                        if tiers.is_some() {
+                            let mut tz = CkpTiers::new(res.buddy_offset, self.cfg.decomp.nranks());
+                            match self.refresh_memory_tiers(
+                                rank,
+                                &mut tz,
+                                u,
+                                t,
+                                step_no,
+                                &injector,
+                                &mut rstats,
+                            ) {
+                                Ok(()) | Err(SolverError::PeerSuspect { .. }) => {}
+                                Err(e) => return Err(e),
+                            }
+                            tiers = Some(tz);
+                        }
+                        stamp = arm_stamp.then(|| StateChecksum::stamp(u.raw(), NCOMP));
                         if let Some(m) = &self.metrics {
                             m.counter("driver.shrinks").add(1);
                             m.counter("driver.ranks_lost")
@@ -1531,6 +2282,26 @@ impl BlockSolver {
                     if let Some(m) = &self.metrics {
                         m.counter("driver.false_suspicions").add(1);
                     }
+                } else if agreed >= SDC_FLAG {
+                    // Somebody's live state silently rotted — and so did
+                    // its rollback backup (copied *after* the flip), so
+                    // the retry tier cannot help. Restore collectively
+                    // from the cheapest valid snapshot tier. This does
+                    // not consume the restart budget: the numerics were
+                    // never at fault, and the deterministic fault streams
+                    // cannot replay the same flip after the rollback.
+                    let s = self.pstart(rank);
+                    let (t_r, s_r) =
+                        self.tier_restore(rank, u, &tiers, slots.as_ref(), &mut rstats)?;
+                    self.pend("driver.sdc_restore", rank, s);
+                    t = t_r;
+                    step_no = s_r;
+                    stamp = arm_stamp.then(|| StateChecksum::stamp(u.raw(), NCOMP));
+                    self.dt_cache.invalidate();
+                    if let Some(m) = &self.metrics {
+                        m.counter("sdc.restores").add(1);
+                    }
+                    break 'attempts;
                 }
                 let failed = agreed >= 1.0;
                 match outcome {
@@ -1574,6 +2345,36 @@ impl BlockSolver {
                                 self.pend("phase.ckp.global", rank, s);
                             }
                         }
+                        // Re-stamp the committed state (the reference the
+                        // next iteration's live scrub verifies against)
+                        // and, on the faster memory cadence, freeze it
+                        // into the L1 snapshot + ship the buddy replica.
+                        if arm_stamp {
+                            stamp = Some(StateChecksum::stamp(u.raw(), NCOMP));
+                        }
+                        if res.local_interval > 0
+                            && step_no.is_multiple_of(res.local_interval as u64)
+                        {
+                            if let Some(tz) = &mut tiers {
+                                let s = self.pstart(rank);
+                                match self.refresh_memory_tiers(
+                                    rank,
+                                    tz,
+                                    u,
+                                    t,
+                                    step_no,
+                                    &injector,
+                                    &mut rstats,
+                                ) {
+                                    Ok(()) => {}
+                                    // A peer died mid-exchange: latched,
+                                    // handled by the next agreement round.
+                                    Err(SolverError::PeerSuspect { .. }) => {}
+                                    Err(e) => return Err(e),
+                                }
+                                self.pend("phase.ckp.memory", rank, s);
+                            }
+                        }
                         self.health_observe(rank, u, t, step_no);
                         break;
                     }
@@ -1599,64 +2400,23 @@ impl BlockSolver {
                             attempt += 1;
                             continue;
                         }
-                        // Retries exhausted: restore from checkpoint. The
+                        // Retries exhausted: walk the checkpoint
+                        // hierarchy — memory tiers first, disk last. The
                         // attempt/restart counters march in lockstep on
                         // every rank, so this decision is collective.
-                        let slots_ref = match &slots {
-                            Some(s) if restarts_left > 0 => s,
-                            _ => {
-                                return Err(outcome.err().unwrap_or(SolverError::Checkpoint {
-                                    msg: "step failed on a peer rank; retries and \
-                                              restarts exhausted"
-                                        .into(),
-                                }))
-                            }
-                        };
-                        let s = self.pstart(rank);
-                        let loaded = slots_ref.load_newest();
-                        let all_loaded =
-                            rank.allreduce_min(if loaded.is_ok() { 1.0 } else { 0.0 }) > 0.5;
-                        let ckp = match (loaded, all_loaded) {
-                            (Ok(c), true) => c,
-                            (loaded, _) => {
-                                return Err(loaded.err().map(ck_err).unwrap_or(
-                                    SolverError::Checkpoint {
-                                        msg: "checkpoint restore failed on a peer rank".into(),
-                                    },
-                                ))
-                            }
-                        };
-                        // Ranks may disagree on the newest valid slot (one
-                        // rank's `latest` may have been lost); restart from
-                        // the oldest agreed step.
-                        let agreed = rank.allreduce_min(ckp.step as f64);
-                        let ckp = if (ckp.step as f64) > agreed {
-                            load_checkpoint(&slots_ref.prev_path())
-                                .ok()
-                                .filter(|c| (c.step as f64) == agreed)
-                        } else {
-                            Some(ckp)
-                        };
-                        let all_agreed =
-                            rank.allreduce_min(if ckp.is_some() { 1.0 } else { 0.0 }) > 0.5;
-                        let ckp = match (ckp, all_agreed) {
-                            (Some(c), true) => c,
-                            _ => {
-                                return Err(SolverError::Checkpoint {
-                                    msg: "ranks could not agree on a common restart \
-                                          checkpoint"
-                                        .into(),
-                                })
-                            }
-                        };
-                        if ckp.field.geom() != &self.geom || ckp.field.ncomp() != u.ncomp() {
-                            return Err(SolverError::Checkpoint {
-                                msg: "checkpoint geometry does not match this rank's block".into(),
-                            });
+                        if restarts_left == 0 || (tiers.is_none() && slots.is_none()) {
+                            return Err(outcome.err().unwrap_or(SolverError::Checkpoint {
+                                msg: "step failed on a peer rank; retries and \
+                                          restarts exhausted"
+                                    .into(),
+                            }));
                         }
-                        u.raw_mut().copy_from_slice(ckp.field.raw());
-                        t = ckp.time;
-                        step_no = ckp.step;
+                        let s = self.pstart(rank);
+                        let (t_r, s_r) =
+                            self.tier_restore(rank, u, &tiers, slots.as_ref(), &mut rstats)?;
+                        t = t_r;
+                        step_no = s_r;
+                        stamp = arm_stamp.then(|| StateChecksum::stamp(u.raw(), NCOMP));
                         // The state just jumped back in time: a Δt cached
                         // on the abandoned trajectory is stale.
                         self.dt_cache.invalidate();
@@ -2258,9 +3018,13 @@ mod tests {
         let reg = Arc::new(Registry::new());
         let outs = {
             let (reg, cfg) = (reg.clone(), &cfg);
+            // 20 ms modeled latency: virtual-time waits cost no wall
+            // clock, and `work()` charges *measured* compute to vtime, so
+            // the latency must dominate even a descheduled compute
+            // section for the halo-wait assertion to be load-robust.
             run(
                 2,
-                NetworkModel::virtual_cluster(Duration::from_micros(50), 1e9),
+                NetworkModel::virtual_cluster(Duration::from_millis(20), 1e9),
                 move |rank| {
                     rank.set_metrics(reg.clone());
                     let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
@@ -2295,7 +3059,7 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing {phase}: have {:?}", snap.histograms.keys()));
             assert!(h.count > 0, "{phase} never recorded");
         }
-        // The 50 µs-latency halo waits dominate the tiny per-rank compute.
+        // The 20 ms-latency halo waits dominate the tiny per-rank compute.
         assert!(snap.phase_secs("phase.halo.wait") > 0.0);
         let iters = &snap.histograms["c2p.newton_iters"];
         assert!(iters.count > 0 && iters.sum > 0, "con2prim work uncounted");
