@@ -1,0 +1,53 @@
+//! Bench-regression sentinel: diff current `BENCH_<id>.json` reports
+//! against committed baselines with per-metric tolerances.
+//!
+//! ```text
+//! bench_compare <baseline_dir> [current_dir]
+//! ```
+//!
+//! `current_dir` defaults to the `results/` directory (honouring
+//! `RHRSC_RESULTS_DIR`, so CI points it at the fresh toy-run output).
+//! Exits 0 when every compared metric is within tolerance, 1 on any
+//! regression (including a baseline bench missing from the current
+//! results), 2 on usage or I/O errors. Reports whose `config` differs
+//! from the baseline are skipped with a note — they are not comparable.
+
+use rhrsc_bench::{compare_dirs, results_dir};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(baseline_dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: bench_compare <baseline_dir> [current_dir]");
+        return ExitCode::from(2);
+    };
+    let current_dir = args.next().map(PathBuf::from).unwrap_or_else(results_dir);
+
+    println!(
+        "# Bench regression sentinel: {} vs baseline {}",
+        current_dir.display(),
+        baseline_dir.display()
+    );
+    let run = compare_dirs(&baseline_dir, &current_dir);
+    run.print();
+
+    if !run.errors.is_empty() {
+        return ExitCode::from(2);
+    }
+    if run.outcomes.is_empty() && run.skipped.is_empty() {
+        eprintln!(
+            "error: no baseline BENCH_*.json found in {}",
+            baseline_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let regressions = run.regressions();
+    if regressions > 0 {
+        eprintln!("FAIL: {regressions} metric(s) regressed against baseline");
+        ExitCode::from(1)
+    } else {
+        println!("OK: {} metric(s) within tolerance", run.outcomes.len());
+        ExitCode::SUCCESS
+    }
+}

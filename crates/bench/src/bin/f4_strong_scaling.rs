@@ -15,12 +15,18 @@
 //!
 //! Flags: `--toy` shrinks the sweep for smoke tests/CI, `--profile`
 //! prints the phase breakdown. A machine-readable report is always
-//! written to `results/BENCH_f4_strong_scaling.json`.
+//! written to `results/BENCH_f4_strong_scaling.json`. Telemetry
+//! (`RHRSC_TELEMETRY_INTERVAL` / `--telemetry-out` /
+//! `--metrics-textfile`) arms on the largest rank-count sweep: the
+//! solver samples per-rank metric deltas each cadence, reduces them to
+//! rank 0, and the report gains a `series` section.
 
 use rhrsc_bench::{f3, print_phase_table, BenchOpts, RunReport, Table};
 use rhrsc_comm::{run, NetworkModel};
 use rhrsc_grid::{bc, Bc, CartDecomp};
-use rhrsc_runtime::Registry;
+use rhrsc_io::FileSinks;
+use rhrsc_runtime::metrics::Snapshot;
+use rhrsc_runtime::{Registry, Telemetry};
 use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
 use rhrsc_solver::{RkOrder, Scheme};
 use rhrsc_srhd::Prim;
@@ -41,7 +47,12 @@ fn main() {
     };
     println!("# F4: strong scaling, {n}x{n}, {nsteps} RK2 steps, virtual cluster (10us, 10GB/s)");
     let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
-    let reg = Arc::new(Registry::new());
+    let telemetry_cfg = opts.telemetry_config();
+    let max_ranks = *ranks.last().unwrap();
+    // Ranks keep separate registries (merged below), so the telemetry
+    // sampler sees honest per-rank deltas rather than pooled totals.
+    let mut pooled = Snapshot::default();
+    let mut hub_for_report: Option<Arc<Telemetry>> = None;
     let mut wall_total = 0.0;
     let mut zu_total = 0.0;
 
@@ -62,12 +73,34 @@ fn main() {
             // the AIMD window (violations collapse it — see a3).
             dt_refresh_interval: 5,
         };
+        let regs: Vec<Arc<Registry>> = (0..p).map(|_| Arc::new(Registry::new())).collect();
+        // Telemetry arms on the largest sweep only: one run = one
+        // monotone step series, reduced across the full rank count.
+        let hub = (p == max_ranks)
+            .then(|| telemetry_cfg.map(|c| Arc::new(Telemetry::new(c))))
+            .flatten();
+        if let Some(h) = &hub {
+            h.set_sink(Box::new(FileSinks::new(
+                opts.metrics_textfile.clone(),
+                opts.telemetry_out.clone(),
+            )));
+        }
         let stats = run(p, model, |rank| {
+            let reg = regs[rank.rank()].clone();
             rank.set_metrics(reg.clone());
             let (mut solver, mut u) = BlockSolver::new(cfg.clone(), rank.rank(), &ic);
-            solver.set_metrics(reg.clone());
+            solver.set_metrics(reg);
+            if let Some(h) = &hub {
+                solver.set_telemetry(h.clone());
+            }
             solver.advance_steps(rank, &mut u, nsteps).unwrap()
         });
+        for r in &regs {
+            pooled.merge(&r.snapshot());
+        }
+        if hub.is_some() {
+            hub_for_report = hub;
+        }
         let makespan = stats.iter().map(|s| s.vtime).fold(0.0, f64::max);
         wall_total += makespan;
         zu_total += stats.iter().map(|s| s.zone_updates as f64).sum::<f64>();
@@ -83,12 +116,14 @@ fn main() {
     table.print();
     table.save_csv("f4_strong_scaling");
 
-    let snap = reg.snapshot();
     if opts.profile {
-        print_phase_table("f4_strong_scaling (all rank counts pooled)", &snap);
+        print_phase_table("f4_strong_scaling (all rank counts pooled)", &pooled);
     }
-    let max_ranks = *ranks.last().unwrap();
-    RunReport::new("f4_strong_scaling")
+    let mut report = RunReport::new("f4_strong_scaling");
+    if let Some(hub) = &hub_for_report {
+        report.series(&hub.samples());
+    }
+    report
         .config_str("preset", if opts.toy { "toy" } else { "full" })
         .config_str("model", "virtual_cluster(10us, 10GB/s)")
         .config_num("global_n", n as f64)
@@ -100,5 +135,5 @@ fn main() {
         .wall_time(wall_total)
         .parallelism(max_ranks as f64)
         .zone_updates(zu_total)
-        .write(&snap);
+        .write(&pooled);
 }

@@ -18,7 +18,13 @@
 //! Usage: `validate_reports [dir]` — defaults to the workspace
 //! `results/` directory (or `RHRSC_RESULTS_DIR`).
 
-use rhrsc_bench::{results_dir, validate_report, validate_trace, Json};
+use rhrsc_bench::{results_dir, validate_report, validate_telemetry_line, validate_trace, Json};
+
+/// Bench ids that run with the flight recorder armed: when their
+/// `BENCH_<id>.json` is present in the directory, the matching
+/// `TRACE_<id>.json` must be too — a bench silently dropping its trace
+/// output would otherwise go unnoticed until someone needs the spans.
+const REQUIRED_TRACE_IDS: &[&str] = &["f7_overlap", "f10_fault_tolerance", "f11_rank_failure"];
 
 /// Counters that must be present *and positive* for a given bench id —
 /// their absence means the fault/liveness machinery silently never ran.
@@ -264,6 +270,51 @@ fn main() {
             }
         }
     }
+    // Traced benches must publish their flight record alongside the
+    // bench report.
+    for id in REQUIRED_TRACE_IDS {
+        if dir.join(format!("BENCH_{id}.json")).exists() {
+            let trace = dir.join(format!("TRACE_{id}.json"));
+            checked += 1;
+            if trace.exists() {
+                println!("ok    {} (trace present)", trace.display());
+            } else {
+                failed += 1;
+                eprintln!(
+                    "FAIL  {}: traced bench `{id}` has a BENCH report but no flight record",
+                    trace.display()
+                );
+            }
+        }
+    }
+    // Telemetry JSONL streams: every line must parse and match the
+    // sample/event schema.
+    let mut jsonl: Vec<_> = std::fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("TELEMETRY_") && n.ends_with(".jsonl"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    jsonl.sort();
+    for path in &jsonl {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let verdict = validate_telemetry_stream(&text);
+        checked += 1;
+        match verdict {
+            Ok(lines) => println!("ok    {} ({lines} records)", path.display()),
+            Err(msg) => {
+                failed += 1;
+                eprintln!("FAIL  {}: {msg}", path.display());
+            }
+        }
+    }
     if checked == 0 {
         eprintln!(
             "no BENCH_*.json / TRACE_*.json files found in {}",
@@ -275,4 +326,26 @@ fn main() {
     if failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// Validate a whole telemetry JSONL stream: non-empty, every line a
+/// valid sample/event record, at least one sample.
+fn validate_telemetry_stream(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        validate_telemetry_line(&doc).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if doc.get("type").and_then(Json::as_str) == Some("sample") {
+            samples += 1;
+        }
+        lines += 1;
+    }
+    if samples == 0 {
+        return Err("stream contains no sample records".to_string());
+    }
+    Ok(lines)
 }

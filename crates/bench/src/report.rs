@@ -18,10 +18,13 @@
 //!   "zone_updates": 2621440,          // optional
 //!   "zone_updates_per_sec": 2.1e6,    // derived, optional
 //!   "phases":   [{"name": "phase.halo.wait", "total_s": 0.5,
-//!                 "count": 240, "mean_s": 0.002}],
+//!                 "count": 240, "mean_s": 0.002,
+//!                 "p50_s": 0.0019, "p99_s": 0.004}],
 //!   "counters": {"comm.msgs.halo": 960},
 //!   "values":   [{"name": "c2p.newton_iters", "count": 655360,
-//!                 "sum": 2621440, "mean": 4.0}]
+//!                 "sum": 2621440, "mean": 4.0}],
+//!   "series":   {"fields": ["step", "time", "t_ns", "..."],
+//!                "samples": [[1, 0.001, 12345, 0.0]]}  // optional
 //! }
 //! ```
 //!
@@ -47,26 +50,50 @@ pub struct BenchOpts {
     /// Write a Chrome/Perfetto `trace.json` of the instrumented run
     /// (`--trace-out <path>`).
     pub trace_out: Option<PathBuf>,
+    /// Stream telemetry samples/events as JSONL to this path
+    /// (`--telemetry-out <path>`).
+    pub telemetry_out: Option<PathBuf>,
+    /// Atomically rewrite an OpenMetrics textfile on the telemetry
+    /// cadence (`--metrics-textfile <path>`, node_exporter
+    /// textfile-collector compatible).
+    pub metrics_textfile: Option<PathBuf>,
 }
 
 impl BenchOpts {
-    /// Parse `--profile` / `--toy` / `--trace-out <path>` from
+    /// Parse `--profile` / `--toy` / `--trace-out <path>` /
+    /// `--telemetry-out <path>` / `--metrics-textfile <path>` from
     /// `std::env::args`, warning on anything else.
     pub fn from_args() -> Self {
+        // Path-valued flags accept both `--flag path` and `--flag=path`.
+        fn next_path(args: &mut impl Iterator<Item = String>, flag: &str) -> Option<PathBuf> {
+            let p = args.next().map(PathBuf::from);
+            if p.is_none() {
+                eprintln!("warning: {flag} requires a path argument");
+            }
+            p
+        }
         let mut o = BenchOpts::default();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--profile" => o.profile = true,
                 "--toy" => o.toy = true,
-                "--trace-out" => match args.next() {
-                    Some(p) => o.trace_out = Some(PathBuf::from(p)),
-                    None => eprintln!("warning: --trace-out requires a path argument"),
-                },
-                other => match other.strip_prefix("--trace-out=") {
-                    Some(p) => o.trace_out = Some(PathBuf::from(p)),
-                    None => eprintln!("warning: ignoring unknown argument `{other}`"),
-                },
+                "--trace-out" => o.trace_out = next_path(&mut args, "--trace-out"),
+                "--telemetry-out" => o.telemetry_out = next_path(&mut args, "--telemetry-out"),
+                "--metrics-textfile" => {
+                    o.metrics_textfile = next_path(&mut args, "--metrics-textfile")
+                }
+                other => {
+                    if let Some(p) = other.strip_prefix("--trace-out=") {
+                        o.trace_out = Some(PathBuf::from(p));
+                    } else if let Some(p) = other.strip_prefix("--telemetry-out=") {
+                        o.telemetry_out = Some(PathBuf::from(p));
+                    } else if let Some(p) = other.strip_prefix("--metrics-textfile=") {
+                        o.metrics_textfile = Some(PathBuf::from(p));
+                    } else {
+                        eprintln!("warning: ignoring unknown argument `{other}`");
+                    }
+                }
             }
         }
         o
@@ -79,6 +106,18 @@ impl BenchOpts {
             .clone()
             .or_else(|| std::env::var_os("RHRSC_TRACE").map(PathBuf::from))
     }
+
+    /// Telemetry configuration, when armed: either sink flag arms it at
+    /// the default cadence, and `RHRSC_TELEMETRY_INTERVAL` arms it
+    /// and/or overrides the cadence. `None` = telemetry detached.
+    pub fn telemetry_config(&self) -> Option<rhrsc_runtime::TelemetryConfig> {
+        let env = rhrsc_runtime::TelemetryConfig::from_env();
+        if env.is_some() {
+            return env;
+        }
+        (self.telemetry_out.is_some() || self.metrics_textfile.is_some())
+            .then(rhrsc_runtime::TelemetryConfig::default)
+    }
 }
 
 /// Builder for a `BENCH_<id>.json` run report.
@@ -88,6 +127,7 @@ pub struct RunReport {
     wall_time_s: f64,
     parallelism: f64,
     zone_updates: Option<f64>,
+    series: Vec<rhrsc_runtime::SeriesSample>,
 }
 
 impl RunReport {
@@ -99,6 +139,7 @@ impl RunReport {
             wall_time_s: 0.0,
             parallelism: 1.0,
             zone_updates: None,
+            series: Vec::new(),
         }
     }
 
@@ -135,6 +176,14 @@ impl RunReport {
         self
     }
 
+    /// Attach the telemetry time series (the hub's retained samples):
+    /// the report gains a `series` section with the field schema and one
+    /// numeric row per sample (`[step, time, t_ns, fields...]`).
+    pub fn series(&mut self, samples: &[rhrsc_runtime::SeriesSample]) -> &mut Self {
+        self.series = samples.to_vec();
+        self
+    }
+
     /// Render the report document from a metrics snapshot.
     pub fn to_json(&self, snap: &Snapshot) -> Json {
         let mut phases = Vec::new();
@@ -154,6 +203,8 @@ impl RunReport {
                             0.0
                         }),
                     ),
+                    ("p50_s", Json::Num(h.quantile(0.5) * 1e-9)),
+                    ("p99_s", Json::Num(h.quantile(0.99) * 1e-9)),
                 ]));
             } else {
                 values.push(obj(vec![
@@ -203,6 +254,30 @@ impl RunReport {
         members.push(("phases", Json::Arr(phases)));
         members.push(("counters", counters));
         members.push(("values", Json::Arr(values)));
+        if !self.series.is_empty() {
+            let mut fields = vec![
+                Json::Str("step".into()),
+                Json::Str("time".into()),
+                Json::Str("t_ns".into()),
+            ];
+            fields.extend(
+                rhrsc_runtime::telemetry::SERIES_FIELDS
+                    .iter()
+                    .map(|f| Json::Str(f.name.to_string())),
+            );
+            let samples = self
+                .series
+                .iter()
+                .map(|s| Json::Arr(s.pack().into_iter().map(Json::Num).collect()))
+                .collect();
+            members.push((
+                "series",
+                obj(vec![
+                    ("fields", Json::Arr(fields)),
+                    ("samples", Json::Arr(samples)),
+                ]),
+            ));
+        }
         obj(members)
     }
 
@@ -303,7 +378,121 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             return Err(format!("zone_updates_per_sec must be positive, got {rate}"));
         }
     }
+    if let Some(series) = doc.get("series") {
+        validate_series(series)?;
+    }
     Ok(())
+}
+
+/// Validate a report's `series` section (the telemetry time series):
+/// a non-empty string field schema matching the runtime's
+/// [`SERIES_FIELDS`](rhrsc_runtime::telemetry::SERIES_FIELDS) plus the
+/// `[step, time, t_ns]` header, and numeric rows of matching width with
+/// strictly increasing step numbers.
+pub fn validate_series(series: &Json) -> Result<(), String> {
+    let fields = series
+        .get("fields")
+        .and_then(Json::as_arr)
+        .ok_or("series.fields must be an array".to_string())?;
+    let names: Vec<&str> = fields.iter().filter_map(Json::as_str).collect();
+    if names.len() != fields.len() {
+        return Err("series.fields must be strings".to_string());
+    }
+    let expected: Vec<&str> = ["step", "time", "t_ns"]
+        .into_iter()
+        .chain(
+            rhrsc_runtime::telemetry::SERIES_FIELDS
+                .iter()
+                .map(|f| f.name),
+        )
+        .collect();
+    if names != expected {
+        return Err(format!(
+            "series.fields does not match the telemetry schema (got {} fields, want {})",
+            names.len(),
+            expected.len()
+        ));
+    }
+    let samples = series
+        .get("samples")
+        .and_then(Json::as_arr)
+        .ok_or("series.samples must be an array".to_string())?;
+    if samples.is_empty() {
+        return Err("series.samples must be non-empty".to_string());
+    }
+    let mut prev_step = -1.0;
+    for (i, row) in samples.iter().enumerate() {
+        let row = row
+            .as_arr()
+            .ok_or(format!("series sample {i} must be an array"))?;
+        if row.len() != expected.len() {
+            return Err(format!(
+                "series sample {i} has {} values, want {}",
+                row.len(),
+                expected.len()
+            ));
+        }
+        let mut nums = row.iter().map(Json::as_f64);
+        if nums.any(|v| v.is_none_or(|v| !v.is_finite())) {
+            return Err(format!("series sample {i} has a non-finite value"));
+        }
+        let step = row[0].as_f64().expect("checked numeric above");
+        if step <= prev_step {
+            return Err(format!(
+                "series sample {i} step {step} is not increasing (previous {prev_step})"
+            ));
+        }
+        prev_step = step;
+    }
+    Ok(())
+}
+
+/// Validate one line of a telemetry JSONL stream (as written by
+/// `rhrsc_io::telemetry::FileSinks`): a `sample` record with trace ids
+/// and the full field schema, or an `event` record with a kind.
+pub fn validate_telemetry_line(doc: &Json) -> Result<(), String> {
+    let ty = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("record missing `type`".to_string())?;
+    for key in ["pid", "step", "t_ns"] {
+        if doc.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("{ty} record missing numeric `{key}`"));
+        }
+    }
+    match ty {
+        "sample" => {
+            if doc.get("time").and_then(Json::as_f64).is_none() {
+                return Err("sample record missing numeric `time`".to_string());
+            }
+            let fields = doc
+                .get("fields")
+                .and_then(Json::as_obj)
+                .ok_or("sample record missing `fields` object".to_string())?;
+            for f in rhrsc_runtime::telemetry::SERIES_FIELDS {
+                let v = fields
+                    .iter()
+                    .find(|(k, _)| k == f.name)
+                    .and_then(|(_, v)| v.as_f64());
+                match v {
+                    Some(v) if v.is_finite() => {}
+                    _ => return Err(format!("sample field `{}` missing or non-finite", f.name)),
+                }
+            }
+            Ok(())
+        }
+        "event" => {
+            if doc
+                .get("kind")
+                .and_then(Json::as_str)
+                .is_none_or(str::is_empty)
+            {
+                return Err("event record missing `kind`".to_string());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown telemetry record type `{other}`")),
+    }
 }
 
 /// Validate a parsed Chrome/Perfetto `trace.json` flight record (as
@@ -410,7 +599,9 @@ pub fn print_phase_table(title: &str, snap: &Snapshot) {
         .filter(|(k, _)| k.starts_with("phase."))
         .map(|(_, h)| h.sum as f64 * 1e-9)
         .sum();
-    let mut t = Table::new(&["phase", "total_s", "count", "mean_us", "share"]);
+    let mut t = Table::new(&[
+        "phase", "total_s", "count", "mean_us", "p50_us", "p99_us", "share",
+    ]);
     for (name, h) in &snap.histograms {
         if !name.starts_with("phase.") {
             continue;
@@ -425,6 +616,8 @@ pub fn print_phase_table(title: &str, snap: &Snapshot) {
             } else {
                 0.0
             }),
+            f3(h.quantile(0.5) * 1e-3),
+            f3(h.quantile(0.99) * 1e-3),
             format!("{:.1}%", 100.0 * total_s / phase_total.max(1e-30)),
         ]);
     }
@@ -437,7 +630,7 @@ pub fn print_phase_table(title: &str, snap: &Snapshot) {
         .collect();
     if !subs.is_empty() {
         println!("  nested sections (overlap the phases above):");
-        let mut t = Table::new(&["section", "total_s", "count", "mean_us"]);
+        let mut t = Table::new(&["section", "total_s", "count", "mean_us", "p50_us", "p99_us"]);
         for (name, h) in subs {
             t.row(&[
                 name.clone(),
@@ -448,6 +641,8 @@ pub fn print_phase_table(title: &str, snap: &Snapshot) {
                 } else {
                     0.0
                 }),
+                f3(h.quantile(0.5) * 1e-3),
+                f3(h.quantile(0.99) * 1e-3),
             ]);
         }
         t.print();
@@ -591,5 +786,106 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(o.trace_path(), Some(PathBuf::from("/tmp/x.json")));
+    }
+
+    #[test]
+    fn bench_opts_arm_telemetry_via_sink_flags() {
+        let detached = BenchOpts::default();
+        assert!(detached.telemetry_config().is_none());
+        let armed = BenchOpts {
+            telemetry_out: Some(PathBuf::from("/tmp/t.jsonl")),
+            ..Default::default()
+        };
+        let cfg = armed.telemetry_config().expect("sink flag arms telemetry");
+        assert_eq!(
+            cfg.interval,
+            rhrsc_runtime::TelemetryConfig::default().interval
+        );
+    }
+
+    fn sample_series() -> Vec<rhrsc_runtime::SeriesSample> {
+        use rhrsc_runtime::telemetry::SERIES_FIELDS;
+        (1..=3)
+            .map(|i| rhrsc_runtime::SeriesSample {
+                step: i,
+                time: i as f64 * 0.1,
+                t_ns: i * 1000,
+                values: vec![i as f64; SERIES_FIELDS.len()],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn series_section_round_trips_and_validates() {
+        let snap = sample_snapshot();
+        let mut rep = RunReport::new("series_test");
+        rep.wall_time(0.06).series(&sample_series());
+        let doc = rep.to_json(&snap);
+        validate_report(&doc).expect("report with series validates");
+        let series = doc.get("series").expect("series section present");
+        validate_series(series).expect("series section validates");
+        let samples = series.get("samples").and_then(Json::as_arr).unwrap();
+        assert_eq!(samples.len(), 3);
+
+        // A report without samples simply omits the section.
+        let bare = RunReport::new("no_series");
+        let mut bare = bare;
+        bare.wall_time(0.06);
+        assert!(bare.to_json(&snap).get("series").is_none());
+    }
+
+    #[test]
+    fn series_validation_rejects_malformed_blocks() {
+        // Non-monotone steps.
+        let mut samples = sample_series();
+        samples[2].step = 1;
+        let mut rep = RunReport::new("bad_series");
+        rep.wall_time(0.06).series(&samples);
+        let doc = rep.to_json(&sample_snapshot());
+        assert!(validate_report(&doc).is_err());
+
+        // Wrong field schema.
+        let doc = Json::Obj(vec![
+            (
+                "fields".into(),
+                Json::Arr(vec![Json::Str("step".into()), Json::Str("bogus".into())]),
+            ),
+            (
+                "samples".into(),
+                Json::Arr(vec![Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])]),
+            ),
+        ]);
+        assert!(validate_series(&doc).is_err());
+    }
+
+    #[test]
+    fn telemetry_line_validation() {
+        let parse = Json::parse;
+        let fields: String = rhrsc_runtime::telemetry::SERIES_FIELDS
+            .iter()
+            .map(|f| format!("\"{}\":1", f.name))
+            .collect::<Vec<_>>()
+            .join(",");
+        let sample = parse(&format!(
+            "{{\"type\":\"sample\",\"pid\":0,\"step\":1,\"time\":0.1,\"t_ns\":5,\"fields\":{{{fields}}}}}"
+        ))
+        .unwrap();
+        validate_telemetry_line(&sample).expect("full sample validates");
+
+        let event = parse(
+            "{\"type\":\"event\",\"pid\":1,\"kind\":\"suspect\",\"step\":2,\"t_ns\":9,\"value\":1}",
+        )
+        .unwrap();
+        validate_telemetry_line(&event).expect("event validates");
+
+        // Missing a schema field fails.
+        let partial = parse(
+            "{\"type\":\"sample\",\"pid\":0,\"step\":1,\"time\":0.1,\"t_ns\":5,\"fields\":{\"dt\":1}}",
+        )
+        .unwrap();
+        assert!(validate_telemetry_line(&partial).is_err());
+        // Unknown record types fail.
+        let unknown = parse("{\"type\":\"bogus\",\"pid\":0,\"step\":1,\"t_ns\":5}").unwrap();
+        assert!(validate_telemetry_line(&unknown).is_err());
     }
 }

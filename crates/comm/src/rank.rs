@@ -81,6 +81,14 @@ pub const BUDDY_RESTORE_TAG: u64 = 1101;
 /// restore of *dead* ranks' state onto the survivor decomposition).
 pub const BUDDY_SHRINK_TAG: u64 = 1102;
 
+/// Tag of the cadenced telemetry reduction: every rank's delta sample
+/// rides to block rank 0 on this tag so a run carries one global time
+/// series. Data class (reliable, never fault-injected): telemetry must
+/// observe faults, not suffer them — and the point-to-point sends touch
+/// neither the collective op counter nor the solver state, so arming
+/// telemetry leaves the computed fields bit-identical.
+pub const TELEMETRY_TAG: u64 = 1200;
+
 /// Errors from the deadline-aware receive paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommError {

@@ -10,11 +10,15 @@
 //!   integration tests),
 //! * [`snapshot`] — the diskless checkpoint tiers: FNV-stamped in-memory
 //!   snapshot buffers (local + buddy replica) and ABFT state checksums
-//!   for silent-data-corruption scrubbing.
+//!   for silent-data-corruption scrubbing,
+//! * [`telemetry`] — file sinks for the runtime telemetry hub: an
+//!   atomically-rewritten OpenMetrics textfile and a streaming JSONL
+//!   record of samples and lifecycle events.
 
 pub mod checkpoint;
 pub mod image;
 pub mod snapshot;
+pub mod telemetry;
 pub mod vtk;
 
 pub use checkpoint::{
@@ -22,3 +26,4 @@ pub use checkpoint::{
     AmrPatchRecord, Checkpoint, CheckpointError, CheckpointSlots,
 };
 pub use snapshot::{MemorySnapshot, StateChecksum};
+pub use telemetry::FileSinks;

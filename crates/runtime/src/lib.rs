@@ -21,7 +21,11 @@
 //!   profiling (see DESIGN.md "Observability"),
 //! * [`trace`] — a span-based flight recorder (fixed-capacity per-track
 //!   ring buffers) with Chrome/Perfetto `trace.json` export (see
-//!   DESIGN.md "Tracing & flight recorder").
+//!   DESIGN.md "Tracing & flight recorder"),
+//! * [`telemetry`] — cadenced delta sampling of the metrics registry
+//!   into bounded time-series rings, with a fault/recovery event log,
+//!   anomaly watchdogs and pluggable streaming sinks (see DESIGN.md
+//!   "Telemetry & regression sentinel").
 
 pub mod device;
 pub mod executor;
@@ -30,6 +34,7 @@ pub mod future;
 pub mod metrics;
 pub mod pool;
 pub mod sched;
+pub mod telemetry;
 pub mod trace;
 
 pub use device::{Accelerator, AcceleratorConfig, BufId};
@@ -39,6 +44,10 @@ pub use future::{promise, Future, Promise};
 pub use metrics::{Counter, HistSnapshot, Histogram, PhaseTimer, Registry, Snapshot};
 pub use pool::{await_job, await_job_for, pool_timeout, WorkStealingPool};
 pub use sched::{plan_static, plan_weighted, Policy};
+pub use telemetry::{
+    SampleInputs, SeriesSample, Telemetry, TelemetryConfig, TelemetryEvent, TelemetrySampler,
+    TelemetrySink,
+};
 pub use trace::{Tracer, Track};
 
 use std::time::{Duration, Instant};

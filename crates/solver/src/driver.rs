@@ -26,6 +26,7 @@ use crate::scheme::{
 use crate::step::{accumulate_rhs_region_scan, Region};
 use rhrsc_comm::{
     CommError, Rank, BUDDY_CKP_TAG, BUDDY_RESTORE_TAG, BUDDY_SHRINK_TAG, SUSPECT_FLAG,
+    TELEMETRY_TAG,
 };
 use rhrsc_grid::{fill_face, BcSet, CartDecomp, Field, PatchGeom};
 use rhrsc_io::checkpoint::{
@@ -35,6 +36,7 @@ use rhrsc_io::checkpoint::{
 use rhrsc_io::snapshot::{MemorySnapshot, StateChecksum};
 use rhrsc_runtime::fault::SnapshotTarget;
 use rhrsc_runtime::metrics::{Histogram, Registry};
+use rhrsc_runtime::telemetry::{SampleInputs, SeriesSample, Telemetry, TelemetrySampler};
 use rhrsc_runtime::WorkStealingPool;
 use rhrsc_srhd::{Prim, NCOMP};
 use std::path::PathBuf;
@@ -273,6 +275,21 @@ pub struct BlockSolver {
     rate: Vec<f64>,
     /// Cached global Δt with its guarded refresh cadence.
     dt_cache: DtCache,
+    /// Optional cadenced telemetry: shared hub + per-rank sampler state.
+    telemetry: Option<TelemetryState>,
+}
+
+/// Per-rank telemetry state: the shared hub and this rank's delta
+/// sampler (previous registry snapshot + clock of the last sample).
+struct TelemetryState {
+    hub: Arc<Telemetry>,
+    sampler: TelemetrySampler,
+    /// Wall/virtual clock at the previous sample, for per-window
+    /// `elapsed_s`.
+    last_clock: Option<(Instant, f64)>,
+    /// Wall-clock epoch for trace-correlated timestamps when no flight
+    /// recorder is attached.
+    epoch: Instant,
 }
 
 /// Cached global Δt state for the cadenced allreduce.
@@ -432,6 +449,7 @@ impl BlockSolver {
                 health: None,
                 rate: vec![0.0; geom.len()],
                 dt_cache: DtCache::new(),
+                telemetry: None,
             },
             u,
         )
@@ -470,6 +488,30 @@ impl BlockSolver {
     /// summaries at bench time).
     pub fn take_health(&mut self) -> Option<HealthMonitor> {
         self.health.take()
+    }
+
+    /// Attach the shared telemetry hub: on the hub's step cadence the
+    /// advance loops snapshot the metrics registry into a delta sample
+    /// and reduce it to block rank 0 over [`TELEMETRY_TAG`], which
+    /// pushes the merged global sample into the hub (rings, watchdogs,
+    /// sinks). Requires [`set_metrics`](Self::set_metrics) — the sampler
+    /// reads the registry; without one the hook is inert. Sampling is
+    /// read-only over the solver state and the point-to-point reduction
+    /// uses a dedicated reliable tag, so the computed fields are
+    /// bit-identical with telemetry armed or detached.
+    pub fn set_telemetry(&mut self, hub: Arc<Telemetry>) {
+        let interval = hub.cfg().interval;
+        self.telemetry = Some(TelemetryState {
+            hub,
+            sampler: TelemetrySampler::new(interval),
+            last_clock: None,
+            epoch: Instant::now(),
+        });
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref().map(|t| &t.hub)
     }
 
     fn pstart(&self, rank: &Rank) -> PhaseStart {
@@ -527,6 +569,91 @@ impl BlockSolver {
             }
             if floor_alarm {
                 m.counter("health.floor_alarms").inc();
+            }
+        }
+    }
+
+    /// Take a telemetry sample if the hub's cadence is due: snapshot the
+    /// registry into a delta sample and reduce it to block rank 0 over
+    /// the dedicated [`TELEMETRY_TAG`]. Rank 0 merges the per-rank
+    /// contributions in block order (deterministic), pushes the global
+    /// sample into the hub, and — on a watchdog trip — dumps the flight
+    /// recorder pre-emptively, before any escalation overwrites the
+    /// evidence. A peer whose sample never arrives (it died this step)
+    /// is simply skipped: telemetry observes faults, it never escalates
+    /// them.
+    fn telemetry_observe(&mut self, rank: &mut Rank, t: f64, step_no: u64, dt: f64) {
+        let due = match &self.telemetry {
+            Some(ts) => ts.sampler.due(step_no),
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let Some(metrics) = self.metrics.clone() else {
+            return;
+        };
+        let (drift, atmo_frac, max_lorentz) = self
+            .health
+            .as_ref()
+            .and_then(|h| h.records().last())
+            .map(|r| (r.drift, r.atmo_frac, r.max_w))
+            .unwrap_or((0.0, 0.0, 0.0));
+        let nblocks = self.cfg.decomp.nranks();
+        let comms: Vec<usize> = (0..nblocks).map(|b| self.comm_of(b)).collect();
+        let zones_per_step = (self.geom.interior_len() * self.cfg.rk.stages()) as f64;
+        let my_block = self.my_rank;
+        let ts = self.telemetry.as_mut().expect("telemetry checked above");
+        // Timestamps share the flight recorder's clock so JSONL samples
+        // line up against the Perfetto spans of the same run.
+        let t_ns = match rank.tracer() {
+            Some(tracer) => tracer.stamp(rank.is_virtual().then(|| rank.vtime())),
+            None if rank.is_virtual() => (rank.vtime() * 1e9) as u64,
+            None => ts.epoch.elapsed().as_nanos() as u64,
+        };
+        let now = Instant::now();
+        let vnow = rank.vtime();
+        let elapsed_s = match ts.last_clock {
+            Some((_, v0)) if rank.is_virtual() => (vnow - v0).max(0.0),
+            Some((w0, _)) => now.duration_since(w0).as_secs_f64(),
+            None => 0.0,
+        };
+        ts.last_clock = Some((now, vnow));
+        let steps = ts.sampler.steps_since(step_no) as f64;
+        let inputs = SampleInputs {
+            steps,
+            dt,
+            zone_updates: zones_per_step * steps,
+            elapsed_s,
+            drift,
+            atmo_frac,
+            max_lorentz,
+        };
+        let local = ts
+            .sampler
+            .sample(step_no, t, t_ns, metrics.snapshot(), &inputs);
+        if my_block != 0 {
+            rank.send(comms[0], TELEMETRY_TAG, &local.pack());
+            return;
+        }
+        let mut merged = local;
+        for &peer in &comms[1..] {
+            if let Ok(buf) = rank.recv_deadline(peer, TELEMETRY_TAG) {
+                if let Some(s) = SeriesSample::unpack(&buf) {
+                    merged.merge(&s);
+                }
+            }
+        }
+        let verdict = ts.hub.push_sample(merged, rank.rank() as u32);
+        if verdict.trips > 0 {
+            metrics
+                .counter("telemetry.watchdog.trips")
+                .add(verdict.trips);
+            rank.trace_instant("telemetry.watchdog", verdict.trips as f64);
+            if verdict.dump {
+                if let Some(tracer) = rank.tracer() {
+                    tracer.dump_on_fault(rank.rank() as u32, "telemetry-watchdog", t_ns);
+                }
             }
         }
     }
@@ -1194,6 +1321,7 @@ impl BlockSolver {
             stats.steps += 1;
             stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
             self.health_observe(rank, u, t, stats.steps as u64);
+            self.telemetry_observe(rank, t, stats.steps as u64, dt);
         }
         stats.elapsed = start.elapsed();
         stats.bytes_sent = rank.bytes_sent() - bytes0;
@@ -1224,6 +1352,7 @@ impl BlockSolver {
             stats.steps += 1;
             stats.zone_updates += (self.geom.interior_len() * self.cfg.rk.stages()) as u64;
             self.health_observe(rank, u, t, stats.steps as u64);
+            self.telemetry_observe(rank, t, stats.steps as u64, dt);
         }
         stats.elapsed = start.elapsed();
         stats.bytes_sent = rank.bytes_sent() - bytes0;
@@ -2376,6 +2505,11 @@ impl BlockSolver {
                             }
                         }
                         self.health_observe(rank, u, t, step_no);
+                        // The success arm is collective (the outcome flag
+                        // is allreduced), so the sampling cadence stays
+                        // in lockstep across ranks even through retries
+                        // and restores.
+                        self.telemetry_observe(rank, t, step_no, dt);
                         break;
                     }
                     outcome => {

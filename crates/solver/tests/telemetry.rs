@@ -1,0 +1,154 @@
+//! Cross-rank telemetry aggregation tests.
+//!
+//! 1. **Merge-order determinism**: the root merges per-rank samples in
+//!    block order (not arrival order), so two identical runs produce
+//!    bit-identical series for every deterministic field, at 2 and 4
+//!    ranks. Wall-clock-derived fields (phase seconds, elapsed time,
+//!    trace timestamps) are excluded — they are honest measurements and
+//!    legitimately vary run to run.
+//! 2. **Bit-identity**: arming telemetry must not perturb the solver —
+//!    the final conserved state is bit-for-bit identical with the hub
+//!    armed vs detached. Sampling only *reads* solver state, and the
+//!    reduction travels over the dedicated reliable `TELEMETRY_TAG`,
+//!    which never touches the fault-injection op counter.
+
+use rhrsc_comm::{run, NetworkModel};
+use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::telemetry::field_index;
+use rhrsc_runtime::{Registry, SeriesSample, Telemetry, TelemetryConfig};
+use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
+use rhrsc_solver::{RkOrder, Scheme};
+use rhrsc_srhd::Prim;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 32;
+const NSTEPS: usize = 6;
+
+fn cfg(p: usize) -> DistConfig {
+    DistConfig {
+        scheme: Scheme::default_with_gamma(5.0 / 3.0),
+        rk: RkOrder::Rk2,
+        global_n: [N, N, 1],
+        domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+        decomp: CartDecomp::auto(p, [N, N, 1], [true, true, false]),
+        bcs: bc::uniform(Bc::Periodic),
+        cfl: 0.4,
+        mode: ExchangeMode::BulkSynchronous,
+        gang_threads: 0,
+        dt_refresh_interval: 1,
+    }
+}
+
+fn ic(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+        vel: [0.2, 0.1, 0.0],
+        p: 1.0,
+    }
+}
+
+/// Run `NSTEPS` on `p` virtual-cluster ranks with telemetry armed at
+/// cadence 1; returns the reduced series and the final per-rank states.
+fn run_armed(p: usize) -> (Vec<SeriesSample>, Vec<Vec<f64>>) {
+    let hub = Arc::new(Telemetry::new(TelemetryConfig::default()));
+    let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
+    let regs: Vec<Arc<Registry>> = (0..p).map(|_| Arc::new(Registry::new())).collect();
+    let states = {
+        let hub = hub.clone();
+        run(p, model, move |rank| {
+            let reg = regs[rank.rank()].clone();
+            rank.set_metrics(reg.clone());
+            let (mut solver, mut u) = BlockSolver::new(cfg(p), rank.rank(), &ic);
+            solver.set_metrics(reg);
+            solver.set_telemetry(hub.clone());
+            solver.advance_steps(rank, &mut u, NSTEPS).unwrap();
+            u.raw().to_vec()
+        })
+    };
+    (hub.samples(), states)
+}
+
+fn run_detached(p: usize) -> Vec<Vec<f64>> {
+    let model = NetworkModel::virtual_cluster(Duration::from_micros(10), 10e9);
+    run(p, model, move |rank| {
+        let (mut solver, mut u) = BlockSolver::new(cfg(p), rank.rank(), &ic);
+        solver.advance_steps(rank, &mut u, NSTEPS).unwrap();
+        u.raw().to_vec()
+    })
+}
+
+/// Wall-clock-derived fields, excluded from the determinism check.
+const TIMING_FIELDS: &[&str] = &[
+    "elapsed_s",
+    "rhs_s",
+    "halo_wait_s",
+    "coll_wait_s",
+    "dt_allreduce_s",
+];
+
+fn deterministic_bits(samples: &[SeriesSample]) -> Vec<u64> {
+    let timing: Vec<usize> = TIMING_FIELDS
+        .iter()
+        .map(|n| field_index(n).expect("schema field"))
+        .collect();
+    let mut bits = Vec::new();
+    for s in samples {
+        bits.push(s.step);
+        bits.push(s.time.to_bits());
+        for (i, v) in s.values.iter().enumerate() {
+            if !timing.contains(&i) {
+                bits.push(v.to_bits());
+            }
+        }
+    }
+    bits
+}
+
+#[test]
+fn reduced_series_is_deterministic_across_runs() {
+    for p in [2usize, 4] {
+        let (a, _) = run_armed(p);
+        let (b, _) = run_armed(p);
+        assert_eq!(a.len(), NSTEPS, "one sample per committed step at p={p}");
+        assert_eq!(
+            deterministic_bits(&a),
+            deterministic_bits(&b),
+            "reduced series differs between identical runs at p={p}"
+        );
+        // Every rank contributed to the Sum-merged fields: the global
+        // zone-update count per step is cells × RK stages, independent
+        // of the decomposition.
+        let zu = field_index("zone_updates").unwrap();
+        let expect = (N * N * 2) as f64;
+        for s in &a {
+            assert_eq!(s.values[zu], expect, "p={p} sample missing rank shares");
+        }
+        // First-merge fields come from block 0, not arrival order: dt
+        // is collectively agreed, so it must match the sample's committed
+        // step regardless of which rank's packet landed first.
+        let dt = field_index("dt").unwrap();
+        assert!(a.iter().all(|s| s.values[dt] > 0.0));
+    }
+}
+
+#[test]
+fn solver_state_is_bit_identical_with_telemetry_armed() {
+    for p in [2usize, 4] {
+        let (_, armed) = run_armed(p);
+        let detached = run_detached(p);
+        assert_eq!(armed.len(), detached.len());
+        for (r, (a, d)) in armed.iter().zip(&detached).enumerate() {
+            assert_eq!(a.len(), d.len());
+            let diff = a
+                .iter()
+                .zip(d)
+                .filter(|(x, y)| x.to_bits() != y.to_bits())
+                .count();
+            assert_eq!(
+                diff, 0,
+                "rank {r}/{p}: {diff} conserved values differ with telemetry armed"
+            );
+        }
+    }
+}

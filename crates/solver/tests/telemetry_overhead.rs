@@ -1,0 +1,89 @@
+//! Overhead bound for telemetry sampling on the distributed driver loop.
+//!
+//! Run manually (timing tests are noisy under CI load):
+//!
+//! ```sh
+//! cargo test --release -p rhrsc-solver --test telemetry_overhead -- --ignored --nocapture
+//! ```
+//!
+//! Measures the metrics-enabled loop with and without the telemetry hub
+//! armed at the default cadence (every step — the worst case; coarser
+//! cadences do strictly less work). A sample is one registry snapshot,
+//! one fixed-size delta pack, and (on >1 rank) one point-to-point
+//! reduction per cadence, against milliseconds of physics per step, so
+//! the target is <2% with slack for machine noise.
+
+use rhrsc_comm::{run, NetworkModel};
+use rhrsc_grid::{bc, Bc, CartDecomp};
+use rhrsc_runtime::{Registry, Telemetry, TelemetryConfig};
+use rhrsc_solver::driver::{BlockSolver, DistConfig, ExchangeMode};
+use rhrsc_solver::{RkOrder, Scheme};
+use rhrsc_srhd::Prim;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn cfg() -> DistConfig {
+    DistConfig {
+        scheme: Scheme::default_with_gamma(5.0 / 3.0),
+        rk: RkOrder::Rk2,
+        global_n: [64, 64, 1],
+        domain: ([0.0; 3], [1.0, 1.0, 1.0]),
+        decomp: CartDecomp {
+            dims: [1, 1, 1],
+            periodic: [true, true, false],
+        },
+        bcs: bc::uniform(Bc::Periodic),
+        cfl: 0.4,
+        mode: ExchangeMode::BulkSynchronous,
+        gang_threads: 0,
+        dt_refresh_interval: 1,
+    }
+}
+
+fn ic(x: [f64; 3]) -> Prim {
+    Prim {
+        rho: 1.0 + 0.3 * (2.0 * std::f64::consts::PI * x[0]).sin(),
+        vel: [0.2, 0.1, 0.0],
+        p: 1.0,
+    }
+}
+
+/// Seconds for `nsteps` on one ideal-network rank, best of `reps`;
+/// metrics always attached, telemetry optionally armed at cadence 1.
+fn time_loop(nsteps: usize, reps: usize, telemetry: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let hub = telemetry.then(|| Arc::new(Telemetry::new(TelemetryConfig::default())));
+        let secs = run(1, NetworkModel::ideal(), move |rank| {
+            let reg = Arc::new(Registry::new());
+            rank.set_metrics(reg.clone());
+            let (mut solver, mut u) = BlockSolver::new(cfg(), rank.rank(), &ic);
+            solver.set_metrics(reg);
+            if let Some(h) = &hub {
+                solver.set_telemetry(h.clone());
+            }
+            let t0 = Instant::now();
+            solver.advance_steps(rank, &mut u, nsteps).unwrap();
+            t0.elapsed().as_secs_f64()
+        })[0];
+        best = best.min(secs);
+    }
+    best
+}
+
+#[test]
+#[ignore = "timing measurement; run manually with --release --ignored"]
+fn telemetry_overhead_is_small() {
+    let (nsteps, reps) = (40, 5);
+    time_loop(4, 1, false); // warm up
+    let off = time_loop(nsteps, reps, false);
+    let on = time_loop(nsteps, reps, true);
+    let ratio = on / off;
+    println!("telemetry off: {off:.4}s  on: {on:.4}s  ratio: {ratio:.4}");
+    // Target <2% at the every-step cadence; allow generous slack for
+    // machine noise (same bound discipline as metrics_overhead).
+    assert!(
+        ratio < 1.10,
+        "telemetry-armed loop {ratio:.3}x slower than detached (off {off:.4}s, on {on:.4}s)"
+    );
+}
