@@ -308,11 +308,9 @@ fn main() {
     wall_total += wall_d;
     let finishers_d: Vec<_> = outs_d.iter().flatten().collect();
     assert_eq!(finishers_d.len(), 4);
-    let mut rstats_d = ResilienceStats::default();
     for (r, _, _) in &finishers_d {
         assert_eq!(r.local_restores, 0, "every L1 copy is rotted: {r:?}");
         assert_eq!(r.disk_restores, 0, "the disk tier must stay cold: {r:?}");
-        rstats_d = *r;
     }
     let buddy_restores: u64 = finishers_d.iter().map(|(r, _, _)| r.buddy_restores).sum();
     let rotted: u64 = finishers_d.iter().map(|(r, _, _)| r.snapshots_rotted).sum();
@@ -420,25 +418,28 @@ fn main() {
     table.save_csv("f14_multilevel_ckp");
     let _ = std::fs::remove_dir_all(&ckp_dir);
 
+    // Run-varying measurements (SDC tallies, drifts, restore latencies)
+    // go into the values section, not `config`: the bench_compare
+    // sentinel only judges reports whose config is bit-identical to the
+    // committed baseline, so config may hold nothing wall-clock- or
+    // seed-stream-dependent.
+    reg.histogram("ckp.restore.mem_ns")
+        .record((mem_s * 1e9) as u64);
+    reg.histogram("ckp.restore.disk_ns")
+        .record((disk_s * 1e9) as u64);
+    reg.histogram("sdc.injected_flips").record(injected);
+    reg.histogram("ckp.l1_drift_shrink_x1e9")
+        .record((l1_f * 1e9) as u64);
     let snap = reg.snapshot();
     if opts.profile {
         print_phase_table("f14_multilevel_ckp (all scenarios pooled)", &snap);
     }
     let mut rep = RunReport::new("f14_multilevel_ckp");
-    rep.config_str("problem", "2D blast, 2x2 ranks, RK3 bulk-sync")
+    rep.config_str("preset", if opts.toy { "toy" } else { "full" })
+        .config_str("problem", "2D blast, 2x2 ranks, RK3 bulk-sync")
         .config_num("global_n", n as f64)
         .config_num("t_end", t_end)
         .config_num("fault_seed", seed as f64)
-        .config_num("sdc_injected", injected as f64)
-        .config_num("sdc_detection_rate", rate)
-        .config_num("sdc_undetected", undetected as f64)
-        .config_num("l1_rel_drift_sdc", l1_c)
-        .config_num("l1_rel_drift_shrink", l1_f)
-        .config_num("buddy_restores", buddy_restores as f64)
-        .config_num("disk_restores", rstats_d.disk_restores as f64)
-        .config_num("mem_restore_ms", mem_s * 1e3)
-        .config_num("disk_restore_ms", disk_s * 1e3)
-        .config_num("mem_vs_disk_speedup", speedup)
         .wall_time(wall_total)
         .parallelism(4.0);
     rep.write(&snap);

@@ -7,7 +7,11 @@
 //! AMR benches — is missing the counters that prove the corresponding
 //! machinery actually engaged. The multi-level checkpoint bench (f14)
 //! must additionally report `sdc.undetected` exactly zero: one missed
-//! flip is a correctness failure of the scrubbing subsystem. Standardized physics benches must also
+//! flip is a correctness failure of the scrubbing subsystem. The
+//! ensemble-service bench (f15) must show its `serve.*` admission,
+//! cache, cancellation, and completion counters all engaged — and
+//! `serve.isolation.breach` exactly zero (a clean job failing means a
+//! tenant's faults leaked across the isolation boundary). Standardized physics benches must also
 //! report a positive `zone_updates` cost figure; the scaling benches
 //! (f4/f5) must report `zone_updates_per_sec`, and their `--toy` runs
 //! are held to a throughput floor of 80% of the committed baseline so
@@ -62,13 +66,29 @@ const REQUIRED_COUNTERS: &[(&str, &[&str])] = &[
             "ckp.tier.buddy.restore",
         ],
     ),
+    (
+        "f15_ensemble_service",
+        &[
+            "serve.admitted",
+            "serve.admission.rejected",
+            "serve.cache.hits",
+            "serve.jobs.cancelled",
+            "serve.jobs.completed",
+        ],
+    ),
 ];
 
 /// Counters that must be present *and exactly zero* for a given bench id
 /// — f14's SDC arm counts every injected flip the ABFT verify missed; a
 /// single undetected flip is a correctness failure of the scrubbing
 /// subsystem, and an absent counter means the accounting never ran.
-const REQUIRED_ZERO_COUNTERS: &[(&str, &[&str])] = &[("f14_multilevel_ckp", &["sdc.undetected"])];
+const REQUIRED_ZERO_COUNTERS: &[(&str, &[&str])] = &[
+    ("f14_multilevel_ckp", &["sdc.undetected"]),
+    // A clean job failing inside the ensemble service means another
+    // tenant's faults (or an engine bug) leaked across the isolation
+    // boundary — one breach is a correctness failure of multi-tenancy.
+    ("f15_ensemble_service", &["serve.isolation.breach"]),
+];
 
 /// Bench ids whose reports must state the rank count they ran on via an
 /// explicit `parallelism` field matching the bench's published
@@ -79,6 +99,7 @@ const REQUIRED_PARALLELISM: &[(&str, f64)] = &[
     ("f12_amr", 1.0),
     ("f13_distributed_amr", 4.0),
     ("f14_multilevel_ckp", 4.0),
+    ("f15_ensemble_service", 4.0),
 ];
 
 /// Bench ids whose reports must carry a positive `zone_updates` figure —

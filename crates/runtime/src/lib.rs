@@ -42,7 +42,9 @@ pub use executor::{CpuExecutor, Executor, RayonExecutor, SerialExecutor};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, RankSite, SnapshotTarget};
 pub use future::{promise, Future, Promise};
 pub use metrics::{Counter, HistSnapshot, Histogram, PhaseTimer, Registry, Snapshot};
-pub use pool::{await_job, await_job_for, pool_timeout, WorkStealingPool};
+pub use pool::{
+    await_job, await_job_for, global_queue_depth, pool_timeout, watchdog_fires, WorkStealingPool,
+};
 pub use sched::{plan_static, plan_weighted, Policy};
 pub use telemetry::{
     SampleInputs, SeriesSample, Telemetry, TelemetryConfig, TelemetryEvent, TelemetrySampler,

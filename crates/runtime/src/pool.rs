@@ -9,15 +9,43 @@
 //! and submitters notify after publishing work.
 
 use crate::future::{promise, Future};
+use crate::metrics::Registry;
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Stuck-job watchdog fires across every pool in the process: one per
+/// [`await_job_for`] deadline expiry. Process-global because the waiter
+/// holds only a future, not the pool that owes it the value.
+static WATCHDOG_FIRES: AtomicU64 = AtomicU64::new(0);
+
+/// Directory of live pools' shared state, for timeout diagnostics: the
+/// waiter in [`await_job_for`] only holds a future, so the message's
+/// queue-depth context comes from here. Weak entries are purged lazily.
+static POOL_DIRECTORY: Mutex<Vec<Weak<Shared>>> = Mutex::new(Vec::new());
+
+/// Total [`await_job_for`] deadline expiries (stuck-job watchdog fires)
+/// since process start, across all pools.
+pub fn watchdog_fires() -> u64 {
+    WATCHDOG_FIRES.load(Ordering::Relaxed)
+}
+
+/// Jobs currently queued (not yet claimed by a worker) across every live
+/// pool in the process.
+pub fn global_queue_depth() -> usize {
+    let mut dir = POOL_DIRECTORY.lock();
+    dir.retain(|w| w.strong_count() > 0);
+    dir.iter()
+        .filter_map(Weak::upgrade)
+        .map(|s| s.injector.len())
+        .sum()
+}
 
 /// Deadline for waiting on pool futures in tests and drivers. Defaults to
 /// 5 s; override with `RHRSC_POOL_TIMEOUT_MS` (e.g. on loaded CI machines
@@ -40,13 +68,26 @@ pub fn await_job<T>(fut: Future<T>, job: &str) -> T {
 }
 
 /// [`await_job`] with an explicit deadline.
+///
+/// On expiry the panic message carries the stuck job's name, the
+/// measured elapsed wait, and the number of jobs still queued across the
+/// process's pools — enough to tell a deadlocked worker (depth 0, nobody
+/// will ever produce the value) from a starved queue (depth > 0, the job
+/// may simply never have been claimed).
 pub fn await_job_for<T>(fut: Future<T>, job: &str, d: Duration) -> T {
+    let start = Instant::now();
     match fut.get_timeout(d) {
         Ok(v) => v,
-        Err(_) => panic!(
-            "pool job '{job}' produced no result within {d:?} \
-             (tune with RHRSC_POOL_TIMEOUT_MS): worker hung or deadlocked"
-        ),
+        Err(_) => {
+            WATCHDOG_FIRES.fetch_add(1, Ordering::Relaxed);
+            let elapsed = start.elapsed();
+            let queued = global_queue_depth();
+            panic!(
+                "pool job '{job}' produced no result within {d:?} \
+                 (waited {elapsed:?}, {queued} job(s) still queued; tune \
+                 with RHRSC_POOL_TIMEOUT_MS): worker hung or deadlocked"
+            )
+        }
     }
 }
 
@@ -93,6 +134,11 @@ impl WorkStealingPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
+        {
+            let mut dir = POOL_DIRECTORY.lock();
+            dir.retain(|w| w.strong_count() > 0);
+            dir.push(Arc::downgrade(&shared));
+        }
         WorkStealingPool {
             shared,
             handles,
@@ -214,6 +260,35 @@ impl WorkStealingPool {
     /// Total successful steals from sibling deques.
     pub fn steals(&self) -> u64 {
         self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently sitting in the shared injector — submitted but not
+    /// yet claimed by any worker. Per-worker deques are excluded (their
+    /// jobs are already owned), so this is the backlog a new submission
+    /// queues behind.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.injector.len()
+    }
+
+    /// Sync the pool's health counters into `reg` as monotonic `pool.*`
+    /// counters: `pool.executed`, `pool.steals` and the process-wide
+    /// `pool.watchdog.fires`. Call on a sampling cadence (the telemetry
+    /// sampler's `Source::Counter` deltas then expose them as series
+    /// fields). Delta-synced, so repeated calls are idempotent; use one
+    /// registry per pool — two pools exporting into the same registry
+    /// would race to the larger value.
+    pub fn export_health(&self, reg: &Registry) {
+        for (name, cur) in [
+            ("pool.executed", self.executed()),
+            ("pool.steals", self.steals()),
+            ("pool.watchdog.fires", watchdog_fires()),
+        ] {
+            let c = reg.counter(name);
+            let prev = c.get();
+            if cur > prev {
+                c.add(cur - prev);
+            }
+        }
     }
 }
 
@@ -481,6 +556,94 @@ mod tests {
         let msg = panic_msg(r.unwrap_err());
         assert!(msg.contains("halo-unpack[rank 3]"), "{msg}");
         assert!(msg.contains("RHRSC_POOL_TIMEOUT_MS"), "{msg}");
+    }
+
+    #[test]
+    fn await_job_timeout_reports_elapsed_and_queue_depth() {
+        let (_p, fut) = promise::<i32>();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            await_job_for(fut, "stuck-diag", Duration::from_millis(20))
+        }));
+        let msg = panic_msg(r.unwrap_err());
+        assert!(msg.contains("stuck-diag"), "{msg}");
+        assert!(msg.contains("waited"), "missing elapsed wait: {msg}");
+        assert!(msg.contains("queued"), "missing queue depth: {msg}");
+    }
+
+    #[test]
+    fn watchdog_counter_increments_on_timeout() {
+        let before = watchdog_fires();
+        let (_p, fut) = promise::<i32>();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            await_job_for(fut, "watchdog-probe", Duration::from_millis(5))
+        }));
+        assert!(watchdog_fires() > before);
+    }
+
+    #[test]
+    fn queue_depth_sees_unclaimed_backlog() {
+        // One worker, blocked on a gate: everything submitted after the
+        // blocker stays in the injector and must be visible as depth.
+        let pool = WorkStealingPool::new(1);
+        let gate = Arc::new(Latch::new(1));
+        let g2 = gate.clone();
+        let blocker = pool.spawn(move || g2.wait());
+        // Give the worker a moment to claim the blocker.
+        std::thread::sleep(Duration::from_millis(20));
+        let futs: Vec<_> = (0..8).map(|i| pool.spawn(move || i)).collect();
+        assert!(
+            pool.queue_depth() >= 1,
+            "expected queued backlog, got {}",
+            pool.queue_depth()
+        );
+        assert!(global_queue_depth() >= pool.queue_depth());
+        gate.count_down(None);
+        blocker.get();
+        for f in futs {
+            f.get();
+        }
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn drop_with_queued_jobs_does_not_hang() {
+        // Shutdown race: a single worker is pinned on a gate while more
+        // jobs sit in the injector. Dropping the pool must release the
+        // gate path and join without deadlocking, and the never-run jobs'
+        // futures must be poisoned (dropped promises), not left pending.
+        let pool = WorkStealingPool::new(1);
+        let gate = Arc::new(Latch::new(1));
+        let g2 = gate.clone();
+        let _blocker = pool.spawn(move || g2.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        let queued: Vec<_> = (0..4).map(|i| pool.spawn(move || i)).collect();
+        gate.count_down(None);
+        drop(pool); // must not hang: workers drain the injector on shutdown
+        for f in queued {
+            // Either the job ran during drain (value) or its promise was
+            // dropped (poisoned -> panic); both are prompt, neither hangs.
+            let _ = catch_unwind(AssertUnwindSafe(move || f.get()));
+        }
+    }
+
+    #[test]
+    fn export_health_delta_syncs_into_registry() {
+        let pool = WorkStealingPool::new(2);
+        let futs: Vec<_> = (0..16).map(|_| pool.spawn(|| ())).collect();
+        for f in futs {
+            f.get();
+        }
+        let reg = Registry::new();
+        pool.export_health(&reg);
+        let first = reg.counter("pool.executed").get();
+        assert!(first >= 16, "executed counter not exported: {first}");
+        // Re-export with no new work: idempotent, no double counting.
+        pool.export_health(&reg);
+        assert_eq!(reg.counter("pool.executed").get(), first);
+        // New work shows up as a delta.
+        pool.spawn(|| ()).get();
+        pool.export_health(&reg);
+        assert!(reg.counter("pool.executed").get() > first);
     }
 
     #[test]

@@ -82,6 +82,10 @@ pub enum Ext {
     AtmoFrac,
     /// Latest maximum Lorentz factor gauge.
     MaxLorentz,
+    /// Jobs queued (submitted, unclaimed) in the work-stealing pool.
+    PoolQueueDepth,
+    /// Jobs admitted but not yet finished in the ensemble service.
+    ServeQueueDepth,
 }
 
 /// Caller-supplied per-sample values, resolved by [`Ext`].
@@ -101,6 +105,10 @@ pub struct SampleInputs {
     pub atmo_frac: f64,
     /// Latest maximum Lorentz factor gauge.
     pub max_lorentz: f64,
+    /// Jobs queued (submitted, unclaimed) in the work-stealing pool.
+    pub pool_queue_depth: f64,
+    /// Jobs admitted but not yet finished in the ensemble service.
+    pub serve_queue_depth: f64,
 }
 
 impl SampleInputs {
@@ -113,6 +121,8 @@ impl SampleInputs {
             Ext::Drift => self.drift,
             Ext::AtmoFrac => self.atmo_frac,
             Ext::MaxLorentz => self.max_lorentz,
+            Ext::PoolQueueDepth => self.pool_queue_depth,
+            Ext::ServeQueueDepth => self.serve_queue_depth,
         }
     }
 }
@@ -332,6 +342,80 @@ pub const SERIES_FIELDS: &[FieldDef] = &[
         Some("shrink"),
         "Shrinking recoveries since the previous sample",
         Source::Counter("driver.shrinks"),
+    ),
+    // -- pool health (PR 10): exported by WorkStealingPool::export_health.
+    field(
+        "pool_queue_depth",
+        MergeOp::Sum,
+        false,
+        None,
+        "Jobs queued in the work-stealing pool injector at the sample point, summed across ranks",
+        Source::Extern(Ext::PoolQueueDepth),
+    ),
+    field(
+        "pool_steals",
+        MergeOp::Sum,
+        true,
+        None,
+        "Successful work steals from sibling deques since the previous sample",
+        Source::Counter("pool.steals"),
+    ),
+    field(
+        "pool_watchdog_fires",
+        MergeOp::Sum,
+        true,
+        Some("pool.watchdog"),
+        "Stuck-job watchdog fires (await_job_for deadline expiries) since the previous sample",
+        Source::Counter("pool.watchdog.fires"),
+    ),
+    // -- ensemble service (PR 10): per-engine serve.* accounting.
+    field(
+        "serve_queue_depth",
+        MergeOp::Sum,
+        false,
+        None,
+        "Jobs admitted but not yet finished in the ensemble service at the sample point",
+        Source::Extern(Ext::ServeQueueDepth),
+    ),
+    field(
+        "serve_jobs_completed",
+        MergeOp::Sum,
+        true,
+        None,
+        "Ensemble jobs completed since the previous sample",
+        Source::Counter("serve.jobs.completed"),
+    ),
+    field(
+        "serve_jobs_failed",
+        MergeOp::Sum,
+        true,
+        Some("serve.fail"),
+        "Ensemble jobs failed (retries exhausted) since the previous sample",
+        Source::Counter("serve.jobs.failed"),
+    ),
+    field(
+        "serve_jobs_cancelled",
+        MergeOp::Sum,
+        true,
+        None,
+        "Ensemble jobs cancelled (token, deadline, or shutdown) since the previous sample",
+        Source::Counter("serve.jobs.cancelled"),
+    ),
+    field(
+        "serve_rejections",
+        MergeOp::Sum,
+        true,
+        Some("serve.reject"),
+        "Ensemble submissions rejected by admission control since the previous sample",
+        Source::Counter("serve.admission.rejected"),
+    ),
+    field(
+        "serve_cache_hits",
+        MergeOp::Sum,
+        true,
+        None,
+        "Ensemble result-cache hits since the previous sample",
+        Source::Counter("serve.cache.hits"),
     ),
 ];
 
@@ -807,6 +891,24 @@ mod tests {
             assert!(!f.name.contains('.'), "{} contains a dot", f.name);
             assert_eq!(field_index(f.name), Some(i));
         }
+        // PR 10 appended the pool/serve columns at the end of the schema
+        // (wire format compatibility: older indices must not shift).
+        for name in [
+            "pool_queue_depth",
+            "pool_steals",
+            "pool_watchdog_fires",
+            "serve_queue_depth",
+            "serve_jobs_completed",
+            "serve_jobs_failed",
+            "serve_jobs_cancelled",
+            "serve_rejections",
+            "serve_cache_hits",
+        ] {
+            assert!(
+                field_index(name).unwrap() > IDX_DRIFT,
+                "{name} must be appended after the PR 9 fields"
+            );
+        }
     }
 
     #[test]
@@ -838,6 +940,8 @@ mod tests {
             drift: 1e-12,
             atmo_frac: 0.01,
             max_lorentz: 1.5,
+            pool_queue_depth: 3.0,
+            serve_queue_depth: 7.0,
         };
         let a = s.sample(2, 0.25, 42, r.snapshot(), &inputs);
         let b = SeriesSample::unpack(&a.pack()).unwrap();

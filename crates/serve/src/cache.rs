@@ -1,0 +1,141 @@
+//! Content-addressed result cache.
+//!
+//! Keys are [`ScenarioSpec::canonical_hash`](crate::ScenarioSpec::canonical_hash)
+//! values; a hit returns the *same* `Arc`'d result a previous run
+//! produced, so repeated sweep points cost a map lookup instead of a
+//! solve and cached answers are trivially bit-identical to the run that
+//! populated them. Bounded FIFO eviction (oldest insertion out first)
+//! keeps memory flat under unbounded sweep diversity; fault-injected
+//! jobs never enter the cache (their results are deliberately not a
+//! pure function of the spec).
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// The completed state of a scenario run.
+#[derive(Debug, PartialEq)]
+pub struct JobResult {
+    /// Canonical hash of the producing spec.
+    pub spec_hash: u64,
+    /// Steps actually taken.
+    pub steps: u64,
+    /// Simulation time reached (equals the spec's end time unless the
+    /// step budget stopped the run first).
+    pub t_final: f64,
+    /// Raw conserved field (ghost-inclusive), bit-exact.
+    pub data: Vec<f64>,
+}
+
+/// Bounded content-addressed cache of [`JobResult`]s.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<u64, Arc<JobResult>>,
+    fifo: VecDeque<u64>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                fifo: VecDeque::new(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up a result by spec hash.
+    pub fn get(&self, hash: u64) -> Option<Arc<JobResult>> {
+        self.inner.lock().map.get(&hash).cloned()
+    }
+
+    /// Insert a result, evicting the oldest entry beyond capacity.
+    /// First write wins on a racing duplicate (both racers computed the
+    /// same bits, so either is correct — keeping the incumbent preserves
+    /// pointer identity for earlier hits).
+    pub fn insert(&self, result: Arc<JobResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&result.spec_hash) {
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some(old) = inner.fifo.pop_front() {
+                inner.map.remove(&old);
+            }
+        }
+        inner.fifo.push_back(result.spec_hash);
+        inner.map.insert(result.spec_hash, result);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(hash: u64) -> Arc<JobResult> {
+        Arc::new(JobResult {
+            spec_hash: hash,
+            steps: 1,
+            t_final: 0.1,
+            data: vec![hash as f64],
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let c = ResultCache::new(4);
+        let r = result(7);
+        c.insert(r.clone());
+        let hit = c.get(7).unwrap();
+        assert!(Arc::ptr_eq(&r, &hit));
+        assert!(c.get(8).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_beyond_capacity() {
+        let c = ResultCache::new(2);
+        c.insert(result(1));
+        c.insert(result(2));
+        c.insert(result(3)); // evicts 1
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_incumbent() {
+        let c = ResultCache::new(2);
+        let first = result(5);
+        c.insert(first.clone());
+        c.insert(result(5));
+        assert!(Arc::ptr_eq(&first, &c.get(5).unwrap()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ResultCache::new(0);
+        c.insert(result(9));
+        assert!(c.is_empty());
+    }
+}

@@ -628,6 +628,8 @@ impl BlockSolver {
             drift,
             atmo_frac,
             max_lorentz,
+            pool_queue_depth: rhrsc_runtime::pool::global_queue_depth() as f64,
+            ..SampleInputs::default()
         };
         let local = ts
             .sampler

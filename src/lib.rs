@@ -11,7 +11,10 @@
 //! * [`comm`] — simulated distributed ranks with a network cost model,
 //! * [`io`] — VTK/PGM/PPM output and bit-exact checkpoint/restart,
 //! * [`solver`] — SSP-RK integration, the distributed heterogeneous
-//!   driver, test problems, and diagnostics.
+//!   driver, test problems, and diagnostics,
+//! * [`serve`] — the ensemble service: a multi-tenant job engine
+//!   multiplexing scenario sweeps over the solver (admission control,
+//!   priority classes, cancellation, content-addressed result caching).
 //!
 //! ## Quickstart
 //!
@@ -40,5 +43,6 @@ pub use rhrsc_eos as eos;
 pub use rhrsc_grid as grid;
 pub use rhrsc_io as io;
 pub use rhrsc_runtime as runtime;
+pub use rhrsc_serve as serve;
 pub use rhrsc_solver as solver;
 pub use rhrsc_srhd as srhd;

@@ -119,6 +119,11 @@ impl<T> Injector<T> {
         self.queue.lock().unwrap().is_empty()
     }
 
+    /// Number of tasks currently queued (mirrors the real crate's API).
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
     /// Move a batch into `dest` and pop one task for the caller.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         let mut q = self.queue.lock().unwrap();
